@@ -1,0 +1,184 @@
+// bench_test.go wires every table and figure of the paper to a testing.B
+// target, so `go test -bench=.` regenerates a smoke-scale version of the
+// entire evaluation and reports headline MAEs as benchmark metrics.
+// Full-scale runs go through cmd/privmdr-bench (see EXPERIMENTS.md).
+package privmdr_test
+
+import (
+	"testing"
+
+	"privmdr"
+	"privmdr/internal/bench"
+	"privmdr/internal/ldprand"
+)
+
+// runExperiment executes one registered experiment per benchmark iteration
+// at smoke scale and reports the HDG (or first-series) MAE of the first
+// panel as a metric.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bench.RunConfig{Scale: bench.Smoke, N: 10_000, Reps: 1, Queries: 30, Seed: 2020}
+	for i := 0; i < b.N; i++ {
+		results, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) == 0 {
+			b.Fatal("experiment produced no results")
+		}
+		if i == b.N-1 {
+			r := results[0]
+			series := "HDG"
+			found := false
+			for _, s := range r.Series {
+				if s == series {
+					found = true
+					break
+				}
+			}
+			if !found && len(r.Series) > 0 {
+				series = r.Series[0]
+			}
+			for xi := range r.Xs {
+				if st := r.Get(series, xi); st.OK {
+					b.ReportMetric(st.Mean, series+"_mae")
+					break
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig1VaryEpsilon(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFig2VaryVolume(b *testing.B)       { runExperiment(b, "fig2") }
+func BenchmarkFig3VaryDomain(b *testing.B)       { runExperiment(b, "fig3") }
+func BenchmarkFig4VaryAttrs(b *testing.B)        { runExperiment(b, "fig4") }
+func BenchmarkFig5VaryLambda(b *testing.B)       { runExperiment(b, "fig5") }
+func BenchmarkFig6VaryUsers(b *testing.B)        { runExperiment(b, "fig6") }
+func BenchmarkFig7Guideline(b *testing.B)        { runExperiment(b, "fig7") }
+func BenchmarkFig8ComponentWise(b *testing.B)    { runExperiment(b, "fig8") }
+func BenchmarkFig9TDGErrDist(b *testing.B)       { runExperiment(b, "fig9") }
+func BenchmarkFig10HDGErrDist(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11FullMarginals(b *testing.B)   { runExperiment(b, "fig11") }
+func BenchmarkFig12Full2DRange(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13ZeroCount(b *testing.B)       { runExperiment(b, "fig13") }
+func BenchmarkFig14NonZeroCount(b *testing.B)    { runExperiment(b, "fig14") }
+func BenchmarkFig15UserSplit(b *testing.B)       { runExperiment(b, "fig15") }
+func BenchmarkFig16GuidelineD(b *testing.B)      { runExperiment(b, "fig16") }
+func BenchmarkFig17Alg1Convergence(b *testing.B) { runExperiment(b, "fig17") }
+func BenchmarkFig18Alg2Convergence(b *testing.B) { runExperiment(b, "fig18") }
+func BenchmarkFig19NewDataEps(b *testing.B)      { runExperiment(b, "fig19") }
+func BenchmarkFig20NewDataVolume(b *testing.B)   { runExperiment(b, "fig20") }
+func BenchmarkFig21NewDataAttrs(b *testing.B)    { runExperiment(b, "fig21") }
+func BenchmarkFig23Lambda6Eps(b *testing.B)      { runExperiment(b, "fig23") }
+func BenchmarkFig24Lambda6Volume(b *testing.B)   { runExperiment(b, "fig24") }
+func BenchmarkFig25Lambda6Domain(b *testing.B)   { runExperiment(b, "fig25") }
+func BenchmarkFig26Lambda6Attrs(b *testing.B)    { runExperiment(b, "fig26") }
+func BenchmarkFig27Lambda6Users(b *testing.B)    { runExperiment(b, "fig27") }
+func BenchmarkFig28Covariance(b *testing.B)      { runExperiment(b, "fig28") }
+func BenchmarkTable2Guideline(b *testing.B)      { runExperiment(b, "table2") }
+
+func BenchmarkAblationMaxEntVsWU(b *testing.B)        { runExperiment(b, "ablation-maxent") }
+func BenchmarkAblationFOCrossover(b *testing.B)       { runExperiment(b, "ablation-fo") }
+func BenchmarkAblationPostProcessRounds(b *testing.B) { runExperiment(b, "ablation-postprocess") }
+
+// --- substrate micro-benchmarks ---
+
+func benchDataset(b *testing.B, n int) *privmdr.Dataset {
+	b.Helper()
+	ds, err := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: n, D: 6, C: 64, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkHDGFit measures the full HDG pipeline (perturb + aggregate +
+// post-process) for 50k users.
+func BenchmarkHDGFit(b *testing.B) {
+	ds := benchDataset(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privmdr.FitWithRand(privmdr.NewHDG(), ds, 1.0, ldprand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHDGAnswer2D measures 2-D answering (including lazy response
+// matrix construction amortized across queries).
+func BenchmarkHDGAnswer2D(b *testing.B) {
+	ds := benchDataset(b, 50_000)
+	est, err := privmdr.Fit(privmdr.NewHDG(), ds, 1.0, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := privmdr.RandomWorkload(256, 2, 6, 64, 0.5, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Answer(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHDGAnswer6D measures Algorithm 2 estimation cost.
+func BenchmarkHDGAnswer6D(b *testing.B) {
+	ds := benchDataset(b, 50_000)
+	est, err := privmdr.Fit(privmdr.NewHDG(), ds, 1.0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := privmdr.RandomWorkload(64, 6, 6, 64, 0.5, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Answer(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTDGFit is the TDG counterpart of BenchmarkHDGFit.
+func BenchmarkTDGFit(b *testing.B) {
+	ds := benchDataset(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privmdr.FitWithRand(privmdr.NewTDG(), ds, 1.0, ldprand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSWFit covers the Square Wave + EM path.
+func BenchmarkMSWFit(b *testing.B) {
+	ds := benchDataset(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privmdr.FitWithRand(privmdr.NewMSW(), ds, 1.0, ldprand.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrueAnswers measures the exact-answer scan the harness uses.
+func BenchmarkTrueAnswers(b *testing.B) {
+	ds := benchDataset(b, 50_000)
+	qs, err := privmdr.RandomWorkload(100, 4, 6, 64, 0.5, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		privmdr.TrueAnswers(ds, qs)
+	}
+}

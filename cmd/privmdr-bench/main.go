@@ -1,0 +1,114 @@
+// privmdr-bench regenerates the tables and figures of "Answering
+// Multi-Dimensional Range Queries under Local Differential Privacy"
+// (Yang et al., PVLDB 2020) from this module's implementation.
+//
+// Usage:
+//
+//	privmdr-bench -list
+//	privmdr-bench -exp fig1 -scale default
+//	privmdr-bench -exp all -scale smoke -csv out/
+//	privmdr-bench -exp fig3 -mechs HDG,TDG,CALM -n 50000 -reps 2
+//
+// Scales: smoke (CI-sized), default (laptop-sized, n = 10⁵), paper
+// (n = 10⁶, 10 repeats, |Q| = 200 — hours of compute).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"privmdr/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment id (figN, table2, ablation-*) or 'all'")
+		scale   = flag.String("scale", "default", "smoke | default | paper")
+		n       = flag.Int("n", 0, "override user count")
+		reps    = flag.Int("reps", 0, "override repetitions per point")
+		queries = flag.Int("queries", 0, "override workload size")
+		seed    = flag.Uint64("seed", 2020, "root random seed")
+		mechs   = flag.String("mechs", "", "comma-separated mechanism filter (e.g. HDG,TDG)")
+		csvDir  = flag.String("csv", "", "also write one CSV per panel into this directory")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-22s %-28s %s\n", e.ID, e.Paper, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: privmdr-bench -exp <id> [-scale smoke|default|paper]")
+		}
+		return
+	}
+
+	cfg := bench.RunConfig{
+		Scale:   bench.Scale(*scale),
+		N:       *n,
+		Reps:    *reps,
+		Queries: *queries,
+		Seed:    *seed,
+	}
+	if *mechs != "" {
+		for _, m := range strings.Split(*mechs, ",") {
+			cfg.Mechs = append(cfg.Mechs, strings.TrimSpace(m))
+		}
+	}
+
+	var todo []bench.Experiment
+	if strings.EqualFold(*exp, "all") {
+		todo = bench.Registry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("=== %s (%s) — %s\n", e.ID, e.Paper, e.Title)
+		results, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for pi, r := range results {
+			if err := r.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, e.ID, pi, r); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("=== %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir, id string, panel int, r *bench.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_panel%02d.csv", id, panel))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.RenderCSV(f)
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privmdr/internal/bench"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	r := &bench.Result{
+		ID: "figX", Title: "t", XLabel: "eps",
+		Xs:     []string{"1.0"},
+		Series: []string{"HDG"},
+	}
+	r.Set("HDG", 0, bench.Stat{Mean: 0.5, OK: true})
+	if err := writeCSV(dir, "figX", 3, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figX_panel03.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "eps,HDG") || !strings.Contains(got, "0.5") {
+		t.Errorf("unexpected CSV contents:\n%s", got)
+	}
+}

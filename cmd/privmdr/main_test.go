@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseQueries(t *testing.T) {
+	qs, err := parseQueries("0:16-47,3:0-31;1:8-39")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	if len(qs[0]) != 2 || qs[0][0].Attr != 0 || qs[0][0].Lo != 16 || qs[0][0].Hi != 47 {
+		t.Errorf("first query parsed wrong: %v", qs[0])
+	}
+	if len(qs[1]) != 1 || qs[1][0].Attr != 1 || qs[1][0].Lo != 8 || qs[1][0].Hi != 39 {
+		t.Errorf("second query parsed wrong: %v", qs[1])
+	}
+}
+
+func TestParseQueriesWhitespaceAndTrailing(t *testing.T) {
+	qs, err := parseQueries(" 2:1-5 ; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || qs[0][0].Attr != 2 {
+		t.Errorf("parsed %v", qs)
+	}
+}
+
+func TestParseQueriesErrors(t *testing.T) {
+	for _, bad := range []string{"", ";", "0=1-5", "0:15", "x:1-5", "0:a-5", "0:1-b"} {
+		if _, err := parseQueries(bad); err == nil {
+			t.Errorf("parseQueries(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFormatQuery(t *testing.T) {
+	qs, _ := parseQueries("0:16-47,3:0-31")
+	got := formatQuery(qs[0])
+	want := "a0∈[16,47] & a3∈[0,31]"
+	if got != want {
+		t.Errorf("formatQuery = %q, want %q", got, want)
+	}
+}
+
+func TestParsePair(t *testing.T) {
+	a, b, err := parsePair("0, 3")
+	if err != nil || a != 0 || b != 3 {
+		t.Errorf("parsePair = (%d,%d,%v)", a, b, err)
+	}
+	for _, bad := range []string{"", "1", "3,1", "2,2", "-1,2", "x,2", "1,y"} {
+		if _, _, err := parsePair(bad); err == nil {
+			t.Errorf("parsePair(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Comparison: a miniature of the paper's Figure 1 — every mechanism on one
+// dataset, MAE over a random 2-D and 4-D workload at a few privacy budgets.
+//
+// Run with:
+//
+//	go run ./examples/comparison [-n 100000] [-data normal] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"privmdr"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "number of users")
+	data := flag.String("data", "normal", "dataset generator (ipums|bfive|normal|laplace|loan|acs)")
+	quick := flag.Bool("quick", false, "single epsilon, skip HIO")
+	flag.Parse()
+
+	ds, err := privmdr.GenerateDataset(*data, privmdr.GenOptions{N: *n, D: 6, C: 64, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	epsilons := []float64{0.5, 1.0, 2.0}
+	if *quick {
+		epsilons = []float64{1.0}
+	}
+	for _, lambda := range []int{2, 4} {
+		queries, err := privmdr.RandomWorkload(100, lambda, ds.D(), ds.C, 0.5, 23)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := privmdr.TrueAnswers(ds, queries)
+
+		fmt.Printf("\n%s dataset, n=%d, lambda=%d, omega=0.5, |Q|=%d\n", *data, *n, lambda, len(queries))
+		fmt.Printf("%-6s", "mech")
+		for _, eps := range epsilons {
+			fmt.Printf("  eps=%-8.1f", eps)
+		}
+		fmt.Println("  time/fit")
+		for _, m := range privmdr.Mechanisms() {
+			if *quick && m.Name() == "HIO" {
+				continue
+			}
+			fmt.Printf("%-6s", m.Name())
+			var elapsed time.Duration
+			for _, eps := range epsilons {
+				start := time.Now()
+				est, err := privmdr.Fit(m, ds, eps, 99)
+				if err != nil {
+					fmt.Printf("  %-12s", "n/a")
+					continue
+				}
+				answers, err := privmdr.Answers(est, queries)
+				if err != nil {
+					fmt.Printf("  %-12s", "err")
+					continue
+				}
+				elapsed = time.Since(start)
+				fmt.Printf("  %-12.5f", privmdr.MAE(answers, truth))
+			}
+			fmt.Printf("  %v\n", elapsed.Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Telemetry: a Bfive-style scenario — per-question response times from an
+// online survey, heavy-tailed and nearly uncorrelated across questions.
+// This is the regime where the paper observes MSW (which assumes
+// independence) is competitive with HDG; the example measures both and also
+// shows where MSW still breaks: a correlated pair injected into the data.
+//
+// Run with:
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privmdr"
+)
+
+func main() {
+	const (
+		n   = 150_000
+		d   = 6
+		c   = 64
+		eps = 1.0
+	)
+	ds, err := privmdr.GenerateDataset("bfive", privmdr.GenOptions{N: n, D: d, C: c, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Inject one strongly correlated pair: attribute 5 becomes a noisy copy
+	// of attribute 0 (e.g. the same question asked twice). This preserves
+	// the overall weak-correlation regime but plants a pocket MSW cannot
+	// represent.
+	for i := 0; i < n; i++ {
+		v := int(ds.Cols[0][i]) + (i%5 - 2)
+		if v < 0 {
+			v = 0
+		}
+		if v >= c {
+			v = c - 1
+		}
+		ds.Cols[5][i] = uint16(v)
+	}
+
+	queries, err := privmdr.RandomWorkload(150, 2, d, c, 0.5, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := privmdr.TrueAnswers(ds, queries)
+
+	// Split the workload: queries touching the correlated pair vs the rest.
+	var corrIdx, restIdx []int
+	for i, q := range queries {
+		attrs := map[int]bool{}
+		for _, p := range q {
+			attrs[p.Attr] = true
+		}
+		if attrs[0] && attrs[5] {
+			corrIdx = append(corrIdx, i)
+		} else {
+			restIdx = append(restIdx, i)
+		}
+	}
+
+	fmt.Printf("bfive-like telemetry: n=%d, d=%d, c=%d, eps=%g\n", n, d, c, eps)
+	fmt.Printf("workload: %d queries (%d touch the correlated pair a0,a5)\n\n", len(queries), len(corrIdx))
+	fmt.Printf("%-6s  %-18s  %-18s  %-18s\n", "mech", "MAE (all)", "MAE (corr pair)", "MAE (uncorrelated)")
+
+	for _, m := range []privmdr.Mechanism{privmdr.NewMSW(), privmdr.NewHDG()} {
+		est, err := privmdr.Fit(m, ds, eps, 13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		answers, err := privmdr.Answers(est, queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  %-18.5f  %-18.5f  %-18.5f\n", m.Name(),
+			privmdr.MAE(answers, truth),
+			subsetMAE(answers, truth, corrIdx),
+			subsetMAE(answers, truth, restIdx))
+	}
+	fmt.Println("\nMSW matches HDG on the independent questions but cannot see the")
+	fmt.Println("planted correlation; HDG's pairwise grids capture it.")
+}
+
+func subsetMAE(answers, truth []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		diff := answers[i] - truth[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		s += diff
+	}
+	return s / float64(len(idx))
+}

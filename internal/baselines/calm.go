@@ -1,0 +1,148 @@
+package baselines
+
+import (
+	"math/rand/v2"
+
+	"privmdr/internal/consistency"
+	"privmdr/internal/dataset"
+	"privmdr/internal/fo"
+	"privmdr/internal/grid"
+	"privmdr/internal/mathx"
+	"privmdr/internal/mech"
+	"privmdr/internal/mwem"
+	"privmdr/internal/query"
+)
+
+// CALM adapts the marginal-release mechanism of Zhang et al. (CCS 2018) to
+// range queries (Section 3.2): users are divided into (d choose 2) groups,
+// each reporting its pair's full-resolution c×c joint cell through the
+// adaptive frequency oracle; marginals are made non-negative and mutually
+// consistent; a 2-D range query sums the noisy marginal cells it covers, and
+// a λ-D query is estimated from its 2-D answers (the weighted-update stand-in
+// for PriView's maximum-entropy step — see DESIGN.md).
+//
+// CALM overcomes the correlation and dimensionality challenges but not the
+// large-domain one: summing Θ((ωc)²) noisy cells makes its error grow with c,
+// which is the effect Figure 3 isolates.
+type CALM struct {
+	// Rounds of the post-processing interleave (0 → 3, as for the grids).
+	Rounds int
+	// WU bounds Algorithm 2 when λ > 2 (Tol 0 → 1/n at Fit).
+	WU mwem.Options
+}
+
+// NewCALM returns a CALM mechanism with default post-processing.
+func NewCALM() *CALM { return &CALM{} }
+
+// Name implements mech.Mechanism.
+func (*CALM) Name() string { return "CALM" }
+
+type calmEstimator struct {
+	c, d   int
+	prefix []*mathx.Prefix2D // per pair, over the post-processed marginal
+	wu     mwem.Options
+}
+
+// Fit implements mech.Mechanism.
+func (m *CALM) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
+	if err := mech.ValidateFit(ds, eps, 2); err != nil {
+		return nil, err
+	}
+	d, n, c := ds.D(), ds.N(), ds.C
+	pairs := mech.AllPairs(d)
+	groups, err := mech.SplitGroups(rng, n, len(pairs))
+	if err != nil {
+		return nil, err
+	}
+
+	// Full-resolution marginals are grids with granularity c.
+	marginals := make([]*grid.Grid2D, len(pairs))
+	for pi, pair := range pairs {
+		g, err := grid.NewGrid2D(c, c)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := fo.NewAuto(eps, c*c)
+		if err != nil {
+			return nil, err
+		}
+		rows := groups[pi]
+		cells := make([]int, len(rows))
+		colJ, colK := ds.Cols[pair[0]], ds.Cols[pair[1]]
+		for i, r := range rows {
+			cells[i] = g.CellOf(int(colJ[r]), int(colK[r]))
+		}
+		reports := fo.PerturbAll(oracle, cells, rng)
+		copy(g.Freq, oracle.EstimateAll(reports))
+		marginals[pi] = g
+	}
+
+	rounds := m.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	pipeline := &consistency.Pipeline{
+		Attrs: d,
+		NormSubAll: func() {
+			for _, g := range marginals {
+				consistency.NormSub(g.Freq, 1)
+			}
+		},
+		AttrViews: func(a int) []consistency.View {
+			var views []consistency.View
+			for pi, pair := range pairs {
+				switch a {
+				case pair[0]:
+					views = append(views, consistency.GridRowView(marginals[pi]))
+				case pair[1]:
+					views = append(views, consistency.GridColView(marginals[pi]))
+				}
+			}
+			return views
+		},
+	}
+	if err := pipeline.Run(rounds); err != nil {
+		return nil, err
+	}
+
+	prefix := make([]*mathx.Prefix2D, len(pairs))
+	for pi, g := range marginals {
+		p, err := mathx.NewPrefix2D(g.Freq, c, c)
+		if err != nil {
+			return nil, err
+		}
+		prefix[pi] = p
+	}
+	wu := m.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(n)
+	}
+	return &calmEstimator{c: c, d: d, prefix: prefix, wu: wu}, nil
+}
+
+func (e *calmEstimator) pair2D(a, b int, pa, pb query.Pred) (float64, error) {
+	pi, err := mech.PairIndex(e.d, a, b)
+	if err != nil {
+		return 0, err
+	}
+	return e.prefix[pi].RangeSum(pa.Lo, pa.Hi, pb.Lo, pb.Hi), nil
+}
+
+// Answer implements mech.Estimator.
+func (e *calmEstimator) Answer(q query.Query) (float64, error) {
+	if err := q.Validate(e.d, e.c); err != nil {
+		return 0, err
+	}
+	qs := q.Sorted()
+	if len(qs) == 1 {
+		a := qs[0].Attr
+		partner := (a + 1) % e.d
+		full := query.Pred{Attr: partner, Lo: 0, Hi: e.c - 1}
+		if partner < a {
+			return e.pair2D(partner, a, full, qs[0])
+		}
+		return e.pair2D(a, partner, qs[0], full)
+	}
+	f, _, err := mwem.AnswerRange(qs, e.pair2D, e.wu)
+	return f, err
+}

@@ -1,0 +1,327 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privmdr/internal/consistency"
+	"privmdr/internal/dataset"
+	"privmdr/internal/fo"
+	"privmdr/internal/hierarchy"
+	"privmdr/internal/mathx"
+	"privmdr/internal/mech"
+	"privmdr/internal/mwem"
+	"privmdr/internal/query"
+)
+
+// LHIO is the paper's improvement of HIO (Section 3.4): instead of one
+// d-dimensional hierarchy, it builds a 2-D hierarchy per attribute pair —
+// (d choose 2)·(h+1)² user groups — answers all 2-D range queries from them,
+// and estimates higher-dimensional answers with Algorithm 2.
+//
+// Consistency is enforced in two stages, matching the paper's description:
+// within each 2-D hierarchy, Hay-style constrained inference is run along
+// attribute 1 (for every fixed attribute-2 node) and then along attribute 2;
+// across hierarchies, each attribute's leaf marginal is averaged over its
+// d−1 pairs CALM-style and the correction is pushed into every level.
+type LHIO struct {
+	// B is the branching factor (0 → 4).
+	B int
+	// Rounds of the cross-pair consistency / Norm-Sub interleave (0 → 2).
+	Rounds int
+	// WU bounds Algorithm 2 for λ > 2 (Tol 0 → 1/n at Fit).
+	WU mwem.Options
+}
+
+// NewLHIO returns an LHIO baseline with branching factor 4.
+func NewLHIO() *LHIO { return &LHIO{} }
+
+// Name implements mech.Mechanism.
+func (*LHIO) Name() string { return "LHIO" }
+
+type lhioEstimator struct {
+	c, d   int
+	tree   *hierarchy.Tree
+	levels int
+	// freq[pi][l1*levels+l2] is the level table of pair pi at d-dim level
+	// (l1, l2): row-major counts[l1]×counts[l2] frequencies.
+	freq [][][]float64
+	wu   mwem.Options
+}
+
+// Fit implements mech.Mechanism.
+func (m *LHIO) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
+	if err := mech.ValidateFit(ds, eps, 2); err != nil {
+		return nil, err
+	}
+	b := m.B
+	if b == 0 {
+		b = 4
+	}
+	d, n, c := ds.D(), ds.N(), ds.C
+	tree, err := hierarchy.New(b, c)
+	if err != nil {
+		return nil, err
+	}
+	levels := tree.NumLevels()
+	pairs := mech.AllPairs(d)
+	numGroups := len(pairs) * levels * levels
+	if numGroups > n {
+		return nil, fmt.Errorf("baselines: LHIO needs %d groups but only has %d users", numGroups, n)
+	}
+	groups, err := mech.SplitGroups(rng, n, numGroups)
+	if err != nil {
+		return nil, err
+	}
+
+	freq := make([][][]float64, len(pairs))
+	variance := make([][]float64, len(pairs)) // per level table
+	for pi, pair := range pairs {
+		freq[pi] = make([][]float64, levels*levels)
+		variance[pi] = make([]float64, levels*levels)
+		for l1 := 0; l1 < levels; l1++ {
+			for l2 := 0; l2 < levels; l2++ {
+				ti := l1*levels + l2
+				k1, k2 := tree.CountAt(l1), tree.CountAt(l2)
+				rows := groups[pi*levels*levels+ti]
+				if k1*k2 == 1 {
+					// The (root, root) level is the whole domain: its
+					// frequency is exactly 1 and needs no privacy budget;
+					// the group still exists to keep populations even.
+					freq[pi][ti] = []float64{1}
+					variance[pi][ti] = 1e-12
+					continue
+				}
+				oracle, err := fo.NewAuto(eps, k1*k2)
+				if err != nil {
+					return nil, err
+				}
+				cells := make([]int, len(rows))
+				colJ, colK := ds.Cols[pair[0]], ds.Cols[pair[1]]
+				for i, r := range rows {
+					i1 := tree.IndexOf(l1, int(colJ[r]))
+					i2 := tree.IndexOf(l2, int(colK[r]))
+					cells[i] = i1*k2 + i2
+				}
+				reports := fo.PerturbAll(oracle, cells, rng)
+				freq[pi][ti] = oracle.EstimateAll(reports)
+				variance[pi][ti] = oracle.Var(len(rows))
+			}
+		}
+	}
+
+	// Stage 1: within-pair constrained inference, along attribute 1 for
+	// every fixed attribute-2 node, then transposed.
+	for pi := range pairs {
+		if err := ciAlongFirst(tree, levels, freq[pi], variance[pi]); err != nil {
+			return nil, err
+		}
+		if err := ciAlongSecond(tree, levels, freq[pi], variance[pi]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: cross-pair attribute consistency + Norm-Sub, interleaved.
+	rounds := m.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	for r := 0; r < rounds; r++ {
+		for a := 0; a < d; a++ {
+			crossPairConsistency(tree, levels, pairs, freq, a)
+		}
+		for pi := range pairs {
+			for _, table := range freq[pi] {
+				consistency.NormSub(table, 1)
+			}
+		}
+	}
+
+	wu := m.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(n)
+	}
+	return &lhioEstimator{c: c, d: d, tree: tree, levels: levels, freq: freq, wu: wu}, nil
+}
+
+// ciAlongFirst runs constrained inference on the attribute-1 tree slices of
+// one pair's level tables: for every attribute-2 level l2 and node i2, the
+// nodes {(l1, i1) × fixed (l2, i2)} form a 1-D hierarchy.
+func ciAlongFirst(tree *hierarchy.Tree, levels int, tables [][]float64, variance []float64) error {
+	for l2 := 0; l2 < levels; l2++ {
+		k2 := tree.CountAt(l2)
+		x := make([][]float64, levels)
+		v := make([]float64, levels)
+		for i2 := 0; i2 < k2; i2++ {
+			for l1 := 0; l1 < levels; l1++ {
+				k1 := tree.CountAt(l1)
+				x[l1] = make([]float64, k1)
+				for i1 := 0; i1 < k1; i1++ {
+					x[l1][i1] = tables[l1*levels+l2][i1*k2+i2]
+				}
+				v[l1] = variance[l1*levels+l2]
+			}
+			out, err := tree.ConstrainedInference(x, v)
+			if err != nil {
+				return err
+			}
+			for l1 := 0; l1 < levels; l1++ {
+				k1 := tree.CountAt(l1)
+				for i1 := 0; i1 < k1; i1++ {
+					tables[l1*levels+l2][i1*k2+i2] = out[l1][i1]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ciAlongSecond is ciAlongFirst transposed.
+func ciAlongSecond(tree *hierarchy.Tree, levels int, tables [][]float64, variance []float64) error {
+	for l1 := 0; l1 < levels; l1++ {
+		k1 := tree.CountAt(l1)
+		x := make([][]float64, levels)
+		v := make([]float64, levels)
+		for i1 := 0; i1 < k1; i1++ {
+			for l2 := 0; l2 < levels; l2++ {
+				k2 := tree.CountAt(l2)
+				x[l2] = make([]float64, k2)
+				for i2 := 0; i2 < k2; i2++ {
+					x[l2][i2] = tables[l1*levels+l2][i1*k2+i2]
+				}
+				v[l2] = variance[l1*levels+l2]
+			}
+			out, err := tree.ConstrainedInference(x, v)
+			if err != nil {
+				return err
+			}
+			for l2 := 0; l2 < levels; l2++ {
+				k2 := tree.CountAt(l2)
+				for i2 := 0; i2 < k2; i2++ {
+					tables[l1*levels+l2][i1*k2+i2] = out[l2][i2]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// crossPairConsistency averages attribute a's leaf marginal across the d−1
+// pairs containing it and pushes each pair's correction uniformly into every
+// level, preserving the within-pair parent/child consistency (averaging is
+// linear and level marginals nest).
+func crossPairConsistency(tree *hierarchy.Tree, levels int, pairs [][2]int, freq [][][]float64, a int) {
+	h := tree.H()
+	c := tree.CountAt(h)
+	type site struct {
+		pi    int
+		first bool // a is the pair's first attribute
+	}
+	var sites []site
+	for pi, pair := range pairs {
+		if pair[0] == a {
+			sites = append(sites, site{pi, true})
+		} else if pair[1] == a {
+			sites = append(sites, site{pi, false})
+		}
+	}
+	if len(sites) < 2 {
+		return
+	}
+	// Leaf marginal of a in each pair: level (H, 0) when first, (0, H) when
+	// second — both are length-c tables.
+	avg := make([]float64, c)
+	margs := make([][]float64, len(sites))
+	for si, s := range sites {
+		var table []float64
+		if s.first {
+			table = freq[s.pi][h*levels+0]
+		} else {
+			table = freq[s.pi][0*levels+h]
+		}
+		margs[si] = table
+		for j := 0; j < c; j++ {
+			avg[j] += table[j]
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(sites))
+	}
+	for si, s := range sites {
+		delta := make([]float64, c)
+		for j := 0; j < c; j++ {
+			delta[j] = avg[j] - margs[si][j]
+		}
+		deltaPrefix := mathx.Prefix1D(delta)
+		for la := 0; la < levels; la++ {
+			ka := tree.CountAt(la)
+			w := tree.Width(la)
+			for lo := 0; lo < levels; lo++ {
+				ko := tree.CountAt(lo)
+				var table []float64
+				if s.first {
+					table = freq[s.pi][la*levels+lo]
+				} else {
+					table = freq[s.pi][lo*levels+la]
+				}
+				for ia := 0; ia < ka; ia++ {
+					d := (deltaPrefix[(ia+1)*w] - deltaPrefix[ia*w]) / float64(ko)
+					if d == 0 {
+						continue
+					}
+					for io := 0; io < ko; io++ {
+						if s.first {
+							table[ia*ko+io] += d
+						} else {
+							table[io*ka+ia] += d
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// pair2D answers a 2-D query by canonical decomposition on both axes and
+// summing the covered level-table entries.
+func (e *lhioEstimator) pair2D(a, b int, pa, pb query.Pred) (float64, error) {
+	pi, err := mech.PairIndex(e.d, a, b)
+	if err != nil {
+		return 0, err
+	}
+	nodesA, err := e.tree.Decompose(pa.Lo, pa.Hi)
+	if err != nil {
+		return 0, err
+	}
+	nodesB, err := e.tree.Decompose(pb.Lo, pb.Hi)
+	if err != nil {
+		return 0, err
+	}
+	ans := 0.0
+	for _, na := range nodesA {
+		for _, nb := range nodesB {
+			k2 := e.tree.CountAt(nb.Level)
+			ans += e.freq[pi][na.Level*e.levels+nb.Level][na.Index*k2+nb.Index]
+		}
+	}
+	return ans, nil
+}
+
+// Answer implements mech.Estimator.
+func (e *lhioEstimator) Answer(q query.Query) (float64, error) {
+	if err := q.Validate(e.d, e.c); err != nil {
+		return 0, err
+	}
+	qs := q.Sorted()
+	if len(qs) == 1 {
+		a := qs[0].Attr
+		partner := (a + 1) % e.d
+		full := query.Pred{Attr: partner, Lo: 0, Hi: e.c - 1}
+		if partner < a {
+			return e.pair2D(partner, a, full, qs[0])
+		}
+		return e.pair2D(a, partner, qs[0], full)
+	}
+	f, _, err := mwem.AnswerRange(qs, e.pair2D, e.wu)
+	return f, err
+}

@@ -1,0 +1,39 @@
+// Package baselines implements the five comparison mechanisms of the
+// paper's evaluation (Section 3 and Section 5.1): the Uni benchmark, the
+// Multiplied Square Wave extension (MSW), the CALM marginal-release
+// adaptation, the hierarchy-based HIO, and its low-dimensional improvement
+// LHIO.
+package baselines
+
+import (
+	"math/rand/v2"
+
+	"privmdr/internal/dataset"
+	"privmdr/internal/mech"
+	"privmdr/internal/query"
+)
+
+// Uni is the benchmark mechanism that always outputs the uniform guess:
+// the answer of a query is its domain volume. It touches no user data and is
+// the "zero information" yardstick every LDP mechanism must beat.
+type Uni struct{}
+
+// NewUni returns the uniform-guess benchmark.
+func NewUni() *Uni { return &Uni{} }
+
+// Name implements mech.Mechanism.
+func (*Uni) Name() string { return "Uni" }
+
+// Fit implements mech.Mechanism.
+func (*Uni) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
+	if err := mech.ValidateFit(ds, eps, 1); err != nil {
+		return nil, err
+	}
+	d, c := ds.D(), ds.C
+	return mech.EstimatorFunc(func(q query.Query) (float64, error) {
+		if err := q.Validate(d, c); err != nil {
+			return 0, err
+		}
+		return q.Volume(c), nil
+	}), nil
+}

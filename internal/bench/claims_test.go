@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestPaperClaimsSmoke is the reproduction's regression net: it runs the
+// headline comparison at a reduced-but-meaningful scale and asserts the
+// paper's central qualitative claims, so any change that silently breaks a
+// mechanism's relative standing fails CI.
+func TestPaperClaimsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// n = 10⁵: the HDG-vs-MSW ordering on correlated data crosses over near
+	// n ≈ 5·10⁴ (the paper's Figure 6 shows the same crossover), so the
+	// claims are asserted above it.
+	cfg := RunConfig{Scale: Smoke, N: 100_000, Reps: 2, Queries: 60, Seed: 2020}
+	e, err := ByID("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index panels by title.
+	byTitle := map[string]*Result{}
+	for _, r := range results {
+		byTitle[r.Title] = r
+	}
+	get := func(title, series string) float64 {
+		t.Helper()
+		r, ok := byTitle[title]
+		if !ok {
+			t.Fatalf("missing panel %q", title)
+		}
+		st := r.Get(series, 0) // single smoke epsilon = 1.0
+		if !st.OK {
+			t.Fatalf("%s: %s did not run", title, series)
+		}
+		return st.Mean
+	}
+
+	for _, dsName := range []string{"ipums", "normal", "laplace"} {
+		panel := "Figure 1: " + dsName + ", lambda=2"
+		hdg := get(panel, "HDG")
+		uni := get(panel, "Uni")
+		calm := get(panel, "CALM")
+		hio := get(panel, "HIO")
+		lhio := get(panel, "LHIO")
+
+		// Claim (§5.2): HDG clearly beats Uni, CALM, LHIO, and HIO.
+		if hdg >= uni {
+			t.Errorf("%s: HDG %g not better than Uni %g", dsName, hdg, uni)
+		}
+		if hdg >= calm {
+			t.Errorf("%s: HDG %g not better than CALM %g", dsName, hdg, calm)
+		}
+		if hdg >= lhio {
+			t.Errorf("%s: HDG %g not better than LHIO %g", dsName, hdg, lhio)
+		}
+		// Claim (§5.2): HIO performs the worst, worse than even Uni.
+		if hio <= uni {
+			t.Errorf("%s: HIO %g should be worse than Uni %g", dsName, hio, uni)
+		}
+		// Claim (§5.2): LHIO improves on HIO by a large factor.
+		if lhio >= hio/2 {
+			t.Errorf("%s: LHIO %g should be far below HIO %g", dsName, lhio, hio)
+		}
+	}
+
+	// Claim (§5.2): on strongly correlated data, HDG beats MSW (whose
+	// independence assumption fails there).
+	normal := "Figure 1: normal, lambda=2"
+	if hdg, msw := get(normal, "HDG"), get(normal, "MSW"); hdg >= msw {
+		t.Errorf("normal: HDG %g should beat MSW %g on correlated data", hdg, msw)
+	}
+	// Claim (§5.2): on weakly correlated bfive, MSW is competitive and HDG
+	// stays comparable (within ~3x).
+	bfive := "Figure 1: bfive, lambda=2"
+	if hdg, msw := get(bfive, "HDG"), get(bfive, "MSW"); hdg > 3*msw {
+		t.Errorf("bfive: HDG %g should stay comparable to MSW %g", hdg, msw)
+	}
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"testing"
+)
+
+// microCfg is deliberately tiny: these tests exercise every experiment's
+// code path, not its statistics.
+func microCfg(mechs ...string) RunConfig {
+	return RunConfig{Scale: Smoke, N: 4000, Reps: 1, Queries: 8, Seed: 3, Mechs: mechs}
+}
+
+// runAndCheck executes an experiment and validates the structural contract
+// of its results.
+func runAndCheck(t *testing.T, id string, cfg RunConfig) []*Result {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(results) == 0 {
+		t.Fatalf("%s produced no results", id)
+	}
+	for _, r := range results {
+		if r.ID != id {
+			t.Errorf("%s: panel carries id %q", id, r.ID)
+		}
+		if len(r.Rows) > 0 {
+			continue // table-shaped result
+		}
+		if len(r.Xs) == 0 || len(r.Series) == 0 {
+			t.Errorf("%s: empty panel %q", id, r.Title)
+		}
+	}
+	return results
+}
+
+func TestExperimentFig2Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig2", microCfg("Uni", "TDG", "HDG"))
+}
+
+func TestExperimentFig3Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig3", microCfg("Uni", "HDG"))
+}
+
+func TestExperimentFig4Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig4", microCfg("Uni", "HDG"))
+}
+
+func TestExperimentFig5Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rs := runAndCheck(t, "fig5", microCfg("Uni", "HDG"))
+	if len(rs) != 4 {
+		t.Errorf("fig5 should have one panel per dataset, got %d", len(rs))
+	}
+}
+
+func TestExperimentFig6Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig6", microCfg("Uni", "TDG"))
+}
+
+func TestExperimentFig7Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rs := runAndCheck(t, "fig7", microCfg())
+	// 10 variants + guideline HDG per panel.
+	if got := len(rs[0].Series); got != 11 {
+		t.Errorf("fig7 has %d series, want 11", got)
+	}
+}
+
+func TestExperimentFig8Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rs := runAndCheck(t, "fig8", microCfg())
+	want := map[string]bool{"ITDG": true, "IHDG": true, "TDG": true, "HDG": true}
+	for _, s := range rs[0].Series {
+		if !want[s] {
+			t.Errorf("unexpected series %q in fig8", s)
+		}
+	}
+}
+
+func TestExperimentFig9Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rs := runAndCheck(t, "fig9", microCfg())
+	// Histogram counts must add up to the workload size.
+	total := 0.0
+	r := rs[0]
+	for xi := range r.Xs {
+		total += r.Get("queries", xi).Mean
+	}
+	if int(total) != 8 {
+		t.Errorf("fig9 histogram sums to %g, want 8 queries", total)
+	}
+}
+
+func TestExperimentFig11Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rs := runAndCheck(t, "fig11", microCfg("Uni", "HDG"))
+	foundNote := false
+	for _, n := range rs[0].Notes {
+		if len(n) > 0 {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Error("fig11 should note the workload subsample")
+	}
+}
+
+func TestExperimentFig12Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig12", microCfg("Uni", "HDG"))
+}
+
+func TestExperimentFig13Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig13", microCfg("Uni", "HDG"))
+}
+
+func TestExperimentFig14Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig14", microCfg("Uni", "HDG"))
+}
+
+func TestExperimentFig15Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig15", microCfg())
+}
+
+func TestExperimentFig17Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rs := runAndCheck(t, "fig17", microCfg())
+	// Every trace must start with a much larger change than it ends with
+	// (convergence) or plateau at the small-n residual.
+	r := rs[0]
+	first := r.Get(r.Series[0], 0)
+	if !first.OK || first.Mean <= 0 {
+		t.Error("fig17 first step should be a positive change amount")
+	}
+}
+
+func TestExperimentFig18Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig18", microCfg())
+}
+
+func TestExperimentFig28Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runAndCheck(t, "fig28", microCfg("Uni", "HDG"))
+}
+
+func TestExperimentAblationsMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rs := runAndCheck(t, "ablation-maxent", microCfg())
+	if len(rs) != 2 {
+		t.Errorf("ablation-maxent should emit accuracy and iteration panels")
+	}
+	runAndCheck(t, "ablation-fo", microCfg())
+	runAndCheck(t, "ablation-postprocess", microCfg())
+}

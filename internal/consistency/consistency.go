@@ -1,0 +1,144 @@
+// Package consistency implements Phase 2 of TDG/HDG (Section 4.2): the
+// Norm-Sub non-negativity step of Wang et al. and the attribute-level
+// consistency step that reconciles the marginal an attribute induces on each
+// of the grids (or marginal tables) it participates in.
+//
+// The consistency step is expressed over Views: a View exposes, for one
+// attribute inside one grid, the coarse-bucket sums P_G(a, j) and the number
+// of cells |S| that contribute to each bucket. The optimal weighted average
+// uses θᵢ ∝ 1/|Sᵢ| (derived in the paper from the per-cell variance), and
+// the correction is spread uniformly over the contributing cells.
+package consistency
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormSub makes freq non-negative and sum to target (usually 1) in place,
+// following Wang et al.'s Norm-Sub: clip negatives to zero, then subtract
+// the common overshoot from every positive entry; repeat until stable.
+func NormSub(freq []float64, target float64) {
+	if len(freq) == 0 {
+		return
+	}
+	const maxRounds = 1000
+	for round := 0; round < maxRounds; round++ {
+		positive := 0
+		sum := 0.0
+		for i, v := range freq {
+			if v < 0 {
+				freq[i] = 0
+			} else if v > 0 {
+				positive++
+				sum += v
+			}
+		}
+		if positive == 0 {
+			// Degenerate: everything clipped. Fall back to uniform mass.
+			u := target / float64(len(freq))
+			for i := range freq {
+				freq[i] = u
+			}
+			return
+		}
+		diff := (sum - target) / float64(positive)
+		if math.Abs(diff) < 1e-15 {
+			return
+		}
+		negAfter := false
+		for i, v := range freq {
+			if v > 0 {
+				freq[i] = v - diff
+				if freq[i] < 0 {
+					negAfter = true
+				}
+			}
+		}
+		if !negAfter {
+			return
+		}
+	}
+}
+
+// View is one attribute's footprint in one grid. Buckets is the common
+// coarse granularity across the views being harmonized; CellsPerBucket is
+// |S| — how many of the grid's cells aggregate into each bucket. Sum returns
+// P_G(a, j); Add spreads a per-cell delta over bucket j's cells.
+type View struct {
+	Buckets        int
+	CellsPerBucket int
+	Sum            func(j int) float64
+	Add            func(j int, perCellDelta float64)
+}
+
+// Harmonize enforces consistency of one attribute across its views: for each
+// coarse bucket j it computes the variance-optimal weighted average
+// P(a,j) = (Σᵢ Pᵢ/|Sᵢ|)/(Σᵢ 1/|Sᵢ|) and moves every view to it by adding
+// (P − Pᵢ)/|Sᵢ| to each contributing cell.
+func Harmonize(views []View) error {
+	if len(views) < 2 {
+		return nil // nothing to reconcile
+	}
+	buckets := views[0].Buckets
+	for i, v := range views {
+		if v.Buckets != buckets {
+			return fmt.Errorf("consistency: view %d has %d buckets, want %d", i, v.Buckets, buckets)
+		}
+		if v.CellsPerBucket < 1 {
+			return fmt.Errorf("consistency: view %d has CellsPerBucket %d", i, v.CellsPerBucket)
+		}
+	}
+	weightSum := 0.0
+	for _, v := range views {
+		weightSum += 1 / float64(v.CellsPerBucket)
+	}
+	for j := 0; j < buckets; j++ {
+		avg := 0.0
+		sums := make([]float64, len(views))
+		for i, v := range views {
+			sums[i] = v.Sum(j)
+			avg += sums[i] / float64(v.CellsPerBucket)
+		}
+		avg /= weightSum
+		for i, v := range views {
+			delta := (avg - sums[i]) / float64(v.CellsPerBucket)
+			if delta != 0 {
+				v.Add(j, delta)
+			}
+		}
+	}
+	return nil
+}
+
+// Pipeline interleaves the two post-processing steps the way Section 4.2
+// prescribes: Norm-Sub first (the raw oracle estimates are typically
+// negative somewhere), then `rounds` rounds of {harmonize every attribute,
+// Norm-Sub every grid}, ending on a Norm-Sub so the response-matrix step
+// receives non-negative input.
+type Pipeline struct {
+	// NormSubAll re-normalizes every grid in place.
+	NormSubAll func()
+	// AttrViews returns the views of attribute a (one per grid containing a).
+	AttrViews func(a int) []View
+	// Attrs is the number of attributes.
+	Attrs int
+}
+
+// Run executes the interleaved post-process for the given number of rounds
+// (the paper uses "multiple times"; TDG/HDG default to 3).
+func (p *Pipeline) Run(rounds int) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	p.NormSubAll()
+	for r := 0; r < rounds; r++ {
+		for a := 0; a < p.Attrs; a++ {
+			if err := Harmonize(p.AttrViews(a)); err != nil {
+				return err
+			}
+		}
+		p.NormSubAll()
+	}
+	return nil
+}

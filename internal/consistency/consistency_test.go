@@ -1,0 +1,297 @@
+package consistency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privmdr/internal/grid"
+	"privmdr/internal/ldprand"
+)
+
+func TestNormSubBasic(t *testing.T) {
+	f := []float64{0.5, -0.1, 0.4, 0.3}
+	NormSub(f, 1)
+	sum := 0.0
+	for _, x := range f {
+		if x < 0 {
+			t.Errorf("negative value %g after NormSub", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum %g after NormSub, want 1", sum)
+	}
+}
+
+func TestNormSubPreservesValidDistribution(t *testing.T) {
+	f := []float64{0.25, 0.25, 0.25, 0.25}
+	NormSub(f, 1)
+	for _, x := range f {
+		if math.Abs(x-0.25) > 1e-12 {
+			t.Errorf("valid distribution changed: %v", f)
+		}
+	}
+}
+
+func TestNormSubAllNegative(t *testing.T) {
+	f := []float64{-0.5, -0.2, -0.3}
+	NormSub(f, 1)
+	for _, x := range f {
+		if math.Abs(x-1.0/3) > 1e-9 {
+			t.Errorf("degenerate input should become uniform, got %v", f)
+		}
+	}
+}
+
+func TestNormSubProperty(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		rng := ldprand.New(seed)
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = rng.Float64()*2 - 0.7 // mix of positive and negative
+		}
+		NormSub(f, 1)
+		sum := 0.0
+		for _, x := range f {
+			if x < -1e-9 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormSubTarget(t *testing.T) {
+	f := []float64{3, -1, 2}
+	NormSub(f, 2)
+	sum := 0.0
+	for _, x := range f {
+		sum += x
+	}
+	if math.Abs(sum-2) > 1e-9 {
+		t.Errorf("sum %g, want target 2", sum)
+	}
+}
+
+func TestNormSubEmpty(t *testing.T) {
+	NormSub(nil, 1) // must not panic
+}
+
+func TestNormSubOrderPreserved(t *testing.T) {
+	// Norm-Sub subtracts a constant from positives, so relative order among
+	// surviving positives is preserved.
+	f := []float64{0.5, 0.3, 0.4, -0.2}
+	NormSub(f, 1)
+	if !(f[0] >= f[2] && f[2] >= f[1]) {
+		t.Errorf("order not preserved: %v", f)
+	}
+}
+
+// sliceView builds a View over a plain slice where each bucket has `per`
+// cells.
+func sliceView(s []float64, buckets, per int) View {
+	return View{
+		Buckets:        buckets,
+		CellsPerBucket: per,
+		Sum: func(j int) float64 {
+			total := 0.0
+			for i := j * per; i < (j+1)*per; i++ {
+				total += s[i]
+			}
+			return total
+		},
+		Add: func(j int, d float64) {
+			for i := j * per; i < (j+1)*per; i++ {
+				s[i] += d
+			}
+		},
+	}
+}
+
+func TestHarmonizeAgreement(t *testing.T) {
+	// Two views with different cell resolutions must agree bucket-wise
+	// afterwards.
+	fine := []float64{0.1, 0.1, 0.2, 0.1, 0.2, 0.1, 0.1, 0.1} // 2 buckets × 4 cells
+	coarse := []float64{0.3, 0.2, 0.3, 0.2}                   // 2 buckets × 2 cells
+	v1 := sliceView(fine, 2, 4)
+	v2 := sliceView(coarse, 2, 2)
+	if err := Harmonize([]View{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(v1.Sum(j)-v2.Sum(j)) > 1e-9 {
+			t.Errorf("bucket %d: views disagree after Harmonize: %g vs %g", j, v1.Sum(j), v2.Sum(j))
+		}
+	}
+}
+
+func TestHarmonizeWeightedAverage(t *testing.T) {
+	// θᵢ ∝ 1/|Sᵢ|: with |S₁| = 1, |S₂| = 3, the average of bucket sums
+	// P₁ = 1, P₂ = 0 is (1/1·1 + 1/3·0)/(1/1 + 1/3) = 0.75.
+	a := []float64{1}
+	b := []float64{0, 0, 0}
+	v1 := sliceView(a, 1, 1)
+	v2 := sliceView(b, 1, 3)
+	if err := Harmonize([]View{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1.Sum(0)-0.75) > 1e-9 {
+		t.Errorf("weighted average = %g, want 0.75", v1.Sum(0))
+	}
+	if math.Abs(v2.Sum(0)-0.75) > 1e-9 {
+		t.Errorf("second view = %g, want 0.75", v2.Sum(0))
+	}
+	// The correction is spread uniformly: each of b's 3 cells got 0.25.
+	for _, x := range b {
+		if math.Abs(x-0.25) > 1e-9 {
+			t.Errorf("cell correction = %g, want 0.25", x)
+		}
+	}
+}
+
+func TestHarmonizePreservesTotalWhenViewsTotalEqual(t *testing.T) {
+	// If all views hold distributions with the same total mass, Harmonize
+	// keeps that total on every view.
+	rng := ldprand.New(4)
+	a := make([]float64, 8)
+	b := make([]float64, 4)
+	fill := func(s []float64) {
+		sum := 0.0
+		for i := range s {
+			s[i] = rng.Float64()
+			sum += s[i]
+		}
+		for i := range s {
+			s[i] /= sum
+		}
+	}
+	fill(a)
+	fill(b)
+	v1 := sliceView(a, 4, 2)
+	v2 := sliceView(b, 4, 1)
+	if err := Harmonize([]View{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	sum := func(s []float64) float64 {
+		total := 0.0
+		for _, x := range s {
+			total += x
+		}
+		return total
+	}
+	if math.Abs(sum(a)-1) > 1e-9 || math.Abs(sum(b)-1) > 1e-9 {
+		t.Errorf("totals changed: %g, %g", sum(a), sum(b))
+	}
+}
+
+func TestHarmonizeSingleViewNoop(t *testing.T) {
+	a := []float64{0.4, 0.6}
+	if err := Harmonize([]View{sliceView(a, 2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0.4 || a[1] != 0.6 {
+		t.Errorf("single view changed: %v", a)
+	}
+}
+
+func TestHarmonizeErrors(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{1, 2, 3}
+	if err := Harmonize([]View{sliceView(a, 2, 1), sliceView(b, 3, 1)}); err == nil {
+		t.Error("mismatched bucket counts should fail")
+	}
+	bad := View{Buckets: 2, CellsPerBucket: 0}
+	if err := Harmonize([]View{sliceView(a, 2, 1), bad}); err == nil {
+		t.Error("zero CellsPerBucket should fail")
+	}
+}
+
+func TestHarmonizeGridViews(t *testing.T) {
+	// A 2-D grid's row view and a second grid's column view over the same
+	// attribute must agree after harmonization.
+	g1, _ := grid.NewGrid2D(8, 2)
+	g2, _ := grid.NewGrid2D(8, 2)
+	g1.Freq = []float64{0.5, 0.1, 0.2, 0.2}
+	g2.Freq = []float64{0.1, 0.2, 0.3, 0.4}
+	// Attribute a is g1's row attribute and g2's column attribute.
+	v1 := GridRowView(g1)
+	v2 := GridColView(g2)
+	if err := Harmonize([]View{v1, v2}); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(v1.Sum(j)-v2.Sum(j)) > 1e-9 {
+			t.Errorf("bucket %d disagreement: %g vs %g", j, v1.Sum(j), v2.Sum(j))
+		}
+	}
+}
+
+func TestGrid1DViewAggregation(t *testing.T) {
+	g, _ := grid.NewGrid1D(16, 8)
+	for i := range g.Freq {
+		g.Freq[i] = float64(i)
+	}
+	v := Grid1DView(g, 4) // ratio 2
+	if v.CellsPerBucket != 2 {
+		t.Fatalf("CellsPerBucket = %d, want 2", v.CellsPerBucket)
+	}
+	if got := v.Sum(1); got != 2+3 {
+		t.Errorf("Sum(1) = %g, want 5", got)
+	}
+	v.Add(0, 0.5)
+	if g.Freq[0] != 0.5 || g.Freq[1] != 1.5 {
+		t.Errorf("Add misapplied: %v", g.Freq[:2])
+	}
+}
+
+func TestPipelineEndsNonNegative(t *testing.T) {
+	rng := ldprand.New(5)
+	grids := make([]*grid.Grid2D, 3)
+	for i := range grids {
+		grids[i], _ = grid.NewGrid2D(8, 4)
+		for j := range grids[i].Freq {
+			grids[i].Freq[j] = rng.Float64()*0.3 - 0.05
+		}
+	}
+	// Attributes: 0 is row of grid 0 and 1; 1 is col of 0, row of 2; 2 is
+	// col of 1 and 2 (the d=3 pair structure).
+	p := &Pipeline{
+		Attrs: 3,
+		NormSubAll: func() {
+			for _, g := range grids {
+				NormSub(g.Freq, 1)
+			}
+		},
+		AttrViews: func(a int) []View {
+			switch a {
+			case 0:
+				return []View{GridRowView(grids[0]), GridRowView(grids[1])}
+			case 1:
+				return []View{GridColView(grids[0]), GridRowView(grids[2])}
+			default:
+				return []View{GridColView(grids[1]), GridColView(grids[2])}
+			}
+		},
+	}
+	if err := p.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range grids {
+		sum := 0.0
+		for _, x := range g.Freq {
+			if x < -1e-9 {
+				t.Errorf("grid %d has negative cell %g after pipeline", gi, x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("grid %d sums to %g after pipeline", gi, sum)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package consistency
+
+import (
+	"privmdr/internal/grid"
+)
+
+// GridRowView exposes a 2-D grid's first attribute to Harmonize: bucket j is
+// row j, fed by the |S| = G cells of that row.
+func GridRowView(g *grid.Grid2D) View {
+	return View{
+		Buckets:        g.G,
+		CellsPerBucket: g.G,
+		Sum: func(j int) float64 {
+			s := 0.0
+			for c := 0; c < g.G; c++ {
+				s += g.Freq[j*g.G+c]
+			}
+			return s
+		},
+		Add: func(j int, delta float64) {
+			for c := 0; c < g.G; c++ {
+				g.Freq[j*g.G+c] += delta
+			}
+		},
+	}
+}
+
+// GridColView exposes a 2-D grid's second attribute to Harmonize.
+func GridColView(g *grid.Grid2D) View {
+	return View{
+		Buckets:        g.G,
+		CellsPerBucket: g.G,
+		Sum: func(j int) float64 {
+			s := 0.0
+			for r := 0; r < g.G; r++ {
+				s += g.Freq[r*g.G+j]
+			}
+			return s
+		},
+		Add: func(j int, delta float64) {
+			for r := 0; r < g.G; r++ {
+				g.Freq[r*g.G+j] += delta
+			}
+		},
+	}
+}
+
+// Grid1DView exposes a 1-D grid to Harmonize at the coarser bucket
+// granularity `buckets`; each bucket aggregates |S| = G/buckets cells.
+// G must be a multiple of buckets.
+func Grid1DView(g *grid.Grid1D, buckets int) View {
+	ratio := g.G / buckets
+	return View{
+		Buckets:        buckets,
+		CellsPerBucket: ratio,
+		Sum: func(j int) float64 {
+			s := 0.0
+			for i := j * ratio; i < (j+1)*ratio; i++ {
+				s += g.Freq[i]
+			}
+			return s
+		},
+		Add: func(j int, delta float64) {
+			for i := j * ratio; i < (j+1)*ratio; i++ {
+				g.Freq[i] += delta
+			}
+		},
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privmdr/internal/fo"
+	"privmdr/internal/grid"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/mathx"
+	"privmdr/internal/mech"
+)
+
+// This file contains the deployment-shaped API for HDG: Fit simulates both
+// sides in one call, but a real rollout separates them —
+//
+//	aggregator                        client i
+//	----------                        --------
+//	p := Params{...}           ──────▶ (public parameters)
+//	a := c.Assignment(i)       ──────▶ which grid user i reports
+//	                            ◀────── rep := ClientReport(p, a, record, rng)
+//	c.Submit(a, rep)
+//	est, _ := c.Finalize()
+//
+// The only user-derived message is the fo.Report from ClientReport, which
+// is ε-LDP; assignments depend solely on the public seed and user index.
+
+// Params are the public parameters of an HDG deployment. Every field is
+// known to (or sent to) all parties; none depends on user data.
+type Params struct {
+	N   int     // expected number of users
+	D   int     // attributes per record
+	C   int     // attribute domain size (power of two)
+	Eps float64 // privacy budget per user
+	// G1/G2 override the guideline granularities (0 → guideline with the
+	// default alphas and even split).
+	G1, G2 int
+	// Seed drives the public user→group assignment.
+	Seed uint64
+}
+
+// resolve fills in guideline granularities and validates.
+func (p Params) resolve() (Params, error) {
+	if p.N < 1 || p.D < 2 || p.Eps <= 0 {
+		return p, fmt.Errorf("core: invalid params n=%d d=%d eps=%g", p.N, p.D, p.Eps)
+	}
+	if !mathx.IsPow2(p.C) {
+		return p, fmt.Errorf("core: domain size %d must be a power of two", p.C)
+	}
+	m1, m2 := HDGGroups(p.D)
+	if p.N < m1+m2 {
+		return p, fmt.Errorf("core: %d users cannot populate %d groups", p.N, m1+m2)
+	}
+	if p.G1 == 0 || p.G2 == 0 {
+		g1, g2, err := HDGGranularities(p.Eps, p.N, p.D, p.C, 0, 0)
+		if err != nil {
+			return p, err
+		}
+		if p.G1 == 0 {
+			p.G1 = g1
+		}
+		if p.G2 == 0 {
+			p.G2 = g2
+		}
+	}
+	if p.G1 < p.G2 {
+		p.G1 = p.G2
+	}
+	if p.C%p.G1 != 0 || p.C%p.G2 != 0 || p.G1%p.G2 != 0 {
+		return p, fmt.Errorf("core: granularities (g1=%d, g2=%d) must divide domain %d and each other", p.G1, p.G2, p.C)
+	}
+	return p, nil
+}
+
+// Assignment tells a user which grid to report. Attr2 < 0 means a 1-D grid
+// on Attr1; otherwise the 2-D grid of (Attr1, Attr2). Domain is the
+// frequency-oracle input domain the client must use.
+type Assignment struct {
+	Grid   int // 0..d-1: 1-D grids; d..: 2-D pair grids (mech.AllPairs order)
+	Attr1  int
+	Attr2  int
+	Domain int
+}
+
+// Collector is the aggregator side of an HDG deployment. It is not safe
+// for concurrent Submit calls; serialize ingestion or shard by grid.
+type Collector struct {
+	p       Params
+	opts    Options
+	pairs   [][2]int
+	oracles []*fo.OLH     // per grid (1-D grids first, then pairs)
+	reports [][]fo.Report // per grid
+	groupOf []int         // public group assignment per user index
+	done    bool
+}
+
+// NewCollector validates the public parameters and prepares the per-grid
+// oracles and the public group assignment.
+func NewCollector(p Params, opts Options) (*Collector, error) {
+	rp, err := p.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	d := rp.D
+	m1, m2 := HDGGroups(d)
+	numGrids := m1 + m2
+	c := &Collector{
+		p:       rp,
+		opts:    opts,
+		pairs:   mech.AllPairs(d),
+		oracles: make([]*fo.OLH, numGrids),
+		reports: make([][]fo.Report, numGrids),
+	}
+	for gi := 0; gi < numGrids; gi++ {
+		domain := rp.G1
+		if gi >= d {
+			domain = rp.G2 * rp.G2
+		}
+		oracle, err := fo.NewOLH(rp.Eps, domain)
+		if err != nil {
+			return nil, err
+		}
+		c.oracles[gi] = oracle
+	}
+	// Public permutation split: same construction Fit uses.
+	perm := ldprand.Perm(ldprand.Split(rp.Seed, 0x636f6c6c), rp.N)
+	c.groupOf = make([]int, rp.N)
+	for pos, user := range perm {
+		c.groupOf[user] = pos * numGrids / rp.N
+	}
+	return c, nil
+}
+
+// Params returns the resolved public parameters (granularities filled in).
+func (c *Collector) Params() Params { return c.p }
+
+// Assignment returns user i's grid assignment. It is a pure function of the
+// public parameters.
+func (c *Collector) Assignment(user int) (Assignment, error) {
+	if user < 0 || user >= c.p.N {
+		return Assignment{}, fmt.Errorf("core: user %d outside [0,%d)", user, c.p.N)
+	}
+	gi := c.groupOf[user]
+	a := Assignment{Grid: gi, Attr2: -1, Domain: c.p.G1}
+	if gi < c.p.D {
+		a.Attr1 = gi
+	} else {
+		pair := c.pairs[gi-c.p.D]
+		a.Attr1, a.Attr2 = pair[0], pair[1]
+		a.Domain = c.p.G2 * c.p.G2
+	}
+	return a, nil
+}
+
+// ClientReport is the client side: given the public parameters, the user's
+// assignment, and the user's own record, produce the single ε-LDP report.
+// It never sees other users' data and sends nothing else.
+func ClientReport(p Params, a Assignment, record []int, rng *rand.Rand) (fo.Report, error) {
+	rp, err := p.resolve()
+	if err != nil {
+		return fo.Report{}, err
+	}
+	if len(record) != rp.D {
+		return fo.Report{}, fmt.Errorf("core: record has %d attributes, want %d", len(record), rp.D)
+	}
+	for t, v := range record {
+		if v < 0 || v >= rp.C {
+			return fo.Report{}, fmt.Errorf("core: attribute %d value %d outside [0,%d)", t, v, rp.C)
+		}
+	}
+	oracle, err := fo.NewOLH(rp.Eps, a.Domain)
+	if err != nil {
+		return fo.Report{}, err
+	}
+	var cell int
+	if a.Attr2 < 0 {
+		cell = record[a.Attr1] / (rp.C / rp.G1)
+	} else {
+		w := rp.C / rp.G2
+		cell = (record[a.Attr1]/w)*rp.G2 + record[a.Attr2]/w
+	}
+	return oracle.Perturb(cell, rng), nil
+}
+
+// Submit ingests one user's report for the given assignment.
+func (c *Collector) Submit(a Assignment, rep fo.Report) error {
+	if c.done {
+		return fmt.Errorf("core: collector already finalized")
+	}
+	if a.Grid < 0 || a.Grid >= len(c.reports) {
+		return fmt.Errorf("core: assignment grid %d out of range", a.Grid)
+	}
+	c.reports[a.Grid] = append(c.reports[a.Grid], rep)
+	return nil
+}
+
+// Finalize aggregates everything received so far into an estimator. The
+// collector cannot accept further reports afterwards.
+func (c *Collector) Finalize() (mech.Estimator, error) {
+	if c.done {
+		return nil, fmt.Errorf("core: collector already finalized")
+	}
+	c.done = true
+	d, cc := c.p.D, c.p.C
+	grids1 := make([]*grid.Grid1D, d)
+	for a := 0; a < d; a++ {
+		g, err := grid.NewGrid1D(cc, c.p.G1)
+		if err != nil {
+			return nil, err
+		}
+		copy(g.Freq, c.oracles[a].EstimateAll(c.reports[a]))
+		grids1[a] = g
+	}
+	grids2 := make([]*grid.Grid2D, len(c.pairs))
+	for pi := range c.pairs {
+		g, err := grid.NewGrid2D(cc, c.p.G2)
+		if err != nil {
+			return nil, err
+		}
+		copy(g.Freq, c.oracles[d+pi].EstimateAll(c.reports[d+pi]))
+		grids2[pi] = g
+	}
+	if !c.opts.SkipPostProcess {
+		if err := postProcessHybrid(d, grids1, grids2, c.opts.Rounds); err != nil {
+			return nil, err
+		}
+	}
+	wu := c.opts.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(max(c.p.N, 1))
+	}
+	return &hdgEstimator{
+		c: cc, d: d, G1: c.p.G1, G2: c.p.G2,
+		grids1: grids1,
+		grids2: grids2,
+		wu:     wu,
+		traces: c.opts.CollectTraces,
+		prefix: make([]*mathx.Prefix2D, len(c.pairs)),
+	}, nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"privmdr/internal/dataset"
+	"privmdr/internal/fo"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/query"
+)
+
+func TestParamsResolve(t *testing.T) {
+	p, err := Params{N: 1_000_000, D: 6, C: 64, Eps: 1.0}.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G1 != 16 || p.G2 != 4 {
+		t.Errorf("resolved granularities (%d,%d), Table 2 says (16,4)", p.G1, p.G2)
+	}
+	bad := []Params{
+		{N: 0, D: 6, C: 64, Eps: 1},
+		{N: 100, D: 1, C: 64, Eps: 1},
+		{N: 100, D: 3, C: 48, Eps: 1},
+		{N: 100, D: 3, C: 64, Eps: 0},
+		{N: 5, D: 6, C: 64, Eps: 1},           // fewer users than groups
+		{N: 100, D: 3, C: 64, Eps: 1, G1: 12}, // non-power granularity
+	}
+	for i, b := range bad {
+		if _, err := b.resolve(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestCollectorAssignmentsArePublicAndBalanced(t *testing.T) {
+	p := Params{N: 2100, D: 3, C: 16, Eps: 1, Seed: 5}
+	c1, err := NewCollector(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCollector(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for u := 0; u < p.N; u++ {
+		a1, err := c1.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _ := c2.Assignment(u)
+		if a1 != a2 {
+			t.Fatal("assignments must be a pure function of public parameters")
+		}
+		counts[a1.Grid]++
+		// Structural checks.
+		if a1.Grid < 3 {
+			if a1.Attr2 != -1 || a1.Attr1 != a1.Grid {
+				t.Fatalf("1-D assignment malformed: %+v", a1)
+			}
+		} else if a1.Attr1 >= a1.Attr2 {
+			t.Fatalf("2-D assignment malformed: %+v", a1)
+		}
+	}
+	// 3 + 3 grids, near-even split.
+	if len(counts) != 6 {
+		t.Fatalf("expected 6 groups, got %d", len(counts))
+	}
+	for g, n := range counts {
+		if n < 2100/6-1 || n > 2100/6+1 {
+			t.Errorf("group %d has %d users, want ≈ 350", g, n)
+		}
+	}
+	if _, err := c1.Assignment(-1); err == nil {
+		t.Error("negative user should fail")
+	}
+	if _, err := c1.Assignment(p.N); err == nil {
+		t.Error("out-of-range user should fail")
+	}
+}
+
+func TestCollectorEndToEndMatchesTruth(t *testing.T) {
+	// Full deployment flow: every simulated client perturbs its own record;
+	// the collector aggregates; the estimator answers near truth at a
+	// generous budget.
+	ds, err := dataset.Normal(dataset.GenOptions{N: 40_000, D: 3, C: 16, Seed: 9, Rho: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{N: ds.N(), D: 3, C: 16, Eps: 2.0, Seed: 13}
+	coll, err := NewCollector(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientRng := ldprand.New(17)
+	record := make([]int, 3)
+	for u := 0; u < ds.N(); u++ {
+		a, err := coll.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for t2 := 0; t2 < 3; t2++ {
+			record[t2] = ds.Value(t2, u)
+		}
+		rep, err := ClientReport(p, a, record, clientRng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Submit(a, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := query.RandomWorkload(ldprand.New(19), 40, 2, 3, 16, 0.5)
+	truth := query.TrueAnswers(ds, qs)
+	answers := make([]float64, len(qs))
+	for i, q := range qs {
+		a, err := est.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers[i] = a
+	}
+	if mae := query.MAE(answers, truth); mae > 0.08 {
+		t.Errorf("collector pipeline MAE %g, want small at eps=2", mae)
+	}
+}
+
+func TestCollectorLifecycle(t *testing.T) {
+	p := Params{N: 100, D: 3, C: 16, Eps: 1, Seed: 1}
+	coll, err := NewCollector(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coll.Params(); got.G1 == 0 || got.G2 == 0 {
+		t.Error("Params() should return resolved granularities")
+	}
+	if err := coll.Submit(Assignment{Grid: 99}, clientReportMust(t, p, coll, 0)); err == nil {
+		t.Error("out-of-range grid should fail")
+	}
+	if _, err := coll.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.Finalize(); err == nil {
+		t.Error("double finalize should fail")
+	}
+	a, _ := coll.Assignment(0)
+	if err := coll.Submit(a, clientReportMust(t, p, coll, 0)); err == nil {
+		t.Error("submit after finalize should fail")
+	}
+}
+
+func clientReportMust(t *testing.T, p Params, coll *Collector, user int) fo.Report {
+	t.Helper()
+	a, err := coll.Assignment(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ClientReport(p, a, []int{1, 2, 3}, ldprand.New(uint64(user)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestClientReportValidation(t *testing.T) {
+	p := Params{N: 100, D: 3, C: 16, Eps: 1, Seed: 1}
+	coll, err := NewCollector(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := coll.Assignment(0)
+	rng := ldprand.New(2)
+	if _, err := ClientReport(p, a, []int{1, 2}, rng); err == nil {
+		t.Error("short record should fail")
+	}
+	if _, err := ClientReport(p, a, []int{1, 2, 99}, rng); err == nil {
+		t.Error("out-of-domain value should fail")
+	}
+	if _, err := ClientReport(Params{N: 0, D: 3, C: 16, Eps: 1}, a, []int{1, 2, 3}, rng); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestCollectorToleratesMissingUsers(t *testing.T) {
+	// Partial participation (dropouts) must not break finalization.
+	ds, _ := dataset.Uniform(dataset.GenOptions{N: 5000, D: 3, C: 16, Seed: 21})
+	p := Params{N: ds.N(), D: 3, C: 16, Eps: 2.0, Seed: 23}
+	coll, err := NewCollector(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ldprand.New(25)
+	record := make([]int, 3)
+	for u := 0; u < ds.N(); u += 2 { // half the users drop out
+		a, _ := coll.Assignment(u)
+		for t2 := 0; t2 < 3; t2++ {
+			record[t2] = ds.Value(t2, u)
+		}
+		rep, err := ClientReport(p, a, record, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Submit(a, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.Answer(query.Query{{Attr: 0, Lo: 0, Hi: 7}, {Attr: 1, Lo: 0, Hi: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 0.1 {
+		t.Errorf("half-participation answer %g, want ≈ 0.25", got)
+	}
+}

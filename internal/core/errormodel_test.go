@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoiseSamplingVarMatchesOLHFormula(t *testing.T) {
+	// 4e/(e−1)²/n at eps=1.
+	got := NoiseSamplingVar(1.0, 10_000)
+	want := 4 * math.E / ((math.E - 1) * (math.E - 1) * 10_000)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("NoiseSamplingVar = %g, want %g", got, want)
+	}
+}
+
+// TestGuidelineMinimizesPredictedError closes the loop between the raw
+// guideline formulas and the error model they were derived from: the
+// unrounded g₁ (resp. g₂) must be the argmin of the predicted error.
+func TestGuidelineMinimizesPredictedError(t *testing.T) {
+	check := func(eRaw, nRaw uint16) bool {
+		eps := 0.2 + float64(eRaw%20)/10
+		nPerGroup := 1000 + float64(nRaw)*20
+		g1 := Granularity1D(eps, nPerGroup, 0.7)
+		base := Predicted1DError(eps, nPerGroup, 0.7, g1)
+		for _, factor := range []float64{0.5, 0.8, 1.25, 2} {
+			if Predicted1DError(eps, nPerGroup, 0.7, g1*factor) < base-1e-12 {
+				return false
+			}
+		}
+		g2 := Granularity2D(eps, nPerGroup, 0.03)
+		base2 := Predicted2DError(eps, nPerGroup, 0.03, g2)
+		for _, factor := range []float64{0.5, 0.8, 1.25, 2} {
+			if Predicted2DError(eps, nPerGroup, 0.03, g2*factor) < base2-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictedErrorShape(t *testing.T) {
+	// The objective is a U: too coarse is bias-dominated, too fine is
+	// noise-dominated.
+	eps, n := 1.0, 50_000.0
+	coarse := Predicted1DError(eps, n, 0.7, 2)
+	opt := Predicted1DError(eps, n, 0.7, Granularity1D(eps, n, 0.7))
+	fine := Predicted1DError(eps, n, 0.7, 512)
+	if opt >= coarse || opt >= fine {
+		t.Errorf("objective not U-shaped: coarse %g, opt %g, fine %g", coarse, opt, fine)
+	}
+}

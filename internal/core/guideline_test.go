@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privmdr/internal/mathx"
+)
+
+// table2 is the paper's Table 2 verbatim: recommended (g₁, g₂) for c = 64,
+// α₁ = 0.7, α₂ = 0.03, over ε ∈ {0.2, 0.4, …, 2.0}. Each value is the pair
+// {g1, g2}.
+var table2 = []struct {
+	d    int
+	lgn  float64
+	want [10][2]int
+}{
+	{3, 6.0, [10][2]int{{8, 2}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 8}, {64, 8}, {64, 8}, {64, 8}}},
+	{4, 6.0, [10][2]int{{8, 2}, {16, 2}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 8}, {64, 8}}},
+	{5, 6.0, [10][2]int{{8, 2}, {16, 2}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 8}}},
+	{6, 6.0, [10][2]int{{8, 2}, {16, 2}, {16, 2}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}}},
+	{7, 6.0, [10][2]int{{8, 2}, {8, 2}, {16, 2}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}}},
+	{8, 6.0, [10][2]int{{8, 2}, {8, 2}, {16, 2}, {16, 2}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}}},
+	{9, 6.0, [10][2]int{{8, 2}, {8, 2}, {16, 2}, {16, 2}, {16, 4}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}}},
+	{10, 6.0, [10][2]int{{4, 2}, {8, 2}, {8, 2}, {16, 2}, {16, 2}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}}},
+	{6, 5.0, [10][2]int{{4, 2}, {4, 2}, {8, 2}, {8, 2}, {8, 2}, {16, 2}, {16, 2}, {16, 2}, {16, 2}, {16, 4}}},
+	{6, 5.2, [10][2]int{{4, 2}, {8, 2}, {8, 2}, {8, 2}, {16, 2}, {16, 2}, {16, 2}, {16, 4}, {16, 4}, {16, 4}}},
+	{6, 5.4, [10][2]int{{4, 2}, {8, 2}, {8, 2}, {16, 2}, {16, 2}, {16, 2}, {16, 4}, {16, 4}, {16, 4}, {32, 4}}},
+	{6, 5.6, [10][2]int{{4, 2}, {8, 2}, {8, 2}, {16, 2}, {16, 2}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}}},
+	{6, 5.8, [10][2]int{{8, 2}, {8, 2}, {16, 2}, {16, 2}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}}},
+	{6, 6.2, [10][2]int{{8, 2}, {16, 2}, {16, 4}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 8}}},
+	{6, 6.4, [10][2]int{{8, 2}, {16, 2}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 8}, {64, 8}, {64, 8}}},
+	{6, 6.6, [10][2]int{{16, 2}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 4}, {32, 8}, {64, 8}, {64, 8}, {64, 8}}},
+	{6, 6.8, [10][2]int{{16, 2}, {16, 4}, {32, 4}, {32, 4}, {32, 4}, {64, 8}, {64, 8}, {64, 8}, {64, 8}, {64, 8}}},
+	{6, 7.0, [10][2]int{{16, 2}, {32, 4}, {32, 4}, {32, 4}, {64, 8}, {64, 8}, {64, 8}, {64, 8}, {64, 8}, {64, 8}}},
+}
+
+func TestGuidelineReproducesTable2(t *testing.T) {
+	epsilons := []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
+	for _, row := range table2 {
+		n := int(math.Round(math.Pow(10, row.lgn)))
+		for ei, eps := range epsilons {
+			g1, g2, err := HDGGranularities(eps, n, row.d, 64, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g1 != row.want[ei][0] || g2 != row.want[ei][1] {
+				t.Errorf("d=%d lg(n)=%.1f eps=%.1f: (%d,%d), paper Table 2 says (%d,%d)",
+					row.d, row.lgn, eps, g1, g2, row.want[ei][0], row.want[ei][1])
+			}
+		}
+	}
+}
+
+func TestGranularityRawFormulas(t *testing.T) {
+	// Worked example from the Table 2 analysis: ε = 1, per-group population
+	// 10⁶/21 ≈ 47619 gives raw g₁ ≈ 23.3 and g₂ ≈ 3.69.
+	nPerGroup := 1e6 / 21
+	g1 := Granularity1D(1.0, nPerGroup, 0.7)
+	if g1 < 23 || g1 > 24 {
+		t.Errorf("raw g1 = %g, want ≈ 23.3", g1)
+	}
+	g2 := Granularity2D(1.0, nPerGroup, 0.03)
+	if g2 < 3.6 || g2 > 3.8 {
+		t.Errorf("raw g2 = %g, want ≈ 3.69", g2)
+	}
+}
+
+func TestGranularityMonotonicity(t *testing.T) {
+	// Raw guideline values grow with both ε and population (finer grids
+	// become affordable as noise shrinks).
+	prev := 0.0
+	for _, eps := range []float64{0.2, 0.5, 1, 2, 4} {
+		g := Granularity1D(eps, 50000, 0.7)
+		if g <= prev {
+			t.Errorf("g1 not increasing in eps at %g", eps)
+		}
+		prev = g
+	}
+	prev = 0
+	for _, n := range []float64{1e3, 1e4, 1e5, 1e6} {
+		g := Granularity2D(1.0, n, 0.03)
+		if g <= prev {
+			t.Errorf("g2 not increasing in n at %g", n)
+		}
+		prev = g
+	}
+}
+
+func TestRoundGranularityBounds(t *testing.T) {
+	f := func(raw uint32, cExp uint8) bool {
+		c := 1 << (cExp%8 + 2) // 4..512
+		g := RoundGranularity(float64(raw%100000)/3, c)
+		return g >= 2 && g <= c && mathx.IsPow2(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGranularitiesOrdering(t *testing.T) {
+	// g₁ ≥ g₂ must hold for the consistency step's bucket aggregation.
+	f := func(eRaw, nRaw uint16) bool {
+		eps := 0.1 + float64(eRaw%40)/10
+		n := 1000 + float64(nRaw)*50
+		g1, g2 := Granularities(eps, n, 64, 0, 0)
+		return g1 >= g2 && g1 <= 64 && g2 >= 2 && 64%g1 == 0 && g1%g2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHDGGroups(t *testing.T) {
+	m1, m2 := HDGGroups(6)
+	if m1 != 6 || m2 != 15 {
+		t.Errorf("HDGGroups(6) = (%d,%d), want (6,15)", m1, m2)
+	}
+}
+
+func TestGuidelineErrors(t *testing.T) {
+	if _, _, err := HDGGranularities(1, 1000, 1, 64, 0, 0); err == nil {
+		t.Error("d=1 should fail")
+	}
+	if _, err := TDGGranularity(1, 1000, 1, 64, 0); err == nil {
+		t.Error("d=1 should fail")
+	}
+}
+
+func TestTDGGranularityMatchesGuideline(t *testing.T) {
+	// For TDG the per-group population is n/(d choose 2).
+	g2, err := TDGGranularity(1.0, 1_000_000, 6, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RoundGranularity(Granularity2D(1.0, 1e6/15, DefaultAlpha2), 64)
+	if g2 != want {
+		t.Errorf("TDGGranularity = %d, want %d", g2, want)
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privmdr/internal/consistency"
+	"privmdr/internal/dataset"
+	"privmdr/internal/fo"
+	"privmdr/internal/grid"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/mathx"
+	"privmdr/internal/mech"
+	"privmdr/internal/mwem"
+	"privmdr/internal/query"
+)
+
+// HDG is the Hybrid-Dimensional Grids mechanism (Section 4): TDG's 2-D grids
+// plus one finer-grained 1-D grid per attribute. The 1-D information is
+// fused with the 2-D grids through Algorithm 1's response matrices, which
+// replace TDG's uniformity assumption when a query rectangle cuts through a
+// cell.
+type HDG struct {
+	opts Options
+}
+
+// NewHDG returns an HDG mechanism with the given options.
+func NewHDG(opts Options) *HDG { return &HDG{opts: opts.withDefaults()} }
+
+// Name implements mech.Mechanism.
+func (h *HDG) Name() string {
+	if h.opts.SkipPostProcess {
+		return "IHDG"
+	}
+	return "HDG"
+}
+
+// hdgEstimator answers queries from the post-processed hybrid grids.
+type hdgEstimator struct {
+	c, d   int
+	G1, G2 int
+	grids1 []*grid.Grid1D // per attribute
+	grids2 []*grid.Grid2D // per pair (mech.PairIndex order)
+	wu     mwem.Options
+	traces bool
+
+	// prefix[pi] holds the prefix sums of pair pi's response matrix; nil
+	// until the pair is first queried (matrices are built lazily and the raw
+	// matrix is discarded once summed).
+	prefix []*mathx.Prefix2D
+
+	// Alg1Traces collects one convergence trace per built response matrix
+	// and LastAlg2Trace the most recent Algorithm 2 trace, when enabled.
+	Alg1Traces    [][]float64
+	LastAlg2Trace []float64
+}
+
+// Fit implements mech.Mechanism.
+func (h *HDG) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
+	est, err := h.fit(ds, eps, rng)
+	if err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+func (h *HDG) fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (*hdgEstimator, error) {
+	if err := mech.ValidateFit(ds, eps, 2); err != nil {
+		return nil, err
+	}
+	if !mathx.IsPow2(ds.C) {
+		return nil, fmt.Errorf("core: domain size %d must be a power of two", ds.C)
+	}
+	d, n, c := ds.D(), ds.N(), ds.C
+	m1, m2 := HDGGroups(d)
+	pairs := mech.AllPairs(d)
+
+	sigma := h.opts.Sigma
+	if sigma <= 0 {
+		sigma = float64(m1) / float64(m1+m2)
+	}
+	if sigma >= 1 {
+		return nil, fmt.Errorf("core: sigma %g must be in (0,1)", sigma)
+	}
+	n1 := int(sigma * float64(n))
+	if n1 < m1 {
+		n1 = m1
+	}
+	if n-n1 < m2 {
+		return nil, fmt.Errorf("core: %d users cannot populate %d 2-D groups with sigma=%g", n, m2, sigma)
+	}
+
+	g1, g2 := h.opts.G1, h.opts.G2
+	if g1 == 0 || g2 == 0 {
+		gg1, _ := Granularities(eps, float64(n1)/float64(m1), c, h.opts.Alpha1, h.opts.Alpha2)
+		_, gg2 := Granularities(eps, float64(n-n1)/float64(m2), c, h.opts.Alpha1, h.opts.Alpha2)
+		if g1 == 0 {
+			g1 = gg1
+		}
+		if g2 == 0 {
+			g2 = gg2
+		}
+	}
+	if g1 < g2 {
+		g1 = g2
+	}
+	if c%g1 != 0 || c%g2 != 0 || g1%g2 != 0 {
+		return nil, fmt.Errorf("core: granularities (g1=%d, g2=%d) must divide domain %d and each other", g1, g2, c)
+	}
+
+	// Divide users: a permutation split where the first n1 users feed the d
+	// 1-D grids and the rest feed the (d choose 2) 2-D grids.
+	perm := ldprand.Perm(rng, n)
+	pool1, pool2 := perm[:n1], perm[n1:]
+	groups1 := chunk(pool1, m1)
+	groups2 := chunk(pool2, m2)
+
+	grids1 := make([]*grid.Grid1D, d)
+	for a := 0; a < d; a++ {
+		g, err := grid.NewGrid1D(c, g1)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := fo.NewOLH(eps, g1)
+		if err != nil {
+			return nil, err
+		}
+		rows := groups1[a]
+		cells := make([]int, len(rows))
+		col := ds.Cols[a]
+		for i, r := range rows {
+			cells[i] = g.CellOf(int(col[r]))
+		}
+		reports := fo.PerturbAll(oracle, cells, rng)
+		copy(g.Freq, oracle.EstimateAll(reports))
+		grids1[a] = g
+	}
+
+	grids2 := make([]*grid.Grid2D, m2)
+	for pi, pair := range pairs {
+		g, err := grid.NewGrid2D(c, g2)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := fo.NewOLH(eps, g2*g2)
+		if err != nil {
+			return nil, err
+		}
+		rows := groups2[pi]
+		cells := make([]int, len(rows))
+		colJ, colK := ds.Cols[pair[0]], ds.Cols[pair[1]]
+		for i, r := range rows {
+			cells[i] = g.CellOf(int(colJ[r]), int(colK[r]))
+		}
+		reports := fo.PerturbAll(oracle, cells, rng)
+		copy(g.Freq, oracle.EstimateAll(reports))
+		grids2[pi] = g
+	}
+
+	if !h.opts.SkipPostProcess {
+		if err := postProcessHybrid(d, grids1, grids2, h.opts.Rounds); err != nil {
+			return nil, err
+		}
+	}
+
+	wu := h.opts.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(n)
+	}
+	return &hdgEstimator{
+		c: c, d: d, G1: g1, G2: g2,
+		grids1: grids1,
+		grids2: grids2,
+		wu:     wu,
+		traces: h.opts.CollectTraces,
+		prefix: make([]*mathx.Prefix2D, m2),
+	}, nil
+}
+
+// chunk splits rows into m near-equal contiguous groups.
+func chunk(rows []int, m int) [][]int {
+	out := make([][]int, m)
+	n := len(rows)
+	for g := 0; g < m; g++ {
+		out[g] = rows[g*n/m : (g+1)*n/m]
+	}
+	return out
+}
+
+// postProcessHybrid runs Phase 2 for HDG: each attribute's views are its 1-D
+// grid (|S| = g₁/g₂ cells per coarse bucket) and its d−1 2-D footprints
+// (|S| = g₂ each).
+func postProcessHybrid(d int, grids1 []*grid.Grid1D, grids2 []*grid.Grid2D, rounds int) error {
+	pairs := mech.AllPairs(d)
+	pipeline := &consistency.Pipeline{
+		Attrs: d,
+		NormSubAll: func() {
+			for _, g := range grids1 {
+				consistency.NormSub(g.Freq, 1)
+			}
+			for _, g := range grids2 {
+				consistency.NormSub(g.Freq, 1)
+			}
+		},
+		AttrViews: func(a int) []consistency.View {
+			g2 := grids2[0].G
+			views := []consistency.View{consistency.Grid1DView(grids1[a], g2)}
+			for pi, pair := range pairs {
+				g := grids2[pi]
+				switch a {
+				case pair[0]:
+					views = append(views, consistency.GridRowView(g))
+				case pair[1]:
+					views = append(views, consistency.GridColView(g))
+				}
+			}
+			return views
+		},
+	}
+	return pipeline.Run(rounds)
+}
+
+// responseMatrix lazily builds (and memoizes the prefix sums of) the pair's
+// response matrix via Algorithm 1, fusing {G(j), G(k), G(j,k)}.
+func (e *hdgEstimator) responseMatrix(pi int, a, b int) (*mathx.Prefix2D, error) {
+	if e.prefix[pi] != nil {
+		return e.prefix[pi], nil
+	}
+	c := e.c
+	var cells []mwem.CellConstraint
+	ga, gb, gab := e.grids1[a], e.grids1[b], e.grids2[pi]
+	for i, f := range ga.Freq {
+		lo, hi := ga.CellInterval(i)
+		cells = append(cells, mwem.CellConstraint{R0: lo, R1: hi, C0: 0, C1: c - 1, Freq: f})
+	}
+	for i, f := range gb.Freq {
+		lo, hi := gb.CellInterval(i)
+		cells = append(cells, mwem.CellConstraint{R0: 0, R1: c - 1, C0: lo, C1: hi, Freq: f})
+	}
+	for i, f := range gab.Freq {
+		r0, r1, c0, c1 := gab.CellRect(i)
+		cells = append(cells, mwem.CellConstraint{R0: r0, R1: r1, C0: c0, C1: c1, Freq: f})
+	}
+	m, trace, err := mwem.BuildResponseMatrix(c, cells, e.wu)
+	if err != nil {
+		return nil, err
+	}
+	if e.traces {
+		e.Alg1Traces = append(e.Alg1Traces, trace)
+	}
+	p, err := mathx.NewPrefix2D(m, c, c)
+	if err != nil {
+		return nil, err
+	}
+	e.prefix[pi] = p
+	return p, nil
+}
+
+// pair2D answers a 2-D query on pair (a, b): complete cells contribute their
+// grid frequency, partial cells the response-matrix mass of the overlap.
+func (e *hdgEstimator) pair2D(a, b int, pa, pb query.Pred) (float64, error) {
+	pi, err := mech.PairIndex(e.d, a, b)
+	if err != nil {
+		return 0, err
+	}
+	g := e.grids2[pi]
+	ans := 0.0
+	var pf *mathx.Prefix2D
+	for i := range g.Freq {
+		class, ir0, ir1, ic0, ic1 := g.Classify(i, pa.Lo, pa.Hi, pb.Lo, pb.Hi)
+		switch class {
+		case grid.Complete:
+			ans += g.Freq[i]
+		case grid.Partial:
+			if pf == nil {
+				pf, err = e.responseMatrix(pi, a, b)
+				if err != nil {
+					return 0, err
+				}
+			}
+			ans += pf.RangeSum(ir0, ir1, ic0, ic1)
+		}
+	}
+	return ans, nil
+}
+
+// Answer implements mech.Estimator.
+func (e *hdgEstimator) Answer(q query.Query) (float64, error) {
+	if err := q.Validate(e.d, e.c); err != nil {
+		return 0, err
+	}
+	qs := q.Sorted()
+	if len(qs) == 1 {
+		// 1-D query: the fine-grained 1-D grid answers directly; its cells
+		// are c/g₁ wide, so the residual uniformity error is negligible.
+		return e.grids1[qs[0].Attr].AnswerUniform(qs[0].Lo, qs[0].Hi), nil
+	}
+	f, trace, err := mwem.AnswerRange(qs, e.pair2D, e.wu)
+	if err != nil {
+		return 0, err
+	}
+	if e.traces && trace != nil {
+		e.LastAlg2Trace = trace
+	}
+	return f, nil
+}
+
+// Granularity returns the granularities the fit used.
+func (e *hdgEstimator) Granularity() (g1, g2 int) { return e.G1, e.G2 }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privmdr/internal/dataset"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/query"
+)
+
+// TestHDGAnswerSanityProperty fuzzes datasets, budgets, and queries: every
+// answer must be finite and within a loose band around [0,1] (raw estimates
+// may slightly overshoot, but post-processing bounds them), and the fitted
+// grids must remain distributions.
+func TestHDGAnswerSanityProperty(t *testing.T) {
+	type seedCase struct {
+		Seed   uint64
+		EpsRaw uint8
+		DRaw   uint8
+	}
+	check := func(sc seedCase) bool {
+		d := int(sc.DRaw%3) + 2 // 2..4 attributes
+		eps := 0.3 + float64(sc.EpsRaw%20)/10
+		ds, err := dataset.IpumsLike(dataset.GenOptions{N: 3000, D: d, C: 16, Seed: sc.Seed})
+		if err != nil {
+			return false
+		}
+		est, err := NewHDG(Options{}).fit(ds, eps, ldprand.New(sc.Seed+1))
+		if err != nil {
+			return false
+		}
+		for _, g := range est.grids1 {
+			sum := 0.0
+			for _, f := range g.Freq {
+				if f < -1e-9 {
+					return false
+				}
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		rng := ldprand.New(sc.Seed + 2)
+		for trial := 0; trial < 4; trial++ {
+			lambda := 1 + rng.IntN(d)
+			q, err := query.Random(rng, lambda, d, 16, 0.3+0.5*rng.Float64())
+			if err != nil {
+				return false
+			}
+			a, err := est.Answer(q)
+			if err != nil {
+				return false
+			}
+			if math.IsNaN(a) || math.IsInf(a, 0) || a < -0.5 || a > 1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTDGAnswerSanityProperty is the TDG counterpart.
+func TestTDGAnswerSanityProperty(t *testing.T) {
+	check := func(seed uint64, epsRaw uint8) bool {
+		eps := 0.3 + float64(epsRaw%20)/10
+		ds, err := dataset.LoanLike(dataset.GenOptions{N: 2500, D: 3, C: 16, Seed: seed})
+		if err != nil {
+			return false
+		}
+		m := NewTDG(Options{})
+		est, err := m.Fit(ds, eps, ldprand.New(seed+1))
+		if err != nil {
+			return false
+		}
+		rng := ldprand.New(seed + 2)
+		for trial := 0; trial < 4; trial++ {
+			lambda := 1 + rng.IntN(3)
+			q, err := query.Random(rng, lambda, 3, 16, 0.5)
+			if err != nil {
+				return false
+			}
+			a, err := est.Answer(q)
+			if err != nil {
+				return false
+			}
+			if math.IsNaN(a) || math.IsInf(a, 0) || a < -0.5 || a > 1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"privmdr/internal/ldprand"
+	"privmdr/internal/query"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ds := correlatedDS(t, 20000, 3, 32)
+	est, err := NewHDG(Options{}).fit(ds, 1.0, ldprand.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := query.RandomWorkload(ldprand.New(43), 30, 2, 3, 32, 0.5)
+	var buf bytes.Buffer
+	if err := SaveEstimator(&buf, est); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		a1, err := est.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := back.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1 != a2 {
+			t.Fatalf("answers diverge after round trip: %g vs %g on %v", a1, a2, q)
+		}
+	}
+	// λ=3 exercises the rebuilt response matrices + Algorithm 2.
+	q3 := query.Query{{Attr: 0, Lo: 1, Hi: 20}, {Attr: 1, Lo: 4, Hi: 27}, {Attr: 2, Lo: 0, Hi: 15}}
+	a1, _ := est.Answer(q3)
+	a2, _ := back.Answer(q3)
+	if a1 != a2 {
+		t.Fatalf("lambda=3 answers diverge: %g vs %g", a1, a2)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	ds := correlatedDS(t, 8000, 3, 16)
+	est, err := NewHDG(Options{}).fit(ds, 1.0, ldprand.New(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := est.Snapshot()
+
+	bad := *snap
+	bad.Version = 99
+	if _, err := FromSnapshot(&bad); err == nil {
+		t.Error("wrong version should fail")
+	}
+	bad = *snap
+	bad.Grids1 = bad.Grids1[:1]
+	if _, err := FromSnapshot(&bad); err == nil {
+		t.Error("missing grids should fail")
+	}
+	bad = *snap
+	bad.Grids1 = append([][]float64{}, snap.Grids1...)
+	bad.Grids1[0] = []float64{1}
+	if _, err := FromSnapshot(&bad); err == nil {
+		t.Error("wrong cell count should fail")
+	}
+	bad = *snap
+	bad.C = 48
+	if _, err := FromSnapshot(&bad); err == nil {
+		t.Error("non-power-of-two domain should fail")
+	}
+	if _, err := FromSnapshot(nil); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+}
+
+func TestSaveEstimatorRejectsNonHDG(t *testing.T) {
+	ds := uniformDS(t, 4000, 3, 16)
+	est, err := NewTDG(Options{}).Fit(ds, 1.0, ldprand.New(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveEstimator(&buf, est); err == nil {
+		t.Error("TDG estimators are not serializable; SaveEstimator should fail")
+	}
+}
+
+func TestLoadEstimatorBadInput(t *testing.T) {
+	if _, err := LoadEstimator(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input should fail")
+	}
+	if _, err := LoadEstimator(strings.NewReader(`{"version":1,"d":0,"c":16}`)); err == nil {
+		t.Error("invalid shape should fail")
+	}
+}

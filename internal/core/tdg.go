@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privmdr/internal/consistency"
+	"privmdr/internal/dataset"
+	"privmdr/internal/fo"
+	"privmdr/internal/grid"
+	"privmdr/internal/mathx"
+	"privmdr/internal/mech"
+	"privmdr/internal/mwem"
+	"privmdr/internal/query"
+)
+
+// Options configure TDG and HDG. The zero value means "paper defaults":
+// guideline granularities with α₁ = 0.7 and α₂ = 0.03, three post-processing
+// rounds, weighted-update tolerance 1/n with at most 100 sweeps.
+type Options struct {
+	// Alpha1/Alpha2 override the guideline constants (0 → defaults).
+	Alpha1, Alpha2 float64
+	// G1/G2 override the granularities entirely (0 → use the guideline).
+	// G1 is ignored by TDG.
+	G1, G2 int
+	// Sigma is the fraction of users assigned to 1-D grids in HDG (0 → the
+	// even-split default d/(d+(d choose 2))). Ignored by TDG. Appendix A.5
+	// sweeps this.
+	Sigma float64
+	// SkipPostProcess removes Phase 2 entirely, producing the ITDG/IHDG
+	// ablations of Appendix A.1.
+	SkipPostProcess bool
+	// Rounds is the number of {consistency, Norm-Sub} interleavings in
+	// Phase 2 (0 → 3).
+	Rounds int
+	// WU bounds the Algorithm 1/2 weighted-update loops. A zero Tol becomes
+	// 1/n at Fit time (the paper's threshold guidance).
+	WU mwem.Options
+	// CollectTraces keeps Algorithm 1/2 convergence traces on the estimator
+	// (Figures 17–18).
+	CollectTraces bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha1 <= 0 {
+		o.Alpha1 = DefaultAlpha1
+	}
+	if o.Alpha2 <= 0 {
+		o.Alpha2 = DefaultAlpha2
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	return o
+}
+
+// TDG is the Two-Dimensional Grids mechanism (Section 4): one OLH-estimated
+// g₂×g₂ grid per attribute pair, post-processed for non-negativity and
+// cross-grid consistency, answering 2-D queries under the uniformity
+// assumption and higher-dimensional queries through Algorithm 2.
+type TDG struct {
+	opts Options
+}
+
+// NewTDG returns a TDG mechanism with the given options.
+func NewTDG(opts Options) *TDG { return &TDG{opts: opts.withDefaults()} }
+
+// Name implements mech.Mechanism.
+func (t *TDG) Name() string {
+	if t.opts.SkipPostProcess {
+		return "ITDG"
+	}
+	return "TDG"
+}
+
+// tdgEstimator answers queries from the post-processed pair grids.
+type tdgEstimator struct {
+	c, d  int
+	g2    int
+	grids []*grid.Grid2D // indexed by mech.PairIndex
+	wu    mwem.Options
+
+	// LastAlg2Trace holds the most recent Algorithm 2 convergence trace when
+	// traces are collected.
+	traces        bool
+	LastAlg2Trace []float64
+}
+
+// Fit implements mech.Mechanism.
+func (t *TDG) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
+	est, err := t.fit(ds, eps, rng)
+	if err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+func (t *TDG) fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (*tdgEstimator, error) {
+	if err := mech.ValidateFit(ds, eps, 2); err != nil {
+		return nil, err
+	}
+	if !mathx.IsPow2(ds.C) {
+		return nil, fmt.Errorf("core: domain size %d must be a power of two", ds.C)
+	}
+	d, n, c := ds.D(), ds.N(), ds.C
+	pairs := mech.AllPairs(d)
+	m := len(pairs)
+
+	g2 := t.opts.G2
+	if g2 == 0 {
+		var err error
+		g2, err = TDGGranularity(eps, n, d, c, t.opts.Alpha2)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c%g2 != 0 {
+		return nil, fmt.Errorf("core: granularity g2=%d does not divide domain %d", g2, c)
+	}
+
+	groups, err := mech.SplitGroups(rng, n, m)
+	if err != nil {
+		return nil, err
+	}
+
+	grids := make([]*grid.Grid2D, m)
+	for pi, pair := range pairs {
+		g, err := grid.NewGrid2D(c, g2)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := fo.NewOLH(eps, g2*g2)
+		if err != nil {
+			return nil, err
+		}
+		rows := groups[pi]
+		cells := make([]int, len(rows))
+		colJ, colK := ds.Cols[pair[0]], ds.Cols[pair[1]]
+		for i, r := range rows {
+			cells[i] = g.CellOf(int(colJ[r]), int(colK[r]))
+		}
+		reports := fo.PerturbAll(oracle, cells, rng)
+		copy(g.Freq, oracle.EstimateAll(reports))
+		grids[pi] = g
+	}
+
+	if !t.opts.SkipPostProcess {
+		if err := postProcess2D(d, grids, t.opts.Rounds); err != nil {
+			return nil, err
+		}
+	}
+
+	wu := t.opts.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(n)
+	}
+	return &tdgEstimator{
+		c: c, d: d, g2: g2,
+		grids:  grids,
+		wu:     wu,
+		traces: t.opts.CollectTraces,
+	}, nil
+}
+
+// postProcess2D runs Phase 2 over a pure 2-D grid collection (TDG): for
+// every attribute, the views are its row/column footprints in the d−1 grids
+// containing it, each contributing |S| = g₂ cells per coarse bucket.
+func postProcess2D(d int, grids []*grid.Grid2D, rounds int) error {
+	pipeline := &consistency.Pipeline{
+		Attrs: d,
+		NormSubAll: func() {
+			for _, g := range grids {
+				consistency.NormSub(g.Freq, 1)
+			}
+		},
+		AttrViews: func(a int) []consistency.View {
+			var views []consistency.View
+			pairs := mech.AllPairs(d)
+			for pi, pair := range pairs {
+				g := grids[pi]
+				switch a {
+				case pair[0]:
+					views = append(views, consistency.GridRowView(g))
+				case pair[1]:
+					views = append(views, consistency.GridColView(g))
+				}
+			}
+			return views
+		},
+	}
+	return pipeline.Run(rounds)
+}
+
+// pair2D answers the 2-D query restricting attribute a to pa and b to pb
+// under the uniformity assumption.
+func (e *tdgEstimator) pair2D(a, b int, pa, pb query.Pred) (float64, error) {
+	pi, err := mech.PairIndex(e.d, a, b)
+	if err != nil {
+		return 0, err
+	}
+	return e.grids[pi].AnswerUniform(pa.Lo, pa.Hi, pb.Lo, pb.Hi), nil
+}
+
+// Answer implements mech.Estimator.
+func (e *tdgEstimator) Answer(q query.Query) (float64, error) {
+	if err := q.Validate(e.d, e.c); err != nil {
+		return 0, err
+	}
+	qs := q.Sorted()
+	if len(qs) == 1 {
+		// 1-D query: marginalize the grid of (a, partner) over the partner.
+		a := qs[0].Attr
+		partner := (a + 1) % e.d
+		full := query.Pred{Attr: partner, Lo: 0, Hi: e.c - 1}
+		if partner < a {
+			return e.pair2D(partner, a, full, qs[0])
+		}
+		return e.pair2D(a, partner, qs[0], full)
+	}
+	f, trace, err := mwem.AnswerRange(qs, e.pair2D, e.wu)
+	if err != nil {
+		return 0, err
+	}
+	if e.traces && trace != nil {
+		e.LastAlg2Trace = trace
+	}
+	return f, nil
+}
+
+// Granularity returns the 2-D granularity the fit used (for harness
+// reporting).
+func (e *tdgEstimator) Granularity() (g1, g2 int) { return 0, e.g2 }

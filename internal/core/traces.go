@@ -1,0 +1,26 @@
+package core
+
+// TraceSource is implemented by estimators fitted with CollectTraces: it
+// exposes the weighted-update convergence traces the Appendix A.6 analysis
+// (Figures 17 and 18) plots.
+type TraceSource interface {
+	// Alg1ConvergenceTraces returns one per-sweep L1-change trace per
+	// response matrix built so far (Algorithm 1).
+	Alg1ConvergenceTraces() [][]float64
+	// LastAlg2ConvergenceTrace returns the most recent λ-D estimation trace
+	// (Algorithm 2), nil if none has run.
+	LastAlg2ConvergenceTrace() []float64
+}
+
+// Alg1ConvergenceTraces implements TraceSource.
+func (e *hdgEstimator) Alg1ConvergenceTraces() [][]float64 { return e.Alg1Traces }
+
+// LastAlg2ConvergenceTrace implements TraceSource.
+func (e *hdgEstimator) LastAlg2ConvergenceTrace() []float64 { return e.LastAlg2Trace }
+
+// Alg1ConvergenceTraces implements TraceSource (TDG builds no response
+// matrices, so it is always empty).
+func (e *tdgEstimator) Alg1ConvergenceTraces() [][]float64 { return nil }
+
+// LastAlg2ConvergenceTrace implements TraceSource.
+func (e *tdgEstimator) LastAlg2ConvergenceTrace() []float64 { return e.LastAlg2Trace }

@@ -1,0 +1,284 @@
+// Package fo implements the categorical frequency oracles from Section 2.2
+// of the paper: Generalized Randomized Response (GRR) and Optimized Local
+// Hash (OLH), plus the CALM-style adaptive switch between them.
+//
+// A frequency oracle is the ε-LDP primitive every mechanism in this module is
+// built from: each user perturbs one categorical value v ∈ [0,c) into a
+// Report on the client side; the aggregator turns the collected reports into
+// unbiased frequency estimates for every value of the domain.
+package fo
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"privmdr/internal/ldprand"
+)
+
+// Report is a single user's sanitized message. For GRR only Value is used;
+// for OLH, Seed identifies the user's hash function and Value is the
+// perturbed hashed value.
+type Report struct {
+	Seed  uint64
+	Value int
+}
+
+// Oracle is a categorical frequency oracle over the domain [0, Domain()).
+type Oracle interface {
+	// Name identifies the protocol ("grr" or "olh").
+	Name() string
+	// Domain is the input domain size c.
+	Domain() int
+	// Perturb sanitizes one user's value. This is the ε-LDP boundary: the
+	// aggregator sees nothing about the user except the returned Report.
+	Perturb(v int, rng *rand.Rand) Report
+	// EstimateAll converts the collected reports into unbiased frequency
+	// estimates for all c values (fractions; they need not be in [0,1]).
+	EstimateAll(reports []Report) []float64
+	// Var is the per-value estimation variance with n reports, ignoring the
+	// small f_v-dependent term (Equations 2 and 3 of the paper).
+	Var(n int) float64
+}
+
+// GRR is generalized randomized response: report the true value with
+// probability p = e^ε/(e^ε+c−1), otherwise a uniformly random other value.
+type GRR struct {
+	eps  float64
+	c    int
+	p, q float64 // q = 1/(e^ε+c−1)
+}
+
+// NewGRR returns a GRR oracle for domain size c under budget eps.
+func NewGRR(eps float64, c int) (*GRR, error) {
+	if c < 2 {
+		return nil, fmt.Errorf("fo: GRR domain must be at least 2, got %d", c)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("fo: epsilon must be positive, got %g", eps)
+	}
+	ee := math.Exp(eps)
+	return &GRR{eps: eps, c: c, p: ee / (ee + float64(c) - 1), q: 1 / (ee + float64(c) - 1)}, nil
+}
+
+// Name implements Oracle.
+func (g *GRR) Name() string { return "grr" }
+
+// Domain implements Oracle.
+func (g *GRR) Domain() int { return g.c }
+
+// P returns the truthful-report probability.
+func (g *GRR) P() float64 { return g.p }
+
+// Q returns the per-other-value lie probability.
+func (g *GRR) Q() float64 { return g.q }
+
+// Perturb implements Oracle.
+func (g *GRR) Perturb(v int, rng *rand.Rand) Report {
+	if rng.Float64() < g.p {
+		return Report{Value: v}
+	}
+	// Uniform over the c-1 other values.
+	y := rng.IntN(g.c - 1)
+	if y >= v {
+		y++
+	}
+	return Report{Value: y}
+}
+
+// EstimateAll implements Oracle.
+func (g *GRR) EstimateAll(reports []Report) []float64 {
+	counts := make([]float64, g.c)
+	for _, r := range reports {
+		if r.Value >= 0 && r.Value < g.c {
+			counts[r.Value]++
+		}
+	}
+	n := float64(len(reports))
+	est := make([]float64, g.c)
+	if n == 0 {
+		return est
+	}
+	for v := range est {
+		est[v] = (counts[v]/n - g.q) / (g.p - g.q)
+	}
+	return est
+}
+
+// Var implements Oracle (Equation 2).
+func (g *GRR) Var(n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	ee := math.Exp(g.eps)
+	return (float64(g.c) - 2 + ee) / ((ee - 1) * (ee - 1) * float64(n))
+}
+
+// OLH is optimized local hash: the user hashes v into a small domain
+// [0, g) with a per-user hash function and runs GRR on the hashed value.
+// g = ⌊e^ε⌉+1 minimizes the estimation variance.
+type OLH struct {
+	eps float64
+	c   int
+	g   int     // compressed domain size c'
+	p   float64 // e^ε/(e^ε+g−1)
+}
+
+// NewOLH returns an OLH oracle for domain size c under budget eps.
+func NewOLH(eps float64, c int) (*OLH, error) {
+	if c < 2 {
+		return nil, fmt.Errorf("fo: OLH domain must be at least 2, got %d", c)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("fo: epsilon must be positive, got %g", eps)
+	}
+	g := int(math.Round(math.Exp(eps))) + 1
+	if g < 2 {
+		g = 2
+	}
+	ee := math.Exp(eps)
+	return &OLH{eps: eps, c: c, g: g, p: ee / (ee + float64(g) - 1)}, nil
+}
+
+// Name implements Oracle.
+func (o *OLH) Name() string { return "olh" }
+
+// Domain implements Oracle.
+func (o *OLH) Domain() int { return o.c }
+
+// HashRange returns the compressed domain size g = c'.
+func (o *OLH) HashRange() int { return o.g }
+
+// Hash evaluates the seeded hash family member at value v. The family is a
+// splitmix64 finalizer over (seed, v), reduced to [0, g); for the domain
+// sizes used here it behaves as a universal family.
+func (o *OLH) Hash(seed uint64, v uint64) int {
+	return int(ldprand.SplitMix64(seed^ldprand.SplitMix64(v+0x9e3779b97f4a7c15)) % uint64(o.g))
+}
+
+// Perturb implements Oracle.
+func (o *OLH) Perturb(v int, rng *rand.Rand) Report {
+	seed := rng.Uint64()
+	h := o.Hash(seed, uint64(v))
+	// GRR over the hashed domain [0, g).
+	var y int
+	if rng.Float64() < o.p {
+		y = h
+	} else {
+		y = rng.IntN(o.g - 1)
+		if y >= h {
+			y++
+		}
+	}
+	return Report{Seed: seed, Value: y}
+}
+
+// Support counts, for each domain value v, how many reports "support" v,
+// i.e. Hash(seed_i, v) == y_i. The count is Θ(n·c) hash evaluations — the
+// cost that dominates marginal-sized domains — so it fans out across CPUs;
+// the result is deterministic regardless of parallelism.
+func (o *OLH) Support(reports []Report) []float64 {
+	counts := make([]float64, o.c)
+	workers := runtime.GOMAXPROCS(0)
+	if o.c < 64 || len(reports) < 1024 || workers < 2 {
+		o.supportRange(reports, counts, 0, o.c)
+		return counts
+	}
+	if workers > o.c/16 {
+		workers = o.c / 16
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * o.c / workers
+		hi := (w + 1) * o.c / workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o.supportRange(reports, counts, lo, hi)
+		}()
+	}
+	wg.Wait()
+	return counts
+}
+
+func (o *OLH) supportRange(reports []Report, counts []float64, lo, hi int) {
+	g := uint64(o.g)
+	for v := lo; v < hi; v++ {
+		hv := ldprand.SplitMix64(uint64(v) + 0x9e3779b97f4a7c15)
+		n := 0
+		for _, r := range reports {
+			if int(ldprand.SplitMix64(r.Seed^hv)%g) == r.Value {
+				n++
+			}
+		}
+		counts[v] = float64(n)
+	}
+}
+
+// EstimateAll implements Oracle: f_v = (support_v/n − 1/g)/(p − 1/g).
+func (o *OLH) EstimateAll(reports []Report) []float64 {
+	counts := o.Support(reports)
+	n := float64(len(reports))
+	est := make([]float64, o.c)
+	if n == 0 {
+		return est
+	}
+	qs := 1 / float64(o.g)
+	denom := o.p - qs
+	for v := range est {
+		est[v] = (counts[v]/n - qs) / denom
+	}
+	return est
+}
+
+// EstimateOne estimates the frequency of a single value v without
+// materializing the whole domain. Used by HIO, whose interval domains are
+// far too large to enumerate.
+func (o *OLH) EstimateOne(reports []Report, v uint64) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	support := 0
+	for _, r := range reports {
+		if o.Hash(r.Seed, v) == r.Value {
+			support++
+		}
+	}
+	n := float64(len(reports))
+	qs := 1 / float64(o.g)
+	return (float64(support)/n - qs) / (o.p - qs)
+}
+
+// Var implements Oracle (Equation 3 generalized to the rounded g).
+func (o *OLH) Var(n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	// Var = q(1−q)/(n(p−q)²) with q = 1/g; with g = e^ε+1 this reduces to
+	// the paper's 4e^ε/((e^ε−1)² n).
+	q := 1 / float64(o.g)
+	d := o.p - q
+	return q * (1 - q) / (float64(n) * d * d)
+}
+
+// NewAdaptive returns GRR when the domain is small enough that GRR has lower
+// variance (c − 2 < 3e^ε, Section 2.2), and OLH otherwise.
+func NewAdaptive(eps float64, c int) (Oracle, error) {
+	if float64(c)-2 < 3*math.Exp(eps) {
+		return NewGRR(eps, c)
+	}
+	return NewOLH(eps, c)
+}
+
+// PerturbAll runs Perturb over a whole group of values with one rng,
+// returning a report per value. It exists so mechanisms keep their user loop
+// in one obvious place.
+func PerturbAll(o Oracle, values []int, rng *rand.Rand) []Report {
+	reports := make([]Report, len(values))
+	for i, v := range values {
+		reports[i] = o.Perturb(v, rng)
+	}
+	return reports
+}

@@ -1,0 +1,168 @@
+// Package grid implements the 1-D and 2-D grids at the heart of TDG and HDG
+// (Section 4.1): equal-width partitions of an attribute domain (or of the
+// Cartesian product of two attribute domains) into cells whose noisy
+// frequencies are collected with a frequency oracle. The package owns the
+// cell geometry, the classification of cells against a range query
+// (complete / partial / disjoint), and the uniformity-assumption answering
+// rule used by TDG.
+package grid
+
+import (
+	"fmt"
+)
+
+// Grid1D partitions the domain [0, C) into G equal cells of width C/G.
+// Freq holds the (noisy, later post-processed) cell frequencies.
+type Grid1D struct {
+	C, G int
+	Freq []float64
+}
+
+// NewGrid1D builds an empty 1-D grid; g must divide c.
+func NewGrid1D(c, g int) (*Grid1D, error) {
+	if g < 1 || g > c || c%g != 0 {
+		return nil, fmt.Errorf("grid: granularity %d does not divide domain %d", g, c)
+	}
+	return &Grid1D{C: c, G: g, Freq: make([]float64, g)}, nil
+}
+
+// CellWidth returns the number of domain values per cell.
+func (g *Grid1D) CellWidth() int { return g.C / g.G }
+
+// CellOf maps a domain value to its cell index.
+func (g *Grid1D) CellOf(v int) int { return v / g.CellWidth() }
+
+// CellInterval returns the inclusive value interval covered by cell i.
+func (g *Grid1D) CellInterval(i int) (lo, hi int) {
+	w := g.CellWidth()
+	return i * w, (i+1)*w - 1
+}
+
+// AnswerUniform answers the 1-D range [lo,hi] from cell frequencies,
+// pro-rating partially covered cells by their overlap fraction (the
+// uniformity assumption).
+func (g *Grid1D) AnswerUniform(lo, hi int) float64 {
+	w := g.CellWidth()
+	ans := 0.0
+	for i := 0; i < g.G; i++ {
+		cLo, cHi := i*w, (i+1)*w-1
+		oLo, oHi := max(lo, cLo), min(hi, cHi)
+		if oLo > oHi {
+			continue
+		}
+		overlap := oHi - oLo + 1
+		if overlap == w {
+			ans += g.Freq[i]
+		} else {
+			ans += g.Freq[i] * float64(overlap) / float64(w)
+		}
+	}
+	return ans
+}
+
+// Grid2D partitions [0, C)×[0, C) into G×G equal cells (row-major; the row
+// axis is the first attribute of the pair).
+type Grid2D struct {
+	C, G int
+	Freq []float64 // length G*G, row-major
+}
+
+// NewGrid2D builds an empty 2-D grid; g must divide c.
+func NewGrid2D(c, g int) (*Grid2D, error) {
+	if g < 1 || g > c || c%g != 0 {
+		return nil, fmt.Errorf("grid: granularity %d does not divide domain %d", g, c)
+	}
+	return &Grid2D{C: c, G: g, Freq: make([]float64, g*g)}, nil
+}
+
+// CellWidth returns the number of domain values per cell side.
+func (g *Grid2D) CellWidth() int { return g.C / g.G }
+
+// CellOf maps a pair of domain values (v1 on the row axis, v2 on the column
+// axis) to the flattened cell index.
+func (g *Grid2D) CellOf(v1, v2 int) int {
+	w := g.CellWidth()
+	return (v1/w)*g.G + v2/w
+}
+
+// CellRect returns the inclusive value rectangle covered by flattened cell i:
+// rows [r0,r1] on the first attribute, columns [c0,c1] on the second.
+func (g *Grid2D) CellRect(i int) (r0, r1, c0, c1 int) {
+	w := g.CellWidth()
+	row, col := i/g.G, i%g.G
+	return row * w, (row+1)*w - 1, col * w, (col+1)*w - 1
+}
+
+// Overlap classifies cell i against the query rectangle [qr0,qr1]×[qc0,qc1]
+// and returns the intersection.
+type Overlap int
+
+// Overlap classifications.
+const (
+	Disjoint Overlap = iota
+	Partial
+	Complete
+)
+
+// Classify returns the overlap class of cell i with the query rectangle and
+// the intersection rectangle (valid when not Disjoint).
+func (g *Grid2D) Classify(i, qr0, qr1, qc0, qc1 int) (Overlap, int, int, int, int) {
+	r0, r1, c0, c1 := g.CellRect(i)
+	ir0, ir1 := max(qr0, r0), min(qr1, r1)
+	ic0, ic1 := max(qc0, c0), min(qc1, c1)
+	if ir0 > ir1 || ic0 > ic1 {
+		return Disjoint, 0, 0, 0, 0
+	}
+	if ir0 == r0 && ir1 == r1 && ic0 == c0 && ic1 == c1 {
+		return Complete, ir0, ir1, ic0, ic1
+	}
+	return Partial, ir0, ir1, ic0, ic1
+}
+
+// AnswerUniform answers the 2-D range query [qr0,qr1]×[qc0,qc1] from cell
+// frequencies under the uniformity assumption (TDG's Phase 3 rule): complete
+// cells contribute their whole frequency; partial cells contribute
+// proportionally to the overlapped area.
+func (g *Grid2D) AnswerUniform(qr0, qr1, qc0, qc1 int) float64 {
+	w := g.CellWidth()
+	area := float64(w * w)
+	ans := 0.0
+	for i := range g.Freq {
+		class, ir0, ir1, ic0, ic1 := g.Classify(i, qr0, qr1, qc0, qc1)
+		switch class {
+		case Complete:
+			ans += g.Freq[i]
+		case Partial:
+			frac := float64((ir1-ir0+1)*(ic1-ic0+1)) / area
+			ans += g.Freq[i] * frac
+		}
+	}
+	return ans
+}
+
+// RowMarginal returns the G-vector of row sums (the grid's marginal on its
+// first attribute at granularity G).
+func (g *Grid2D) RowMarginal() []float64 {
+	m := make([]float64, g.G)
+	for r := 0; r < g.G; r++ {
+		s := 0.0
+		for c := 0; c < g.G; c++ {
+			s += g.Freq[r*g.G+c]
+		}
+		m[r] = s
+	}
+	return m
+}
+
+// ColMarginal returns the G-vector of column sums.
+func (g *Grid2D) ColMarginal() []float64 {
+	m := make([]float64, g.G)
+	for c := 0; c < g.G; c++ {
+		s := 0.0
+		for r := 0; r < g.G; r++ {
+			s += g.Freq[r*g.G+c]
+		}
+		m[c] = s
+	}
+	return m
+}

@@ -1,0 +1,46 @@
+// Package ldprand provides deterministic, splittable random number streams
+// for reproducible LDP experiments.
+//
+// Every mechanism, generator, and experiment in this module draws randomness
+// from a *rand.Rand created here, so a fixed top-level seed reproduces every
+// report, every group assignment, and every query workload exactly.
+package ldprand
+
+import (
+	"math/rand/v2"
+)
+
+// SplitMix64 is the finalizer of the splitmix64 generator. It is used both to
+// derive independent child seeds and as the per-user hash family for OLH.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New returns a PCG-backed generator seeded from seed.
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(SplitMix64(seed), SplitMix64(seed^0xda942042e4dd58b5)))
+}
+
+// Split derives an independent generator for a named sub-stream. Streams with
+// different ids are statistically independent for practical purposes.
+func Split(seed, stream uint64) *rand.Rand {
+	return New(SplitMix64(seed) ^ SplitMix64(stream*0x2545f4914f6cdd1d+0x632be59bd9b4e019))
+}
+
+// Perm fills a permutation of [0,n) using rng.
+func Perm(rng *rand.Rand, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// NormFloat64 draws a standard normal variate from rng.
+func NormFloat64(rng *rand.Rand) float64 {
+	return rng.NormFloat64()
+}

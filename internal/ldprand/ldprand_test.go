@@ -1,0 +1,121 @@
+package ldprand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed should give identical streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds should give different streams (matched %d/100)", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a, b := Split(7, 1), Split(7, 2)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different streams should differ (matched %d/200)", same)
+	}
+	// Same (seed, stream) is reproducible.
+	x, y := Split(7, 3), Split(7, 3)
+	for i := 0; i < 50; i++ {
+		if x.Uint64() != y.Uint64() {
+			t.Fatal("Split should be deterministic")
+		}
+	}
+}
+
+func TestSplitMix64(t *testing.T) {
+	// Reference values from the splitmix64 reference implementation.
+	if got := SplitMix64(0); got != 0xe220a8397b1dcdaf {
+		t.Errorf("SplitMix64(0) = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+	if got := SplitMix64(1); got != 0x910a2dec89025cc1 {
+		t.Errorf("SplitMix64(1) = %#x, want 0x910a2dec89025cc1", got)
+	}
+	// Distinct inputs give distinct outputs (injective finalizer).
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return SplitMix64(a) != SplitMix64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := Perm(New(seed), n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	// With n = 52 the identity permutation is astronomically unlikely.
+	p := Perm(New(9), 52)
+	identity := true
+	for i, v := range p {
+		if v != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Error("Perm returned the identity permutation")
+	}
+}
+
+func TestNormFloat64(t *testing.T) {
+	rng := New(5)
+	sum, sumSq := 0.0, 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := NormFloat64(rng)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Errorf("sample mean %g too far from 0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("sample variance %g too far from 1", variance)
+	}
+}

@@ -1,0 +1,98 @@
+// Package mech defines the interfaces every privacy mechanism in this module
+// implements, plus the group-splitting plumbing shared by all of them (the
+// "principle of dividing users", Section 2.3).
+package mech
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privmdr/internal/dataset"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/query"
+)
+
+// Estimator answers arbitrary multi-dimensional range queries from the
+// state a mechanism aggregated under LDP. Implementations are safe for
+// concurrent reads only if documented; the harness answers sequentially.
+type Estimator interface {
+	Answer(q query.Query) (float64, error)
+}
+
+// EstimatorFunc adapts a function to the Estimator interface.
+type EstimatorFunc func(q query.Query) (float64, error)
+
+// Answer implements Estimator.
+func (f EstimatorFunc) Answer(q query.Query) (float64, error) { return f(q) }
+
+// Mechanism runs a full LDP pipeline: simulate each user's single sanitized
+// report over ds under budget eps, aggregate, and return an Estimator.
+type Mechanism interface {
+	Name() string
+	Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (Estimator, error)
+}
+
+// SplitGroups randomly partitions the n record indices into m near-equal
+// groups via a seeded permutation. Every group is non-empty when n ≥ m.
+func SplitGroups(rng *rand.Rand, n, m int) ([][]int, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("mech: cannot split into %d groups", m)
+	}
+	if n < m {
+		return nil, fmt.Errorf("mech: %d users cannot populate %d groups", n, m)
+	}
+	perm := ldprand.Perm(rng, n)
+	groups := make([][]int, m)
+	for g := 0; g < m; g++ {
+		lo := g * n / m
+		hi := (g + 1) * n / m
+		groups[g] = perm[lo:hi]
+	}
+	return groups, nil
+}
+
+// ColumnValues gathers the attr-column values of the given rows.
+func ColumnValues(ds *dataset.Dataset, attr int, rows []int) []int {
+	out := make([]int, len(rows))
+	col := ds.Cols[attr]
+	for i, r := range rows {
+		out[i] = int(col[r])
+	}
+	return out
+}
+
+// AllPairs enumerates the (d choose 2) attribute pairs (j,k), j < k, in
+// lexicographic order — the canonical pair ordering used across mechanisms.
+func AllPairs(d int) [][2]int {
+	var out [][2]int
+	for j := 0; j < d; j++ {
+		for k := j + 1; k < d; k++ {
+			out = append(out, [2]int{j, k})
+		}
+	}
+	return out
+}
+
+// PairIndex returns the position of pair (j,k), j < k, in AllPairs(d).
+func PairIndex(d, j, k int) (int, error) {
+	if j < 0 || k <= j || k >= d {
+		return 0, fmt.Errorf("mech: invalid pair (%d,%d) for d=%d", j, k, d)
+	}
+	// Pairs starting with 0..j-1 contribute (d-1)+(d-2)+…+(d-j) entries.
+	return j*d - j*(j+1)/2 + (k - j - 1), nil
+}
+
+// ValidateFit is the shared precondition check mechanisms run before
+// fitting.
+func ValidateFit(ds *dataset.Dataset, eps float64, minAttrs int) error {
+	if ds == nil || ds.N() == 0 {
+		return fmt.Errorf("mech: empty dataset")
+	}
+	if eps <= 0 {
+		return fmt.Errorf("mech: epsilon must be positive, got %g", eps)
+	}
+	if ds.D() < minAttrs {
+		return fmt.Errorf("mech: need at least %d attributes, dataset has %d", minAttrs, ds.D())
+	}
+	return nil
+}

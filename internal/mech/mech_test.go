@@ -1,0 +1,122 @@
+package mech
+
+import (
+	"testing"
+	"testing/quick"
+
+	"privmdr/internal/dataset"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/query"
+)
+
+func TestSplitGroupsPartition(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		m := int(mRaw%10) + 1
+		n := m + int(nRaw)
+		groups, err := SplitGroups(ldprand.New(seed), n, m)
+		if err != nil {
+			return false
+		}
+		if len(groups) != m {
+			return false
+		}
+		seen := make([]bool, n)
+		total := 0
+		for _, g := range groups {
+			total += len(g)
+			for _, r := range g {
+				if r < 0 || r >= n || seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitGroupsNearEqual(t *testing.T) {
+	groups, err := SplitGroups(ldprand.New(1), 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if len(g) < 100/7 || len(g) > 100/7+1 {
+			t.Errorf("group size %d not near-equal", len(g))
+		}
+	}
+}
+
+func TestSplitGroupsErrors(t *testing.T) {
+	if _, err := SplitGroups(ldprand.New(1), 5, 10); err == nil {
+		t.Error("n < m should fail")
+	}
+	if _, err := SplitGroups(ldprand.New(1), 5, 0); err == nil {
+		t.Error("m = 0 should fail")
+	}
+}
+
+func TestAllPairsAndPairIndex(t *testing.T) {
+	for d := 2; d <= 10; d++ {
+		pairs := AllPairs(d)
+		if len(pairs) != d*(d-1)/2 {
+			t.Fatalf("d=%d: %d pairs", d, len(pairs))
+		}
+		for want, p := range pairs {
+			got, err := PairIndex(d, p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("d=%d pair %v: index %d, want %d", d, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPairIndexErrors(t *testing.T) {
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {3, 2}, {0, 6}} {
+		if _, err := PairIndex(6, bad[0], bad[1]); err == nil {
+			t.Errorf("PairIndex(6,%d,%d) should fail", bad[0], bad[1])
+		}
+	}
+}
+
+func TestColumnValues(t *testing.T) {
+	ds := &dataset.Dataset{C: 8, Cols: [][]uint16{{5, 6, 7, 0}}}
+	got := ColumnValues(ds, 0, []int{2, 0})
+	if len(got) != 2 || got[0] != 7 || got[1] != 5 {
+		t.Errorf("ColumnValues = %v", got)
+	}
+}
+
+func TestValidateFit(t *testing.T) {
+	ds := &dataset.Dataset{C: 8, Cols: [][]uint16{{1, 2}}}
+	if err := ValidateFit(ds, 1.0, 1); err != nil {
+		t.Errorf("valid fit rejected: %v", err)
+	}
+	if err := ValidateFit(ds, 0, 1); err == nil {
+		t.Error("eps 0 should fail")
+	}
+	if err := ValidateFit(ds, 1.0, 2); err == nil {
+		t.Error("minAttrs should fail")
+	}
+	if err := ValidateFit(nil, 1.0, 1); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	empty := &dataset.Dataset{C: 8, Cols: [][]uint16{{}}}
+	if err := ValidateFit(empty, 1.0, 1); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestEstimatorFunc(t *testing.T) {
+	e := EstimatorFunc(func(q query.Query) (float64, error) { return 0.5, nil })
+	got, err := e.Answer(query.Query{{Attr: 0, Lo: 0, Hi: 1}})
+	if err != nil || got != 0.5 {
+		t.Errorf("EstimatorFunc broken: %g, %v", got, err)
+	}
+}

@@ -1,0 +1,381 @@
+package mwem
+
+import (
+	"math"
+	"testing"
+
+	"privmdr/internal/ldprand"
+	"privmdr/internal/query"
+)
+
+// gridCellsFromDist builds exact CellConstraints at granularity g (plus two
+// 1-D granularity-g1 views) from a true c×c distribution, mimicking what HDG
+// feeds Algorithm 1 with noiseless inputs.
+func gridCellsFromDist(dist []float64, c, g1, g2 int) []CellConstraint {
+	var cells []CellConstraint
+	w1 := c / g1
+	// 1-D rows.
+	for i := 0; i < g1; i++ {
+		f := 0.0
+		for r := i * w1; r < (i+1)*w1; r++ {
+			for col := 0; col < c; col++ {
+				f += dist[r*c+col]
+			}
+		}
+		cells = append(cells, CellConstraint{R0: i * w1, R1: (i+1)*w1 - 1, C0: 0, C1: c - 1, Freq: f})
+	}
+	// 1-D cols.
+	for i := 0; i < g1; i++ {
+		f := 0.0
+		for col := i * w1; col < (i+1)*w1; col++ {
+			for r := 0; r < c; r++ {
+				f += dist[r*c+col]
+			}
+		}
+		cells = append(cells, CellConstraint{R0: 0, R1: c - 1, C0: i * w1, C1: (i+1)*w1 - 1, Freq: f})
+	}
+	// 2-D cells.
+	w2 := c / g2
+	for ri := 0; ri < g2; ri++ {
+		for ci := 0; ci < g2; ci++ {
+			f := 0.0
+			for r := ri * w2; r < (ri+1)*w2; r++ {
+				for col := ci * w2; col < (ci+1)*w2; col++ {
+					f += dist[r*c+col]
+				}
+			}
+			cells = append(cells, CellConstraint{
+				R0: ri * w2, R1: (ri+1)*w2 - 1,
+				C0: ci * w2, C1: (ci+1)*w2 - 1,
+				Freq: f,
+			})
+		}
+	}
+	return cells
+}
+
+func TestBuildResponseMatrixMatchesConstraints(t *testing.T) {
+	c := 16
+	rng := ldprand.New(1)
+	dist := make([]float64, c*c)
+	sum := 0.0
+	for i := range dist {
+		dist[i] = rng.Float64()
+		sum += dist[i]
+	}
+	for i := range dist {
+		dist[i] /= sum
+	}
+	cells := gridCellsFromDist(dist, c, 8, 4)
+	m, trace, err := BuildResponseMatrix(c, cells, Options{MaxIters: 200, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("no convergence trace")
+	}
+	// At convergence every constraint's rectangle mass matches its Freq.
+	for ci, s := range cells {
+		got := 0.0
+		for r := s.R0; r <= s.R1; r++ {
+			for col := s.C0; col <= s.C1; col++ {
+				got += m[r*c+col]
+			}
+		}
+		if math.Abs(got-s.Freq) > 1e-6 {
+			t.Errorf("constraint %d: rectangle mass %g, want %g", ci, got, s.Freq)
+		}
+	}
+	// Total mass 1 (the 2-D cells partition the domain).
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Errorf("matrix mass %g, want 1", total)
+	}
+}
+
+func TestBuildResponseMatrixTraceDecays(t *testing.T) {
+	c := 8
+	dist := make([]float64, c*c)
+	for i := range dist {
+		dist[i] = 1 / float64(c*c)
+	}
+	dist[0] += 0.3
+	dist[c*c-1] -= 0.3
+	for i := range dist {
+		if dist[i] < 0 {
+			dist[i] = 0
+		}
+	}
+	cells := gridCellsFromDist(dist, c, 4, 2)
+	_, trace, err := BuildResponseMatrix(c, cells, Options{MaxIters: 60, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("no trace")
+	}
+	// The per-sweep change at the end must be far below the start
+	// (geometric-ish convergence; Figure 17's shape). Stopping before
+	// MaxIters means the tolerance fired, which is convergence by
+	// definition.
+	last := trace[len(trace)-1]
+	if len(trace) == 60 && last > trace[0]/100 && trace[0] > 1e-9 {
+		t.Errorf("weighted update did not converge: first %g last %g", trace[0], last)
+	}
+}
+
+func TestBuildResponseMatrixRespectsMaxIters(t *testing.T) {
+	c := 8
+	// Inconsistent constraints never converge; the loop must stop at
+	// MaxIters.
+	cells := []CellConstraint{
+		{R0: 0, R1: 3, C0: 0, C1: 7, Freq: 0.9},
+		{R0: 0, R1: 3, C0: 0, C1: 7, Freq: 0.1},
+	}
+	_, trace, err := BuildResponseMatrix(c, cells, Options{MaxIters: 7, Tol: 1e-300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 7 {
+		t.Errorf("trace length %d, want 7 (MaxIters)", len(trace))
+	}
+}
+
+func TestBuildResponseMatrixDomainError(t *testing.T) {
+	if _, _, err := BuildResponseMatrix(0, nil, Options{}); err == nil {
+		t.Error("domain 0 should fail")
+	}
+}
+
+func TestEstimateVectorConsistentInputs(t *testing.T) {
+	// A known 3-attribute Bernoulli distribution: P(x) with independent-ish
+	// structure. Compute exact pair answers; Algorithm 2 must reproduce the
+	// triple with small error.
+	lambda := 3
+	// p(x) over 8 outcomes (bit ϕ = predicate ϕ holds).
+	p := []float64{0.05, 0.05, 0.1, 0.1, 0.1, 0.15, 0.15, 0.3}
+	pairAnswer := func(i, j int) float64 {
+		need := (1 << i) | (1 << j)
+		f := 0.0
+		for msk := 0; msk < 8; msk++ {
+			if msk&need == need {
+				f += p[msk]
+			}
+		}
+		return f
+	}
+	answers := []PairAnswer{
+		{I: 0, J: 1, F: pairAnswer(0, 1)},
+		{I: 0, J: 2, F: pairAnswer(0, 2)},
+		{I: 1, J: 2, F: pairAnswer(1, 2)},
+	}
+	z, trace, err := EstimateVector(lambda, answers, Options{MaxIters: 500, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("no trace")
+	}
+	// The 2-D moments must be matched exactly at convergence.
+	for _, a := range answers {
+		need := (1 << a.I) | (1 << a.J)
+		got := 0.0
+		for msk := 0; msk < 8; msk++ {
+			if msk&need == need {
+				got += z[msk]
+			}
+		}
+		if math.Abs(got-a.F) > 1e-6 {
+			t.Errorf("pair (%d,%d): moment %g, want %g", a.I, a.J, got, a.F)
+		}
+	}
+	// The triple estimate is the max-entropy-style reconstruction; it will
+	// not equal p[7] exactly but must be a sane probability near it.
+	if z[7] < 0 || z[7] > 1 {
+		t.Errorf("triple estimate %g outside [0,1]", z[7])
+	}
+	if math.Abs(z[7]-p[7]) > 0.1 {
+		t.Errorf("triple estimate %g too far from truth %g", z[7], p[7])
+	}
+}
+
+func TestEstimateVectorIndependentProduct(t *testing.T) {
+	// For truly independent predicates with marginals m0,m1,m2 the product
+	// distribution satisfies all pairwise both-inside moments. Algorithm 2
+	// only constrains those moments (not the quadrant complements), so its
+	// fixed point approximates — but does not exactly equal — the product;
+	// the paper's own estimation-error analysis (§4.5) acknowledges this
+	// residual. Assert the moments are met exactly and the conjunction is
+	// close to the product.
+	m := []float64{0.3, 0.6, 0.5}
+	answers := []PairAnswer{
+		{I: 0, J: 1, F: m[0] * m[1]},
+		{I: 0, J: 2, F: m[0] * m[2]},
+		{I: 1, J: 2, F: m[1] * m[2]},
+	}
+	z, _, err := EstimateVector(3, answers, Options{MaxIters: 1000, Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range answers {
+		need := (1 << a.I) | (1 << a.J)
+		got := 0.0
+		for msk := 0; msk < 8; msk++ {
+			if msk&need == need {
+				got += z[msk]
+			}
+		}
+		if math.Abs(got-a.F) > 1e-6 {
+			t.Errorf("pair (%d,%d) moment %g, want %g", a.I, a.J, got, a.F)
+		}
+	}
+	want := m[0] * m[1] * m[2]
+	if math.Abs(z[7]-want) > 0.02 {
+		t.Errorf("independent conjunction = %g, want ≈ %g", z[7], want)
+	}
+}
+
+func TestEstimateVectorSumStaysOne(t *testing.T) {
+	answers := []PairAnswer{
+		{I: 0, J: 1, F: 0.25},
+		{I: 0, J: 2, F: 0.2},
+		{I: 1, J: 2, F: 0.3},
+	}
+	z, _, err := EstimateVector(3, answers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range z {
+		sum += v
+	}
+	// The updates rescale only subsets, but the complement masks absorb the
+	// residual; total should stay near 1 for consistent inputs.
+	if math.Abs(sum-1) > 0.05 {
+		t.Errorf("z sums to %g", sum)
+	}
+}
+
+func TestEstimateVectorErrors(t *testing.T) {
+	if _, _, err := EstimateVector(1, nil, Options{}); err == nil {
+		t.Error("lambda 1 should fail")
+	}
+	if _, _, err := EstimateVector(3, []PairAnswer{{I: 0, J: 0, F: 0.5}}, Options{}); err == nil {
+		t.Error("degenerate pair should fail")
+	}
+	if _, _, err := EstimateVector(3, []PairAnswer{{I: 0, J: 5, F: 0.5}}, Options{}); err == nil {
+		t.Error("out-of-range pair should fail")
+	}
+}
+
+func TestMaxEntAgreesWithWeightedUpdate(t *testing.T) {
+	// Section 4.4's claim: the two estimators agree in accuracy on
+	// consistent inputs.
+	m := []float64{0.4, 0.5, 0.35, 0.6}
+	var answers []PairAnswer
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			answers = append(answers, PairAnswer{I: i, J: j, F: m[i] * m[j]})
+		}
+	}
+	zw, _, err := EstimateVector(4, answers, Options{MaxIters: 1000, Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zm, _, err := MaxEntVector(4, answers, Options{MaxIters: 3000, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 1<<4 - 1
+	want := m[0] * m[1] * m[2] * m[3]
+	// Both reconstructions are under-determined by pairwise moments alone
+	// (§4.5 calls this estimation error); they must land near the truth and
+	// near each other.
+	if math.Abs(zw[full]-want) > 0.03 {
+		t.Errorf("weighted update conjunction %g, want ≈ %g", zw[full], want)
+	}
+	if math.Abs(zm[full]-want) > 0.03 {
+		t.Errorf("max-entropy conjunction %g, want ≈ %g", zm[full], want)
+	}
+	if math.Abs(zw[full]-zm[full]) > 0.03 {
+		t.Errorf("estimators disagree: WU %g vs ME %g", zw[full], zm[full])
+	}
+}
+
+func TestMaxEntErrors(t *testing.T) {
+	if _, _, err := MaxEntVector(0, nil, Options{}); err == nil {
+		t.Error("lambda 0 should fail")
+	}
+	if _, _, err := MaxEntVector(3, []PairAnswer{{I: 2, J: 2, F: 0.5}}, Options{}); err == nil {
+		t.Error("degenerate pair should fail")
+	}
+}
+
+func TestAnswerRangeLambda2Passthrough(t *testing.T) {
+	q := query.Query{{Attr: 3, Lo: 0, Hi: 5}, {Attr: 1, Lo: 2, Hi: 7}}
+	called := false
+	f, trace, err := AnswerRange(q, func(a, b int, pa, pb query.Pred) (float64, error) {
+		called = true
+		if a != 1 || b != 3 {
+			t.Errorf("pair (%d,%d), want sorted (1,3)", a, b)
+		}
+		if pa.Lo != 2 || pb.Lo != 0 {
+			t.Errorf("predicates not matched to attributes: %v %v", pa, pb)
+		}
+		return 0.42, nil
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called || f != 0.42 || trace != nil {
+		t.Errorf("passthrough broken: f=%g trace=%v", f, trace)
+	}
+}
+
+func TestAnswerRangeLambda3(t *testing.T) {
+	// Independent product pair answers: conjunction should be the product.
+	marg := map[int]float64{0: 0.5, 1: 0.4, 2: 0.25}
+	q := query.Query{{Attr: 0, Lo: 0, Hi: 1}, {Attr: 1, Lo: 0, Hi: 1}, {Attr: 2, Lo: 0, Hi: 1}}
+	f, trace, err := AnswerRange(q, func(a, b int, pa, pb query.Pred) (float64, error) {
+		return marg[a] * marg[b], nil
+	}, Options{MaxIters: 500, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace == nil {
+		t.Error("lambda>2 should return an Algorithm 2 trace")
+	}
+	want := 0.5 * 0.4 * 0.25
+	if math.Abs(f-want) > 0.02 {
+		t.Errorf("conjunction %g, want ≈ %g", f, want)
+	}
+}
+
+func TestAnswerRangeLambda1Error(t *testing.T) {
+	q := query.Query{{Attr: 0, Lo: 0, Hi: 1}}
+	if _, _, err := AnswerRange(q, nil, Options{}); err == nil {
+		t.Error("lambda 1 should fail (callers handle it)")
+	}
+}
+
+func TestAnswerRangeMaxEntMethod(t *testing.T) {
+	marg := map[int]float64{0: 0.5, 1: 0.4, 2: 0.25}
+	q := query.Query{{Attr: 0, Lo: 0, Hi: 1}, {Attr: 1, Lo: 0, Hi: 1}, {Attr: 2, Lo: 0, Hi: 1}}
+	pair := func(a, b int, pa, pb query.Pred) (float64, error) {
+		return marg[a] * marg[b], nil
+	}
+	fw, _, err := AnswerRange(q, pair, Options{MaxIters: 500, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, _, err := AnswerRange(q, pair, Options{MaxIters: 2000, Tol: 1e-8, Method: MethodMaxEntropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fw - fm; d > 0.02 || d < -0.02 {
+		t.Errorf("methods disagree: WU %g vs MaxEnt %g", fw, fm)
+	}
+}

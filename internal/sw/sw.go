@@ -1,0 +1,231 @@
+// Package sw implements the Square Wave mechanism of Li et al. (SIGMOD 2020)
+// as described in Section 3.5 of the paper, together with the
+// Expectation-Maximization reconstruction (EM) and its smoothed variant
+// (EMS). It is the substrate of the MSW baseline.
+//
+// A user's ordinal value v ∈ [0,c) is normalized to ṽ = (v+0.5)/c ∈ (0,1) and
+// reported as a point y ∈ [−δ, 1+δ]: values within distance δ of ṽ are
+// reported with (higher) density p, everything else with density p′. The
+// aggregator buckets the reports and runs EM against the bucketized
+// transition matrix to recover the value distribution.
+package sw
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// SW holds the parameters of a Square Wave mechanism instance.
+type SW struct {
+	Eps   float64
+	C     int     // input domain size
+	Delta float64 // closeness threshold δ
+	P     float64 // in-band density
+	PP    float64 // out-of-band density p′
+	B     int     // number of report buckets
+
+	bucketWidth float64
+}
+
+// New returns a Square Wave mechanism for domain size c under budget eps.
+// The number of report buckets is max(c, 32) over the output range
+// [−δ, 1+δ], which keeps the EM transition matrix well conditioned at small
+// domains without blowing up memory at large ones.
+func New(eps float64, c int) (*SW, error) {
+	if c < 2 {
+		return nil, fmt.Errorf("sw: domain must be at least 2, got %d", c)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("sw: epsilon must be positive, got %g", eps)
+	}
+	ee := math.Exp(eps)
+	delta := (eps*ee - ee + 1) / (2 * ee * (ee - 1 - eps))
+	s := &SW{
+		Eps:   eps,
+		C:     c,
+		Delta: delta,
+		P:     ee / (2*delta*ee + 1),
+		PP:    1 / (2*delta*ee + 1),
+	}
+	s.B = c
+	if s.B < 32 {
+		s.B = 32
+	}
+	s.bucketWidth = (1 + 2*delta) / float64(s.B)
+	return s, nil
+}
+
+// Perturb sanitizes one user's value, returning a report in [−δ, 1+δ].
+func (s *SW) Perturb(v int, rng *rand.Rand) float64 {
+	vt := (float64(v) + 0.5) / float64(s.C)
+	lo, hi := vt-s.Delta, vt+s.Delta
+	pIn := s.P * 2 * s.Delta // total in-band probability mass
+	if rng.Float64() < pIn {
+		return lo + rng.Float64()*(hi-lo)
+	}
+	// Out of band: uniform over [−δ, lo) ∪ (hi, 1+δ].
+	left := lo - (-s.Delta)
+	right := (1 + s.Delta) - hi
+	u := rng.Float64() * (left + right)
+	if u < left {
+		return -s.Delta + u
+	}
+	return hi + (u - left)
+}
+
+// Bucket maps a report to its bucket index in [0, B).
+func (s *SW) Bucket(y float64) int {
+	b := int((y + s.Delta) / s.bucketWidth)
+	if b < 0 {
+		b = 0
+	}
+	if b >= s.B {
+		b = s.B - 1
+	}
+	return b
+}
+
+// PerturbAll perturbs every value and returns per-bucket report counts.
+func (s *SW) PerturbAll(values []int, rng *rand.Rand) []int {
+	counts := make([]int, s.B)
+	for _, v := range values {
+		counts[s.Bucket(s.Perturb(v, rng))]++
+	}
+	return counts
+}
+
+// TransitionMatrix returns M with M[b][v] = Pr[report lands in bucket b |
+// true value v]; each column sums to 1 (up to float error).
+func (s *SW) TransitionMatrix() [][]float64 {
+	m := make([][]float64, s.B)
+	for b := range m {
+		m[b] = make([]float64, s.C)
+	}
+	for v := 0; v < s.C; v++ {
+		vt := (float64(v) + 0.5) / float64(s.C)
+		inLo, inHi := vt-s.Delta, vt+s.Delta
+		for b := 0; b < s.B; b++ {
+			b0 := -s.Delta + float64(b)*s.bucketWidth
+			b1 := b0 + s.bucketWidth
+			overlap := math.Min(b1, inHi) - math.Max(b0, inLo)
+			if overlap < 0 {
+				overlap = 0
+			}
+			m[b][v] = s.P*overlap + s.PP*(s.bucketWidth-overlap)
+		}
+	}
+	return m
+}
+
+// EMOptions control the reconstruction loop.
+type EMOptions struct {
+	MaxIters int     // default 400
+	Tol      float64 // L1 change stopping threshold, default 1e-7
+	Smooth   bool    // EMS: apply a binomial smoothing kernel each iteration
+}
+
+// Reconstruct runs EM (or EMS when opts.Smooth) over bucketized report
+// counts and returns the estimated value distribution (length C, sums to 1).
+func (s *SW) Reconstruct(bucketCounts []int, opts EMOptions) ([]float64, error) {
+	if len(bucketCounts) != s.B {
+		return nil, fmt.Errorf("sw: got %d bucket counts, want %d", len(bucketCounts), s.B)
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 400
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-7
+	}
+	n := 0
+	for _, c := range bucketCounts {
+		n += c
+	}
+	f := make([]float64, s.C)
+	for v := range f {
+		f[v] = 1 / float64(s.C)
+	}
+	if n == 0 {
+		return f, nil
+	}
+	m := s.TransitionMatrix()
+	obs := make([]float64, s.B)
+	for b, c := range bucketCounts {
+		obs[b] = float64(c) / float64(n)
+	}
+	next := make([]float64, s.C)
+	denom := make([]float64, s.B)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		for b := 0; b < s.B; b++ {
+			d := 0.0
+			row := m[b]
+			for v := 0; v < s.C; v++ {
+				d += row[v] * f[v]
+			}
+			denom[b] = d
+		}
+		for v := 0; v < s.C; v++ {
+			acc := 0.0
+			for b := 0; b < s.B; b++ {
+				if denom[b] > 0 {
+					acc += obs[b] * m[b][v] / denom[b]
+				}
+			}
+			next[v] = f[v] * acc
+		}
+		if opts.Smooth {
+			smooth3(next)
+		}
+		normalize(next)
+		change := 0.0
+		for v := range f {
+			change += math.Abs(next[v] - f[v])
+		}
+		copy(f, next)
+		if change < opts.Tol {
+			break
+		}
+	}
+	return f, nil
+}
+
+// smooth3 applies the binomial kernel (1,2,1)/4 in place, reflecting at the
+// boundaries.
+func smooth3(f []float64) {
+	n := len(f)
+	if n < 3 {
+		return
+	}
+	prev := f[0]
+	f[0] = (3*f[0] + f[1]) / 4
+	for i := 1; i < n-1; i++ {
+		cur := f[i]
+		f[i] = (prev + 2*cur + f[i+1]) / 4
+		prev = cur
+	}
+	f[n-1] = (prev + 3*f[n-1]) / 4
+}
+
+func normalize(f []float64) {
+	s := 0.0
+	for _, x := range f {
+		if x > 0 {
+			s += x
+		} else {
+			x = 0
+		}
+	}
+	if s <= 0 {
+		for i := range f {
+			f[i] = 1 / float64(len(f))
+		}
+		return
+	}
+	for i := range f {
+		if f[i] < 0 {
+			f[i] = 0
+		} else {
+			f[i] /= s
+		}
+	}
+}

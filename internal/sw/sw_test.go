@@ -1,0 +1,242 @@
+package sw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privmdr/internal/ldprand"
+)
+
+func TestParameters(t *testing.T) {
+	for _, eps := range []float64{0.2, 0.5, 1.0, 2.0} {
+		s, err := New(eps, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Delta <= 0 {
+			t.Errorf("eps=%g: delta %g should be positive", eps, s.Delta)
+		}
+		if s.P <= s.PP {
+			t.Errorf("eps=%g: in-band density %g must exceed out-of-band %g", eps, s.P, s.PP)
+		}
+		if math.Abs(s.P/s.PP-math.Exp(eps)) > 1e-9 {
+			t.Errorf("eps=%g: p/p' = %g, want e^eps", eps, s.P/s.PP)
+		}
+		// Total probability: p·2δ (in-band) + p′·(1+2δ−2δ) = 1.
+		total := s.P*2*s.Delta + s.PP*1
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("eps=%g: total output mass %g, want 1", eps, total)
+		}
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := New(0, 64); err == nil {
+		t.Error("eps 0 should fail")
+	}
+	if _, err := New(1, 1); err == nil {
+		t.Error("domain 1 should fail")
+	}
+}
+
+func TestPerturbRange(t *testing.T) {
+	s, _ := New(1.0, 32)
+	rng := ldprand.New(1)
+	f := func(vRaw uint8) bool {
+		v := int(vRaw) % 32
+		y := s.Perturb(v, rng)
+		return y >= -s.Delta-1e-12 && y <= 1+s.Delta+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	s, _ := New(1.0, 64)
+	if b := s.Bucket(-s.Delta); b != 0 {
+		t.Errorf("lowest report bucket = %d, want 0", b)
+	}
+	if b := s.Bucket(1 + s.Delta); b != s.B-1 {
+		t.Errorf("highest report bucket = %d, want %d", b, s.B-1)
+	}
+	if b := s.Bucket(-100); b != 0 {
+		t.Errorf("clamped low bucket = %d", b)
+	}
+	if b := s.Bucket(100); b != s.B-1 {
+		t.Errorf("clamped high bucket = %d", b)
+	}
+}
+
+func TestTransitionMatrixColumnsSumToOne(t *testing.T) {
+	s, _ := New(0.7, 16)
+	m := s.TransitionMatrix()
+	for v := 0; v < s.C; v++ {
+		sum := 0.0
+		for b := 0; b < s.B; b++ {
+			sum += m[b][v]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("column %d sums to %g, want 1", v, sum)
+		}
+	}
+}
+
+func TestTransitionMatrixInBandMass(t *testing.T) {
+	// The mass within distance δ of the true value must be p·2δ.
+	s, _ := New(1.0, 16)
+	m := s.TransitionMatrix()
+	v := 8
+	vt := (float64(v) + 0.5) / float64(s.C)
+	inBand := 0.0
+	for b := 0; b < s.B; b++ {
+		b0 := -s.Delta + float64(b)*s.bucketWidth
+		b1 := b0 + s.bucketWidth
+		lo := math.Max(b0, vt-s.Delta)
+		hi := math.Min(b1, vt+s.Delta)
+		if hi > lo {
+			inBand += m[b][v] * (hi - lo) / (b1 - b0)
+		}
+	}
+	want := s.P * 2 * s.Delta
+	if math.Abs(inBand-want) > 0.02 {
+		t.Errorf("in-band mass %g, want %g", inBand, want)
+	}
+}
+
+func TestReconstructRecovers(t *testing.T) {
+	// Draw from a known skewed distribution, perturb, and reconstruct.
+	c := 32
+	s, _ := New(2.0, c)
+	dist := make([]float64, c)
+	norm := 0.0
+	for v := range dist {
+		dist[v] = math.Exp(-float64(v) / 6)
+		norm += dist[v]
+	}
+	for v := range dist {
+		dist[v] /= norm
+	}
+	rng := ldprand.New(2)
+	n := 200_000
+	values := make([]int, n)
+	for i := range values {
+		u := rng.Float64()
+		cum := 0.0
+		for v := range dist {
+			cum += dist[v]
+			if u < cum || v == c-1 {
+				values[i] = v
+				break
+			}
+		}
+	}
+	buckets := s.PerturbAll(values, rng)
+	for _, smooth := range []bool{false, true} {
+		est, err := s.Reconstruct(buckets, EMOptions{Smooth: smooth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		l1 := 0.0
+		for v := range est {
+			if est[v] < -1e-12 {
+				t.Errorf("smooth=%v: negative estimate %g at %d", smooth, est[v], v)
+			}
+			sum += est[v]
+			l1 += math.Abs(est[v] - dist[v])
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("smooth=%v: estimates sum to %g", smooth, sum)
+		}
+		if l1 > 0.15 {
+			t.Errorf("smooth=%v: L1 distance %g too high for eps=2, n=200k", smooth, l1)
+		}
+	}
+}
+
+func TestReconstructRangeAccuracy(t *testing.T) {
+	// What MSW actually consumes: range sums over the reconstruction.
+	c := 64
+	s, _ := New(1.0, c)
+	rng := ldprand.New(3)
+	n := 100_000
+	// Triangular distribution peaked at c/2.
+	values := make([]int, n)
+	for i := range values {
+		values[i] = (rng.IntN(c) + rng.IntN(c)) / 2
+	}
+	truth := make([]float64, c)
+	for _, v := range values {
+		truth[v] += 1.0 / float64(n)
+	}
+	buckets := s.PerturbAll(values, rng)
+	est, err := s.Reconstruct(buckets, EMOptions{Smooth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 31}, {16, 47}, {32, 63}, {10, 20}} {
+		var eSum, tSum float64
+		for v := r[0]; v <= r[1]; v++ {
+			eSum += est[v]
+			tSum += truth[v]
+		}
+		if math.Abs(eSum-tSum) > 0.05 {
+			t.Errorf("range [%d,%d]: est %g vs truth %g", r[0], r[1], eSum, tSum)
+		}
+	}
+}
+
+func TestReconstructEmptyAndErrors(t *testing.T) {
+	s, _ := New(1.0, 8)
+	est, err := s.Reconstruct(make([]int, s.B), EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range est {
+		if math.Abs(e-1.0/8) > 1e-12 {
+			t.Errorf("zero reports should reconstruct uniform, got %v", est)
+		}
+	}
+	if _, err := s.Reconstruct(make([]int, 3), EMOptions{}); err == nil {
+		t.Error("wrong bucket count should fail")
+	}
+}
+
+func TestSmooth3PreservesMass(t *testing.T) {
+	f := []float64{0.5, 0.1, 0.2, 0.15, 0.05}
+	sum := 0.0
+	for _, x := range f {
+		sum += x
+	}
+	smooth3(f)
+	after := 0.0
+	for _, x := range f {
+		after += x
+	}
+	if math.Abs(sum-after) > 1e-12 {
+		t.Errorf("smoothing changed total mass: %g → %g", sum, after)
+	}
+}
+
+func TestPerturbDistributionMatchesDensities(t *testing.T) {
+	// Empirically check Pr[|y − ṽ| ≤ δ] = p·2δ.
+	s, _ := New(1.0, 16)
+	rng := ldprand.New(4)
+	v := 7
+	vt := (float64(v) + 0.5) / 16
+	n := 100_000
+	in := 0
+	for i := 0; i < n; i++ {
+		y := s.Perturb(v, rng)
+		if math.Abs(y-vt) <= s.Delta {
+			in++
+		}
+	}
+	want := s.P * 2 * s.Delta
+	got := float64(in) / float64(n)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("in-band fraction %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,35 @@
+package privmdr
+
+import (
+	"fmt"
+	"strings"
+
+	"privmdr/internal/baselines"
+	"privmdr/internal/core"
+)
+
+// mechByName backs MechanismByName.
+func mechByName(name string) (Mechanism, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "UNI":
+		return baselines.NewUni(), nil
+	case "MSW":
+		return baselines.NewMSW(), nil
+	case "CALM":
+		return baselines.NewCALM(), nil
+	case "HIO":
+		return baselines.NewHIO(), nil
+	case "LHIO":
+		return baselines.NewLHIO(), nil
+	case "TDG":
+		return core.NewTDG(Options{}), nil
+	case "HDG":
+		return core.NewHDG(Options{}), nil
+	case "ITDG":
+		return core.NewTDG(Options{SkipPostProcess: true}), nil
+	case "IHDG":
+		return core.NewHDG(Options{SkipPostProcess: true}), nil
+	default:
+		return nil, fmt.Errorf("privmdr: unknown mechanism %q (want Uni, MSW, CALM, HIO, LHIO, TDG, HDG, ITDG, or IHDG)", name)
+	}
+}

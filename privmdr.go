@@ -1,0 +1,224 @@
+// Package privmdr answers multi-dimensional range queries under local
+// differential privacy (LDP). It is a from-scratch Go implementation of
+//
+//	Yang, Wang, Li, Cheng, Su. "Answering Multi-Dimensional Range Queries
+//	under Local Differential Privacy." PVLDB 13(12), 2020.
+//
+// The headline mechanisms are HDG (Hybrid-Dimensional Grids) and TDG
+// (Two-Dimensional Grids); the package also ships the paper's baselines
+// (Uni, MSW, CALM, HIO, LHIO) so deployments can compare on their own data,
+// plus dataset generators and workload helpers matching the paper's
+// evaluation.
+//
+// # Model
+//
+// There are n users, each holding one record of d ordinal attributes over
+// the domain {0, …, c−1} (c a power of two). An untrusted aggregator wants
+// to answer every range query — a conjunction of per-attribute intervals —
+// over the user population. Each user sends a single ε-LDP report; the
+// aggregator post-processes the reports into an Estimator that answers
+// arbitrary queries with no further privacy cost.
+//
+// # Quick start
+//
+//	ds, _ := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: 100_000, D: 6, C: 64, Seed: 1})
+//	est, _ := privmdr.Fit(privmdr.NewHDG(), ds, 1.0, 7)        // ε = 1
+//	ans, _ := est.Answer(privmdr.Query{
+//	    {Attr: 0, Lo: 16, Hi: 47},
+//	    {Attr: 3, Lo: 0, Hi: 31},
+//	})
+//
+// See examples/ for full programs and EXPERIMENTS.md for the reproduction
+// of every figure and table in the paper.
+package privmdr
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"privmdr/internal/baselines"
+	"privmdr/internal/core"
+	"privmdr/internal/dataset"
+	"privmdr/internal/fo"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/mech"
+	"privmdr/internal/mwem"
+	"privmdr/internal/query"
+)
+
+// Re-exported fundamental types. They alias internal packages so the whole
+// module shares one set of definitions; external callers use them through
+// this package.
+type (
+	// Dataset is a columnar collection of user records; see GenerateDataset
+	// and LoadCSV.
+	Dataset = dataset.Dataset
+	// GenOptions parameterize the synthetic dataset generators.
+	GenOptions = dataset.GenOptions
+	// Pred restricts one attribute to an inclusive value interval.
+	Pred = query.Pred
+	// Query is a conjunction of predicates over distinct attributes.
+	Query = query.Query
+	// Estimator answers range queries from aggregated LDP reports.
+	Estimator = mech.Estimator
+	// Mechanism is a full LDP pipeline: perturb on the user side, aggregate,
+	// return an Estimator.
+	Mechanism = mech.Mechanism
+	// Options tune TDG/HDG; the zero value reproduces the paper's defaults
+	// (guideline granularities, 3 post-processing rounds, weighted-update
+	// tolerance 1/n).
+	Options = core.Options
+	// WUOptions bound the weighted-update loops (Algorithms 1 and 2).
+	WUOptions = mwem.Options
+)
+
+// NewHDG returns the paper's best mechanism: Hybrid-Dimensional Grids.
+func NewHDG() Mechanism { return core.NewHDG(Options{}) }
+
+// NewHDGWithOptions returns HDG with explicit options (granularity
+// overrides, ablation switches, trace collection).
+func NewHDGWithOptions(opts Options) Mechanism { return core.NewHDG(opts) }
+
+// NewTDG returns Two-Dimensional Grids, HDG's simpler sibling.
+func NewTDG() Mechanism { return core.NewTDG(Options{}) }
+
+// NewTDGWithOptions returns TDG with explicit options.
+func NewTDGWithOptions(opts Options) Mechanism { return core.NewTDG(opts) }
+
+// NewUni returns the uniform-guess benchmark.
+func NewUni() Mechanism { return baselines.NewUni() }
+
+// NewMSW returns the Multiplied Square Wave baseline.
+func NewMSW() Mechanism { return baselines.NewMSW() }
+
+// NewCALM returns the CALM marginal-release baseline.
+func NewCALM() Mechanism { return baselines.NewCALM() }
+
+// NewHIO returns the hierarchy-based HIO baseline.
+func NewHIO() Mechanism { return baselines.NewHIO() }
+
+// NewLHIO returns the low-dimensional HIO baseline.
+func NewLHIO() Mechanism { return baselines.NewLHIO() }
+
+// Mechanisms returns one instance of every mechanism, in the paper's
+// plotting order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{NewUni(), NewMSW(), NewCALM(), NewHIO(), NewLHIO(), NewTDG(), NewHDG()}
+}
+
+// MechanismByName resolves a mechanism from its paper name
+// (case-insensitive). Recognized: Uni, MSW, CALM, HIO, LHIO, TDG, HDG,
+// ITDG, IHDG.
+func MechanismByName(name string) (Mechanism, error) {
+	return mechByName(name)
+}
+
+// Fit runs mechanism m over ds with privacy budget eps, deriving all
+// randomness (group splits, perturbation) from seed. Identical inputs give
+// identical estimators.
+func Fit(m Mechanism, ds *Dataset, eps float64, seed uint64) (Estimator, error) {
+	return m.Fit(ds, eps, ldprand.Split(seed, 0x666974))
+}
+
+// FitWithRand is Fit with a caller-supplied random source, for integration
+// into existing pipelines.
+func FitWithRand(m Mechanism, ds *Dataset, eps float64, rng *rand.Rand) (Estimator, error) {
+	return m.Fit(ds, eps, rng)
+}
+
+// GenerateDataset draws a synthetic dataset by generator name: "ipums",
+// "bfive", "normal", "laplace", "loan", "acs", or "uniform" (see DESIGN.md
+// for what each simulates).
+func GenerateDataset(name string, opt GenOptions) (*Dataset, error) {
+	return dataset.ByName(name, opt)
+}
+
+// LoadCSV reads integer CSV records (one header row, values in [0, c)) into
+// a Dataset.
+func LoadCSV(r io.Reader, c int) (*Dataset, error) {
+	return dataset.LoadCSV(r, c)
+}
+
+// RandomWorkload draws num λ-dimensional range queries with per-attribute
+// volume omega, matching the paper's evaluation workloads.
+func RandomWorkload(num, lambda, d, c int, omega float64, seed uint64) ([]Query, error) {
+	return query.RandomWorkload(ldprand.Split(seed, 0x71757279), num, lambda, d, c, omega)
+}
+
+// TrueAnswers computes the exact workload answers over a dataset.
+func TrueAnswers(ds *Dataset, qs []Query) []float64 {
+	return query.TrueAnswers(ds, qs)
+}
+
+// Answers evaluates a fitted estimator on a workload.
+func Answers(est Estimator, qs []Query) ([]float64, error) {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		a, err := est.Answer(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// MAE is the paper's utility metric: the mean absolute error between
+// estimated and true answers.
+func MAE(est, truth []float64) float64 { return query.MAE(est, truth) }
+
+// GuidelineGranularities returns the (g₁, g₂) the Section 4.6 guideline
+// selects for HDG at the given parameters — the values Table 2 tabulates.
+func GuidelineGranularities(eps float64, n, d, c int) (g1, g2 int, err error) {
+	return core.HDGGranularities(eps, n, d, c, core.DefaultAlpha1, core.DefaultAlpha2)
+}
+
+// Deployment-shaped API: a real rollout separates the client side (one
+// ClientReport per user) from the aggregator side (Collector). Fit wraps
+// both for simulations; these types let you put the ε-LDP boundary on the
+// wire. See examples/distributed.
+type (
+	// Params are the public parameters shared by aggregator and clients.
+	Params = core.Params
+	// Assignment tells one user which grid to report.
+	Assignment = core.Assignment
+	// Report is a user's single sanitized message.
+	Report = fo.Report
+	// Collector is the aggregator side of an HDG deployment.
+	Collector = core.Collector
+)
+
+// NewCollector prepares the aggregator side of an HDG deployment.
+func NewCollector(p Params) (*Collector, error) {
+	return core.NewCollector(p, Options{})
+}
+
+// NewCollectorWithOptions is NewCollector with explicit HDG options.
+func NewCollectorWithOptions(p Params, opts Options) (*Collector, error) {
+	return core.NewCollector(p, opts)
+}
+
+// ClientReport is the client side of a deployment: it turns one user's
+// record into the single ε-LDP report for their assigned grid.
+func ClientReport(p Params, a Assignment, record []int, rng *rand.Rand) (Report, error) {
+	return core.ClientReport(p, a, record, rng)
+}
+
+// NewClientRand returns a random source suitable for client-side
+// perturbation. Production clients should seed from the OS entropy pool;
+// this helper exists so simulations stay reproducible.
+func NewClientRand(seed uint64) *rand.Rand { return ldprand.New(seed) }
+
+// SaveEstimator persists a fitted HDG estimator as JSON. The snapshot is
+// post-processed output of ε-LDP reports, so storing or shipping it adds no
+// privacy cost. Only HDG estimators (Fit(NewHDG...) or Collector.Finalize)
+// are serializable.
+func SaveEstimator(w io.Writer, est Estimator) error {
+	return core.SaveEstimator(w, est)
+}
+
+// LoadEstimator reads an estimator written by SaveEstimator; the result
+// answers queries identically to the original.
+func LoadEstimator(r io.Reader) (Estimator, error) {
+	return core.LoadEstimator(r)
+}

@@ -1,0 +1,263 @@
+package privmdr_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"privmdr"
+)
+
+func genSmall(t *testing.T) *privmdr.Dataset {
+	t.Helper()
+	ds, err := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: 15_000, D: 4, C: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestMechanismsList(t *testing.T) {
+	ms := privmdr.Mechanisms()
+	want := []string{"Uni", "MSW", "CALM", "HIO", "LHIO", "TDG", "HDG"}
+	if len(ms) != len(want) {
+		t.Fatalf("got %d mechanisms", len(ms))
+	}
+	for i, m := range ms {
+		if m.Name() != want[i] {
+			t.Errorf("mechanism %d = %s, want %s", i, m.Name(), want[i])
+		}
+	}
+}
+
+func TestMechanismByName(t *testing.T) {
+	for _, name := range []string{"uni", "MSW", "calm", "HIO", "lhio", "TDG", "hdg", "ITDG", "ihdg"} {
+		m, err := privmdr.MechanismByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !strings.EqualFold(m.Name(), name) {
+			t.Errorf("MechanismByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := privmdr.MechanismByName("bogus"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestFitDeterministicAcrossCalls(t *testing.T) {
+	ds := genSmall(t)
+	q := privmdr.Query{{Attr: 0, Lo: 4, Hi: 19}, {Attr: 2, Lo: 0, Hi: 15}}
+	var answers []float64
+	for i := 0; i < 2; i++ {
+		est, err := privmdr.Fit(privmdr.NewHDG(), ds, 1.0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := est.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers = append(answers, a)
+	}
+	if answers[0] != answers[1] {
+		t.Errorf("same seed produced %g then %g", answers[0], answers[1])
+	}
+	est, err := privmdr.Fit(privmdr.NewHDG(), ds, 1.0, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := est.Answer(q)
+	if a == answers[0] {
+		t.Log("different seeds matched exactly — astronomically unlikely but not impossible")
+	}
+}
+
+func TestEndToEndWorkflow(t *testing.T) {
+	ds := genSmall(t)
+	qs, err := privmdr.RandomWorkload(40, 2, ds.D(), ds.C, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := privmdr.TrueAnswers(ds, qs)
+	est, err := privmdr.Fit(privmdr.NewHDG(), ds, 2.0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := privmdr.Answers(est, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae := privmdr.MAE(answers, truth)
+	uniMAE := 0.0
+	for i, q := range qs {
+		uniMAE += math.Abs(q.Volume(ds.C) - truth[i])
+	}
+	uniMAE /= float64(len(qs))
+	if mae >= uniMAE {
+		t.Errorf("HDG MAE %g not better than uniform guess %g", mae, uniMAE)
+	}
+}
+
+func TestAnswersErrorPropagation(t *testing.T) {
+	ds := genSmall(t)
+	est, err := privmdr.Fit(privmdr.NewUni(), ds, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := privmdr.Answers(est, []privmdr.Query{{{Attr: 99, Lo: 0, Hi: 1}}}); err == nil {
+		t.Error("invalid query should propagate an error")
+	}
+}
+
+func TestGuidelineGranularitiesPublic(t *testing.T) {
+	g1, g2, err := privmdr.GuidelineGranularities(1.0, 1_000_000, 6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != 16 || g2 != 4 {
+		t.Errorf("guideline = (%d,%d), Table 2 says (16,4)", g1, g2)
+	}
+}
+
+func TestGenerateDatasetNames(t *testing.T) {
+	for _, name := range []string{"ipums", "bfive", "normal", "laplace", "loan", "acs", "uniform"} {
+		ds, err := privmdr.GenerateDataset(name, privmdr.GenOptions{N: 100, D: 3, C: 16, Seed: 2})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if ds.N() != 100 {
+			t.Errorf("%s: n = %d", name, ds.N())
+		}
+	}
+	if _, err := privmdr.GenerateDataset("unknown", privmdr.GenOptions{N: 10, D: 2, C: 8}); err == nil {
+		t.Error("unknown generator should fail")
+	}
+}
+
+func TestLoadCSVPublic(t *testing.T) {
+	ds := genSmall(t)
+	var buf bytes.Buffer
+	if err := ds.SaveCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := privmdr.LoadCSV(&buf, ds.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.D() != ds.D() {
+		t.Errorf("round trip shape (%d,%d)", back.N(), back.D())
+	}
+}
+
+func TestOptionsAblation(t *testing.T) {
+	ds := genSmall(t)
+	m := privmdr.NewHDGWithOptions(privmdr.Options{SkipPostProcess: true})
+	if m.Name() != "IHDG" {
+		t.Errorf("ablation name = %s", m.Name())
+	}
+	if _, err := privmdr.Fit(m, ds, 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	tm := privmdr.NewTDGWithOptions(privmdr.Options{G2: 4})
+	est, err := privmdr.Fit(tm, ds, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Answer(privmdr.Query{{Attr: 0, Lo: 0, Hi: 15}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllMechanismsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ds, err := privmdr.GenerateDataset("ipums", privmdr.GenOptions{N: 12_000, D: 3, C: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := privmdr.RandomWorkload(20, 2, 3, 16, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := privmdr.TrueAnswers(ds, qs)
+	for _, m := range privmdr.Mechanisms() {
+		est, err := privmdr.Fit(m, ds, 1.0, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		answers, err := privmdr.Answers(est, qs)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		mae := privmdr.MAE(answers, truth)
+		if math.IsNaN(mae) || math.IsInf(mae, 0) {
+			t.Errorf("%s produced non-finite MAE", m.Name())
+		}
+	}
+}
+
+func TestSaveLoadEstimatorPublic(t *testing.T) {
+	ds := genSmall(t)
+	est, err := privmdr.Fit(privmdr.NewHDG(), ds, 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := privmdr.SaveEstimator(&buf, est); err != nil {
+		t.Fatal(err)
+	}
+	back, err := privmdr.LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := privmdr.Query{{Attr: 0, Lo: 4, Hi: 19}, {Attr: 2, Lo: 0, Hi: 15}}
+	a1, _ := est.Answer(q)
+	a2, _ := back.Answer(q)
+	if a1 != a2 {
+		t.Errorf("round-trip answers diverge: %g vs %g", a1, a2)
+	}
+}
+
+func TestCollectorPublicFlow(t *testing.T) {
+	ds := genSmall(t)
+	p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 2.0, Seed: 8}
+	coll, err := privmdr.NewCollector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := make([]int, ds.D())
+	for u := 0; u < ds.N(); u++ {
+		a, err := coll.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		rep, err := privmdr.ClientReport(p, a, record, privmdr.NewClientRand(uint64(u)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Submit(a, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := privmdr.Query{{Attr: 0, Lo: 0, Hi: 15}}
+	if _, err := est.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	// The finalized estimator is also serializable.
+	var buf bytes.Buffer
+	if err := privmdr.SaveEstimator(&buf, est); err != nil {
+		t.Fatal(err)
+	}
+}
