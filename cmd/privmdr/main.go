@@ -1,6 +1,8 @@
 // privmdr is the end-user tool: generate synthetic datasets, run an LDP
-// mechanism end-to-end over a CSV of ordinal records, and answer
-// multi-dimensional range queries from the private aggregate.
+// mechanism end-to-end over a CSV of ordinal records, answer
+// multi-dimensional range queries from the private aggregate — and drive
+// the two sides of a real deployment separately through the protocol API
+// (params / client / serve).
 //
 // Usage:
 //
@@ -8,19 +10,42 @@
 //	privmdr run -in data.csv -c 64 -mech HDG -eps 1.0 -queries "0:16-47,3:0-31;1:8-39"
 //	privmdr eval -in data.csv -c 64 -mech HDG -eps 1.0 -lambda 2 -num 100
 //
+//	privmdr params -mech HDG -n 100000 -d 6 -c 64 -eps 1.0 -seed 7 -out params.json
+//	privmdr client -params params.json -in data.csv -users 0:50000 -out shard0.bin
+//	privmdr client -params params.json -in data.csv -users 50000:100000 -out shard1.bin
+//	privmdr serve -params params.json -reports shard0.bin,shard1.bin -queries "0:16-47,3:0-31"
+//
 // Query syntax: semicolon-separated queries, each a comma-separated list of
 // attr:lo-hi predicates (0-based inclusive).
 package main
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strconv"
 	"strings"
 
 	"privmdr"
 )
+
+// osEntropyRand returns a generator seeded from the OS entropy pool — the
+// default for real client-side perturbation, where unpredictability is the
+// privacy guarantee.
+func osEntropyRand() (*rand.Rand, error) {
+	var buf [16]byte
+	if _, err := cryptorand.Read(buf[:]); err != nil {
+		return nil, fmt.Errorf("client: cannot read OS entropy: %w", err)
+	}
+	return rand.New(rand.NewPCG(
+		binary.LittleEndian.Uint64(buf[:8]),
+		binary.LittleEndian.Uint64(buf[8:]),
+	)), nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -37,6 +62,12 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "marginal":
 		err = cmdMarginal(os.Args[2:])
+	case "params":
+		err = cmdParams(os.Args[2:])
+	case "client":
+		err = cmdClient(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -52,17 +83,244 @@ func main() {
 func usage() {
 	fmt.Println(`privmdr — multi-dimensional range queries under local differential privacy
 
-subcommands:
+batch subcommands (simulate both sides in one process):
   gen       generate a synthetic dataset as CSV
   run       fit a mechanism on a CSV and answer explicit queries
   eval      fit a mechanism and report MAE on a random workload
   marginal  fit a mechanism and export a private 2-D marginal as CSV
 
+protocol subcommands (drive the two deployment sides separately):
+  params    publish the public parameters of a deployment as JSON
+  client    produce the ε-LDP report shard for a range of users (wire format)
+  serve     ingest report shards, finalize, and answer queries
+
 examples:
   privmdr gen -data normal -n 100000 -d 6 -c 64 -out data.csv
   privmdr run -in data.csv -c 64 -mech HDG -eps 1.0 -queries "0:16-47,3:0-31"
   privmdr eval -in data.csv -c 64 -mech HDG -eps 1.0 -lambda 2 -num 100
-  privmdr marginal -in data.csv -c 64 -eps 1.0 -attrs 0,3 -out marg.csv`)
+  privmdr marginal -in data.csv -c 64 -eps 1.0 -attrs 0,3 -out marg.csv
+  privmdr params -mech HDG -n 100000 -d 6 -c 64 -eps 1.0 -seed 7 -out params.json
+  privmdr client -params params.json -in data.csv -users 0:50000 -out shard0.bin
+  privmdr serve -params params.json -reports shard0.bin,shard1.bin -queries "0:16-47"`)
+}
+
+// paramsFile is the on-disk form of a deployment's public parameters: the
+// mechanism name plus privmdr.Params. Everything in it is public — it is
+// what the aggregator publishes to every client.
+type paramsFile struct {
+	Mechanism string `json:"mechanism"`
+	privmdr.Params
+}
+
+func loadParams(path string) (paramsFile, privmdr.Protocol, error) {
+	var pf paramsFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return pf, nil, err
+	}
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return pf, nil, fmt.Errorf("params file %s: %w", path, err)
+	}
+	proto, err := privmdr.ProtocolByName(pf.Mechanism, pf.Params)
+	if err != nil {
+		return pf, nil, err
+	}
+	return pf, proto, nil
+}
+
+func cmdParams(args []string) error {
+	fs := flag.NewFlagSet("params", flag.ExitOnError)
+	mechName := fs.String("mech", "HDG", "mechanism: Uni|MSW|CALM|HIO|LHIO|TDG|HDG")
+	n := fs.Int("n", 100_000, "number of enrolled users")
+	d := fs.Int("d", 6, "attributes per record")
+	c := fs.Int("c", 64, "domain size (power of two)")
+	eps := fs.Float64("eps", 1.0, "privacy budget epsilon")
+	seed := fs.Uint64("seed", 1, "public assignment seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pf := paramsFile{
+		Mechanism: *mechName,
+		Params:    privmdr.Params{N: *n, D: *d, C: *c, Eps: *eps, Seed: *seed},
+	}
+	// Construct the protocol once so infeasible parameters fail here, not
+	// on every client.
+	if _, err := privmdr.ProtocolByName(pf.Mechanism, pf.Params); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func cmdClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	paramsPath := fs.String("params", "", "public parameters JSON (required)")
+	in := fs.String("in", "", "input CSV holding the users' records (required)")
+	users := fs.String("users", "", "user range lo:hi, hi exclusive (default all)")
+	sim := fs.Bool("sim", false, "derive client randomness from the public seed (reproducible SIMULATION ONLY — invertible by anyone holding the params, so no privacy)")
+	out := fs.String("out", "", "output report shard (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *paramsPath == "" || *in == "" || *out == "" {
+		return fmt.Errorf("client: -params, -in, and -out are required")
+	}
+	pf, proto, err := loadParams(*paramsPath)
+	if err != nil {
+		return err
+	}
+	ds, err := loadData(*in, pf.C)
+	if err != nil {
+		return err
+	}
+	if ds.N() != pf.N || ds.D() != pf.D {
+		return fmt.Errorf("client: dataset shape (n=%d d=%d) does not match params (n=%d d=%d)",
+			ds.N(), ds.D(), pf.N, pf.D)
+	}
+	lo, hi := 0, pf.N
+	if *users != "" {
+		lo, hi, err = parseUserRange(*users, pf.N)
+		if err != nil {
+			return err
+		}
+	}
+	// Each iteration is one client: only the report joins the shard. By
+	// default perturbation draws from OS entropy — the randomness is what
+	// makes the report ε-LDP, so it must be unpredictable to anyone who
+	// knows the public parameters. -sim switches to the seed-derived
+	// stream for reproducible simulations.
+	reports := make([]privmdr.Report, 0, hi-lo)
+	record := make([]int, pf.D)
+	for u := lo; u < hi; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			return err
+		}
+		for t := 0; t < pf.D; t++ {
+			record[t] = ds.Value(t, u)
+		}
+		var rng *rand.Rand
+		if *sim {
+			rng = privmdr.ClientRand(pf.Params, u)
+		} else {
+			rng, err = osEntropyRand()
+			if err != nil {
+				return err
+			}
+		}
+		rep, err := proto.ClientReport(a, record, rng)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	frame, err := privmdr.EncodeReports(reports)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, frame, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d reports (%d bytes) for users [%d,%d) to %s\n", len(reports), len(frame), lo, hi, *out)
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	paramsPath := fs.String("params", "", "public parameters JSON (required)")
+	reportsArg := fs.String("reports", "", "comma-separated report shards (required)")
+	queries := fs.String("queries", "", "semicolon-separated queries, predicates attr:lo-hi (required)")
+	save := fs.String("save", "", "also persist the finalized estimator as JSON (HDG only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *paramsPath == "" || *reportsArg == "" || *queries == "" {
+		return fmt.Errorf("serve: -params, -reports, and -queries are required")
+	}
+	pf, proto, err := loadParams(*paramsPath)
+	if err != nil {
+		return err
+	}
+	qs, err := parseQueries(*queries)
+	if err != nil {
+		return err
+	}
+	coll, err := proto.NewCollector()
+	if err != nil {
+		return err
+	}
+	for _, path := range strings.Split(*reportsArg, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		frame, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		batch, err := privmdr.DecodeReports(frame)
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", path, err)
+		}
+		if err := coll.SubmitBatch(batch); err != nil {
+			return fmt.Errorf("shard %s: %w", path, err)
+		}
+	}
+	received := coll.Received()
+	est, err := coll.Finalize()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  n=%d (received %d reports) d=%d c=%d eps=%g\n",
+		pf.Mechanism, pf.N, received, pf.D, pf.C, pf.Eps)
+	for _, q := range qs {
+		a, err := est.Answer(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-40s  %.6f\n", formatQuery(q), a)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := privmdr.SaveEstimator(f, est); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseUserRange parses "lo:hi" (hi exclusive), rejecting ranges that fall
+// outside [0, n) or are empty.
+func parseUserRange(s string, n int) (lo, hi int, err error) {
+	parts := strings.SplitN(strings.TrimSpace(s), ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad user range %q (want lo:hi)", s)
+	}
+	lo, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad user range %q: %w", s, err)
+	}
+	hi, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad user range %q: %w", s, err)
+	}
+	if lo < 0 || hi > n || lo >= hi {
+		return 0, 0, fmt.Errorf("user range %q outside [0,%d)", s, n)
+	}
+	return lo, hi, nil
 }
 
 func cmdGen(args []string) error {

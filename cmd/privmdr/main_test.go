@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -56,5 +58,54 @@ func TestParsePair(t *testing.T) {
 		if _, _, err := parsePair(bad); err == nil {
 			t.Errorf("parsePair(%q) should fail", bad)
 		}
+	}
+}
+
+func TestParseUserRange(t *testing.T) {
+	lo, hi, err := parseUserRange("10:200", 1000)
+	if err != nil || lo != 10 || hi != 200 {
+		t.Errorf("parseUserRange = (%d,%d,%v)", lo, hi, err)
+	}
+	for _, bad := range []string{"", "5", "x:10", "5:y", "-1:10", "10:5", "0:2000"} {
+		if _, _, err := parseUserRange(bad, 1000); err == nil {
+			t.Errorf("parseUserRange(%q) should fail", bad)
+		}
+	}
+}
+
+func TestProtocolPipeline(t *testing.T) {
+	// gen → params → two client shards → serve: the full two-sided flow
+	// through files, the way a scripted deployment would run it.
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	params := filepath.Join(dir, "params.json")
+	shard0 := filepath.Join(dir, "shard0.bin")
+	shard1 := filepath.Join(dir, "shard1.bin")
+	est := filepath.Join(dir, "est.json")
+
+	if err := cmdGen([]string{"-data", "uniform", "-n", "6000", "-d", "3", "-c", "16", "-seed", "5", "-out", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdParams([]string{"-mech", "HDG", "-n", "6000", "-d", "3", "-c", "16", "-eps", "2.0", "-seed", "9", "-out", params}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdClient([]string{"-params", params, "-in", data, "-users", "0:3000", "-sim", "-out", shard0}); err != nil {
+		t.Fatal(err)
+	}
+	// The second shard uses the default OS-entropy clients.
+	if err := cmdClient([]string{"-params", params, "-in", data, "-users", "3000:6000", "-out", shard1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdServe([]string{"-params", params, "-reports", shard0 + "," + shard1, "-queries", "0:0-7,1:0-7", "-save", est}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{shard0, shard1, est} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Errorf("%s missing or empty", f)
+		}
+	}
+	// Infeasible params must fail at publication time.
+	if err := cmdParams([]string{"-mech", "HIO", "-n", "10", "-d", "6", "-c", "64", "-out", filepath.Join(dir, "bad.json")}); err == nil {
+		t.Error("infeasible params accepted")
 	}
 }

@@ -1,9 +1,10 @@
 // Distributed: the deployment-shaped flow. Unlike Fit — which simulates
 // clients and aggregator in one call — this example keeps the two sides
-// apart the way a real rollout would: the aggregator publishes parameters
-// and assignments, every client produces exactly one ε-LDP report from its
-// own record, and the aggregator finalizes the reports into an estimator.
-// The only user-derived bytes crossing the boundary are the reports.
+// apart the way a real rollout would: both sides build the same Protocol
+// from the public parameters, every client produces exactly one ε-LDP
+// report from its own record, and the aggregator finalizes the reports into
+// an estimator. The only user-derived bytes crossing the boundary are the
+// serialized reports.
 //
 // Run with:
 //
@@ -31,34 +32,48 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// ── Aggregator: publish public parameters, prepare collection. ──
+	// ── Both sides: the protocol is a pure function of public parameters. ──
 	params := privmdr.Params{N: n, D: d, C: c, Eps: eps, Seed: 99}
-	collector, err := privmdr.NewCollector(params)
+	proto, err := privmdr.NewHDG().Protocol(params)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resolved := collector.Params()
-	fmt.Printf("public parameters: n=%d d=%d c=%d eps=%g  guideline grids g1=%d g2=%d\n",
-		resolved.N, resolved.D, resolved.C, resolved.Eps, resolved.G1, resolved.G2)
+	g1, g2, _ := privmdr.GuidelineGranularities(eps, n, d, c)
+	fmt.Printf("public parameters: n=%d d=%d c=%d eps=%g  %d groups, guideline grids g1=%d g2=%d\n",
+		params.N, params.D, params.C, params.Eps, proto.NumGroups(), g1, g2)
+
+	// ── Aggregator: prepare collection. ──
+	collector, err := proto.NewCollector()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// ── Clients: each user perturbs their own record once. ──
 	record := make([]int, d)
 	for user := 0; user < n; user++ {
-		assignment, err := collector.Assignment(user)
+		assignment, err := proto.Assignment(user)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for t := 0; t < d; t++ {
 			record[t] = ds.Value(t, user)
 		}
-		// A real client seeds from the OS entropy pool; the simulation seeds
-		// per user for reproducibility.
-		report, err := privmdr.ClientReport(params, assignment, record, privmdr.NewClientRand(uint64(user)))
+		// A real client perturbs with OS entropy; the simulation derives
+		// per-user randomness from the public seed for reproducibility.
+		report, err := proto.ClientReport(assignment, record, privmdr.ClientRand(params, user))
 		if err != nil {
 			log.Fatal(err)
 		}
-		// ── wire boundary: only (assignment, report) reach the server ──
-		if err := collector.Submit(assignment, report); err != nil {
+		// ── wire boundary: only the serialized report reaches the server ──
+		wire, err := report.MarshalBinary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var received privmdr.Report
+		if err := received.UnmarshalBinary(wire); err != nil {
+			log.Fatal(err)
+		}
+		if err := collector.Submit(received); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,3 @@
+module privmdr
+
+go 1.24

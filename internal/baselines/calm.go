@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"privmdr/internal/consistency"
@@ -43,41 +44,104 @@ type calmEstimator struct {
 	wu     mwem.Options
 }
 
-// Fit implements mech.Mechanism.
+// Fit implements mech.Mechanism as a thin wrapper over the protocol path.
 func (m *CALM) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
-	if err := mech.ValidateFit(ds, eps, 2); err != nil {
+	return mech.FitViaProtocol(m, ds, eps, rng)
+}
+
+// calmProtocol is CALM's deployment face: one group per attribute pair,
+// each reporting its full-resolution c×c joint cell through the adaptive
+// frequency oracle.
+type calmProtocol struct {
+	p      mech.Params
+	opts   CALM
+	pairs  [][2]int
+	as     *mech.Assigner
+	oracle fo.Oracle // shared: every pair uses domain c²
+}
+
+// Protocol implements mech.Mechanism.
+func (m *CALM) Protocol(p mech.Params) (mech.Protocol, error) {
+	if err := p.Validate(2); err != nil {
 		return nil, err
 	}
-	d, n, c := ds.D(), ds.N(), ds.C
-	pairs := mech.AllPairs(d)
-	groups, err := mech.SplitGroups(rng, n, len(pairs))
+	pairs := mech.AllPairs(p.D)
+	as, err := mech.NewAssigner(p.Seed, mech.EvenBounds(p.N, len(pairs)))
 	if err != nil {
 		return nil, err
 	}
+	oracle, err := fo.NewAuto(p.Eps, p.C*p.C)
+	if err != nil {
+		return nil, err
+	}
+	return &calmProtocol{p: p, opts: *m, pairs: pairs, as: as, oracle: oracle}, nil
+}
 
+// Name implements mech.Protocol.
+func (*calmProtocol) Name() string { return "CALM" }
+
+// Params implements mech.Protocol.
+func (pr *calmProtocol) Params() mech.Params { return pr.p }
+
+// NumGroups implements mech.Protocol.
+func (pr *calmProtocol) NumGroups() int { return len(pr.pairs) }
+
+// Assignment implements mech.Protocol.
+func (pr *calmProtocol) Assignment(user int) (mech.Assignment, error) {
+	g, err := pr.as.GroupOf(user)
+	if err != nil {
+		return mech.Assignment{}, err
+	}
+	pair := pr.pairs[g]
+	return mech.Assignment{Group: g, Attr1: pair[0], Attr2: pair[1], Domain: pr.p.C * pr.p.C}, nil
+}
+
+// ClientReport implements mech.Protocol: the report encodes the user's
+// full-resolution joint cell for the assigned pair.
+func (pr *calmProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.Rand) (mech.Report, error) {
+	if a.Group < 0 || a.Group >= len(pr.pairs) {
+		return mech.Report{}, fmt.Errorf("baselines: assignment group %d outside [0,%d)", a.Group, len(pr.pairs))
+	}
+	if err := mech.CheckRecord(pr.p, record); err != nil {
+		return mech.Report{}, err
+	}
+	pair := pr.pairs[a.Group]
+	cell := record[pair[0]]*pr.p.C + record[pair[1]]
+	return mech.FromFO(a.Group, pr.oracle.Perturb(cell, rng)), nil
+}
+
+// NewCollector implements mech.Protocol.
+func (pr *calmProtocol) NewCollector() (mech.Collector, error) {
+	return &calmCollector{Ingest: mech.NewIngest(len(pr.pairs), mech.OracleCheck(pr.oracle)), pr: pr}, nil
+}
+
+// calmCollector is the aggregator side of a CALM deployment.
+type calmCollector struct {
+	*mech.Ingest
+	pr *calmProtocol
+}
+
+// Finalize implements mech.Collector.
+func (c *calmCollector) Finalize() (mech.Estimator, error) {
+	byGroup, err := c.Drain()
+	if err != nil {
+		return nil, err
+	}
+	pr := c.pr
+	d, n, cc := pr.p.D, pr.p.N, pr.p.C
+	pairs := pr.pairs
 	// Full-resolution marginals are grids with granularity c.
 	marginals := make([]*grid.Grid2D, len(pairs))
-	for pi, pair := range pairs {
-		g, err := grid.NewGrid2D(c, c)
+	for pi := range pairs {
+		g, err := grid.NewGrid2D(cc, cc)
 		if err != nil {
 			return nil, err
 		}
-		oracle, err := fo.NewAuto(eps, c*c)
-		if err != nil {
-			return nil, err
-		}
-		rows := groups[pi]
-		cells := make([]int, len(rows))
-		colJ, colK := ds.Cols[pair[0]], ds.Cols[pair[1]]
-		for i, r := range rows {
-			cells[i] = g.CellOf(int(colJ[r]), int(colK[r]))
-		}
-		reports := fo.PerturbAll(oracle, cells, rng)
-		copy(g.Freq, oracle.EstimateAll(reports))
+		copy(g.Freq, pr.oracle.EstimateAll(mech.FOReports(byGroup[pi])))
 		marginals[pi] = g
 	}
 
-	rounds := m.Rounds
+	rounds := pr.opts.Rounds
 	if rounds <= 0 {
 		rounds = 3
 	}
@@ -107,17 +171,17 @@ func (m *CALM) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estim
 
 	prefix := make([]*mathx.Prefix2D, len(pairs))
 	for pi, g := range marginals {
-		p, err := mathx.NewPrefix2D(g.Freq, c, c)
+		p, err := mathx.NewPrefix2D(g.Freq, cc, cc)
 		if err != nil {
 			return nil, err
 		}
 		prefix[pi] = p
 	}
-	wu := m.WU
+	wu := pr.opts.WU
 	if wu.Tol <= 0 {
 		wu.Tol = 1 / float64(n)
 	}
-	return &calmEstimator{c: c, d: d, prefix: prefix, wu: wu}, nil
+	return &calmEstimator{c: cc, d: d, prefix: prefix, wu: wu}, nil
 }
 
 func (e *calmEstimator) pair2D(a, b int, pa, pb query.Pred) (float64, error) {

@@ -48,21 +48,38 @@ type hioEstimator struct {
 	levels    int // levels per attribute (h+1)
 	oracles   []*fo.OLH
 	reports   [][]fo.Report
-	sizes     []int // group populations
 	memo      map[hioKey]float64
 	maxCombos int
 }
 
-// Fit implements mech.Mechanism.
+// Fit implements mech.Mechanism as a thin wrapper over the protocol path.
 func (m *HIO) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
-	if err := mech.ValidateFit(ds, eps, 1); err != nil {
+	return mech.FitViaProtocol(m, ds, eps, rng)
+}
+
+// hioProtocol is HIO's deployment face: one group per d-dimensional
+// hierarchy level; a report encodes the user's whole record as the flat
+// index of its d-dim interval at the group's level vector.
+type hioProtocol struct {
+	p       mech.Params
+	opts    HIO
+	tree    *hierarchy.Tree
+	levels  int
+	as      *mech.Assigner
+	oracles []*fo.OLH // per group
+	lvls    [][]int   // per group: the level vector decodeLevels yields
+}
+
+// Protocol implements mech.Mechanism.
+func (m *HIO) Protocol(p mech.Params) (mech.Protocol, error) {
+	if err := p.Validate(1); err != nil {
 		return nil, err
 	}
 	b := m.B
 	if b == 0 {
 		b = 4
 	}
-	d, n, c := ds.D(), ds.N(), ds.C
+	d, n, c := p.D, p.N, p.C
 	tree, err := hierarchy.New(b, c)
 	if err != nil {
 		return nil, err
@@ -79,17 +96,16 @@ func (m *HIO) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estima
 	if numGroups > n {
 		return nil, fmt.Errorf("baselines: HIO needs %d groups but only has %d users", numGroups, n)
 	}
-
-	groups, err := mech.SplitGroups(rng, n, numGroups)
+	as, err := mech.NewAssigner(p.Seed, mech.EvenBounds(n, numGroups))
 	if err != nil {
 		return nil, err
 	}
 	oracles := make([]*fo.OLH, numGroups)
-	reports := make([][]fo.Report, numGroups)
-	sizes := make([]int, numGroups)
-	lvl := make([]int, d)
+	lvls := make([][]int, numGroups)
 	for li := 0; li < numGroups; li++ {
+		lvl := make([]int, d)
 		decodeLevels(li, levels, lvl)
+		lvls[li] = lvl
 		// The d-dim level's domain is the product of its per-attribute
 		// interval counts.
 		domain := uint64(1)
@@ -99,34 +115,86 @@ func (m *HIO) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estima
 				return nil, fmt.Errorf("baselines: HIO level domain overflows (c=%d, d=%d)", c, d)
 			}
 		}
-		oracle, err := fo.NewOLH(eps, int(max64(domain, 2)))
+		oracle, err := fo.NewOLH(p.Eps, int(max64(domain, 2)))
 		if err != nil {
 			return nil, err
 		}
 		oracles[li] = oracle
-		rows := groups[li]
-		sizes[li] = len(rows)
-		reps := make([]fo.Report, len(rows))
-		for i, r := range rows {
-			id := uint64(0)
-			stride := uint64(1)
-			for t := 0; t < d; t++ {
-				idx := tree.IndexOf(lvl[t], int(ds.Cols[t][r]))
-				id += uint64(idx) * stride
-				stride *= uint64(tree.CountAt(lvl[t]))
-			}
-			reps[i] = oracle.Perturb(int(id), rng)
-		}
-		reports[li] = reps
 	}
-	maxCombos := m.MaxCombos
+	return &hioProtocol{p: p, opts: *m, tree: tree, levels: levels, as: as, oracles: oracles, lvls: lvls}, nil
+}
+
+// Name implements mech.Protocol.
+func (*hioProtocol) Name() string { return "HIO" }
+
+// Params implements mech.Protocol.
+func (pr *hioProtocol) Params() mech.Params { return pr.p }
+
+// NumGroups implements mech.Protocol.
+func (pr *hioProtocol) NumGroups() int { return len(pr.oracles) }
+
+// Assignment implements mech.Protocol: the group's report reads the whole
+// record (Attr1 < 0), over the level vector's product domain.
+func (pr *hioProtocol) Assignment(user int) (mech.Assignment, error) {
+	g, err := pr.as.GroupOf(user)
+	if err != nil {
+		return mech.Assignment{}, err
+	}
+	return mech.Assignment{Group: g, Attr1: -1, Attr2: -1, Domain: pr.oracles[g].Domain()}, nil
+}
+
+// ClientReport implements mech.Protocol.
+func (pr *hioProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.Rand) (mech.Report, error) {
+	if a.Group < 0 || a.Group >= len(pr.oracles) {
+		return mech.Report{}, fmt.Errorf("baselines: assignment group %d outside [0,%d)", a.Group, len(pr.oracles))
+	}
+	if err := mech.CheckRecord(pr.p, record); err != nil {
+		return mech.Report{}, err
+	}
+	lvl := pr.lvls[a.Group]
+	id := uint64(0)
+	stride := uint64(1)
+	for t := 0; t < pr.p.D; t++ {
+		idx := pr.tree.IndexOf(lvl[t], record[t])
+		id += uint64(idx) * stride
+		stride *= uint64(pr.tree.CountAt(lvl[t]))
+	}
+	return mech.FromFO(a.Group, pr.oracles[a.Group].Perturb(int(id), rng)), nil
+}
+
+// NewCollector implements mech.Protocol.
+func (pr *hioProtocol) NewCollector() (mech.Collector, error) {
+	check := func(r mech.Report) error { return pr.oracles[r.Group].CheckReport(r.FO()) }
+	return &hioCollector{Ingest: mech.NewIngest(len(pr.oracles), check), pr: pr}, nil
+}
+
+// hioCollector is the aggregator side of an HIO deployment.
+type hioCollector struct {
+	*mech.Ingest
+	pr *hioProtocol
+}
+
+// Finalize implements mech.Collector: HIO aggregation is lazy — the
+// estimator keeps the raw per-group reports and estimates interval
+// frequencies on demand.
+func (c *hioCollector) Finalize() (mech.Estimator, error) {
+	byGroup, err := c.Drain()
+	if err != nil {
+		return nil, err
+	}
+	pr := c.pr
+	reports := make([][]fo.Report, len(byGroup))
+	for g, rs := range byGroup {
+		reports[g] = mech.FOReports(rs)
+	}
+	maxCombos := pr.opts.MaxCombos
 	if maxCombos <= 0 {
 		maxCombos = 1 << 21
 	}
 	return &hioEstimator{
-		c: c, d: d,
-		tree: tree, levels: levels,
-		oracles: oracles, reports: reports, sizes: sizes,
+		c: pr.p.C, d: pr.p.D,
+		tree: pr.tree, levels: pr.levels,
+		oracles: pr.oracles, reports: reports,
 		memo:      make(map[hioKey]float64),
 		maxCombos: maxCombos,
 	}, nil

@@ -49,64 +49,167 @@ type lhioEstimator struct {
 	wu   mwem.Options
 }
 
-// Fit implements mech.Mechanism.
+// Fit implements mech.Mechanism as a thin wrapper over the protocol path.
 func (m *LHIO) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
-	if err := mech.ValidateFit(ds, eps, 2); err != nil {
+	return mech.FitViaProtocol(m, ds, eps, rng)
+}
+
+// lhioProtocol is LHIO's deployment face: one group per (pair, 2-D level),
+// reporting the user's interval-pair index at that level. The (root, root)
+// level's frequency is exactly 1, so its clients send empty reports that
+// spend no budget — the group still exists to keep populations even.
+type lhioProtocol struct {
+	p       mech.Params
+	opts    LHIO
+	tree    *hierarchy.Tree
+	levels  int
+	pairs   [][2]int
+	as      *mech.Assigner
+	oracles []fo.Oracle // indexed l1*levels+l2; nil for (root, root)
+}
+
+// Protocol implements mech.Mechanism.
+func (m *LHIO) Protocol(p mech.Params) (mech.Protocol, error) {
+	if err := p.Validate(2); err != nil {
 		return nil, err
 	}
 	b := m.B
 	if b == 0 {
 		b = 4
 	}
-	d, n, c := ds.D(), ds.N(), ds.C
-	tree, err := hierarchy.New(b, c)
+	tree, err := hierarchy.New(b, p.C)
 	if err != nil {
 		return nil, err
 	}
 	levels := tree.NumLevels()
-	pairs := mech.AllPairs(d)
+	pairs := mech.AllPairs(p.D)
 	numGroups := len(pairs) * levels * levels
-	if numGroups > n {
-		return nil, fmt.Errorf("baselines: LHIO needs %d groups but only has %d users", numGroups, n)
+	if numGroups > p.N {
+		return nil, fmt.Errorf("baselines: LHIO needs %d groups but only has %d users", numGroups, p.N)
 	}
-	groups, err := mech.SplitGroups(rng, n, numGroups)
+	as, err := mech.NewAssigner(p.Seed, mech.EvenBounds(p.N, numGroups))
 	if err != nil {
 		return nil, err
 	}
+	// The oracle depends only on the level pair; all pairs share it.
+	oracles := make([]fo.Oracle, levels*levels)
+	for l1 := 0; l1 < levels; l1++ {
+		for l2 := 0; l2 < levels; l2++ {
+			k := tree.CountAt(l1) * tree.CountAt(l2)
+			if k == 1 {
+				continue
+			}
+			oracle, err := fo.NewAuto(p.Eps, k)
+			if err != nil {
+				return nil, err
+			}
+			oracles[l1*levels+l2] = oracle
+		}
+	}
+	return &lhioProtocol{p: p, opts: *m, tree: tree, levels: levels, pairs: pairs, as: as, oracles: oracles}, nil
+}
+
+// Name implements mech.Protocol.
+func (*lhioProtocol) Name() string { return "LHIO" }
+
+// Params implements mech.Protocol.
+func (pr *lhioProtocol) Params() mech.Params { return pr.p }
+
+// NumGroups implements mech.Protocol.
+func (pr *lhioProtocol) NumGroups() int { return len(pr.pairs) * pr.levels * pr.levels }
+
+// split decomposes a group index into its pair and level-table indices.
+func (pr *lhioProtocol) split(group int) (pi, ti int) {
+	return group / (pr.levels * pr.levels), group % (pr.levels * pr.levels)
+}
+
+// Assignment implements mech.Protocol.
+func (pr *lhioProtocol) Assignment(user int) (mech.Assignment, error) {
+	g, err := pr.as.GroupOf(user)
+	if err != nil {
+		return mech.Assignment{}, err
+	}
+	pi, ti := pr.split(g)
+	pair := pr.pairs[pi]
+	domain := 0
+	if o := pr.oracles[ti]; o != nil {
+		domain = o.Domain()
+	}
+	return mech.Assignment{Group: g, Attr1: pair[0], Attr2: pair[1], Domain: domain}, nil
+}
+
+// ClientReport implements mech.Protocol.
+func (pr *lhioProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.Rand) (mech.Report, error) {
+	if a.Group < 0 || a.Group >= pr.NumGroups() {
+		return mech.Report{}, fmt.Errorf("baselines: assignment group %d outside [0,%d)", a.Group, pr.NumGroups())
+	}
+	if err := mech.CheckRecord(pr.p, record); err != nil {
+		return mech.Report{}, err
+	}
+	pi, ti := pr.split(a.Group)
+	oracle := pr.oracles[ti]
+	if oracle == nil {
+		// (root, root): the level total is known to be 1, nothing to report.
+		return mech.Report{Group: a.Group}, nil
+	}
+	pair := pr.pairs[pi]
+	l1, l2 := ti/pr.levels, ti%pr.levels
+	k2 := pr.tree.CountAt(l2)
+	i1 := pr.tree.IndexOf(l1, record[pair[0]])
+	i2 := pr.tree.IndexOf(l2, record[pair[1]])
+	return mech.FromFO(a.Group, oracle.Perturb(i1*k2+i2, rng)), nil
+}
+
+// NewCollector implements mech.Protocol.
+func (pr *lhioProtocol) NewCollector() (mech.Collector, error) {
+	check := func(r mech.Report) error {
+		_, ti := pr.split(r.Group)
+		oracle := pr.oracles[ti]
+		if oracle == nil {
+			if r.Seed != 0 || r.Value != 0 {
+				return fmt.Errorf("baselines: LHIO root-level report must be empty")
+			}
+			return nil
+		}
+		return oracle.CheckReport(r.FO())
+	}
+	return &lhioCollector{Ingest: mech.NewIngest(pr.NumGroups(), check), pr: pr}, nil
+}
+
+// lhioCollector is the aggregator side of an LHIO deployment.
+type lhioCollector struct {
+	*mech.Ingest
+	pr *lhioProtocol
+}
+
+// Finalize implements mech.Collector: estimate every level table, then run
+// the two consistency stages.
+func (c *lhioCollector) Finalize() (mech.Estimator, error) {
+	byGroup, err := c.Drain()
+	if err != nil {
+		return nil, err
+	}
+	pr := c.pr
+	d, n := pr.p.D, pr.p.N
+	tree, levels, pairs := pr.tree, pr.levels, pr.pairs
 
 	freq := make([][][]float64, len(pairs))
 	variance := make([][]float64, len(pairs)) // per level table
-	for pi, pair := range pairs {
+	for pi := range pairs {
 		freq[pi] = make([][]float64, levels*levels)
 		variance[pi] = make([]float64, levels*levels)
-		for l1 := 0; l1 < levels; l1++ {
-			for l2 := 0; l2 < levels; l2++ {
-				ti := l1*levels + l2
-				k1, k2 := tree.CountAt(l1), tree.CountAt(l2)
-				rows := groups[pi*levels*levels+ti]
-				if k1*k2 == 1 {
-					// The (root, root) level is the whole domain: its
-					// frequency is exactly 1 and needs no privacy budget;
-					// the group still exists to keep populations even.
-					freq[pi][ti] = []float64{1}
-					variance[pi][ti] = 1e-12
-					continue
-				}
-				oracle, err := fo.NewAuto(eps, k1*k2)
-				if err != nil {
-					return nil, err
-				}
-				cells := make([]int, len(rows))
-				colJ, colK := ds.Cols[pair[0]], ds.Cols[pair[1]]
-				for i, r := range rows {
-					i1 := tree.IndexOf(l1, int(colJ[r]))
-					i2 := tree.IndexOf(l2, int(colK[r]))
-					cells[i] = i1*k2 + i2
-				}
-				reports := fo.PerturbAll(oracle, cells, rng)
-				freq[pi][ti] = oracle.EstimateAll(reports)
-				variance[pi][ti] = oracle.Var(len(rows))
+		for ti := 0; ti < levels*levels; ti++ {
+			oracle := pr.oracles[ti]
+			if oracle == nil {
+				// The (root, root) level is the whole domain: its
+				// frequency is exactly 1 and needs no privacy budget.
+				freq[pi][ti] = []float64{1}
+				variance[pi][ti] = 1e-12
+				continue
 			}
+			rs := byGroup[pi*levels*levels+ti]
+			freq[pi][ti] = oracle.EstimateAll(mech.FOReports(rs))
+			variance[pi][ti] = oracle.Var(len(rs))
 		}
 	}
 
@@ -122,7 +225,7 @@ func (m *LHIO) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estim
 	}
 
 	// Stage 2: cross-pair attribute consistency + Norm-Sub, interleaved.
-	rounds := m.Rounds
+	rounds := pr.opts.Rounds
 	if rounds <= 0 {
 		rounds = 2
 	}
@@ -137,11 +240,11 @@ func (m *LHIO) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estim
 		}
 	}
 
-	wu := m.WU
+	wu := pr.opts.WU
 	if wu.Tol <= 0 {
 		wu.Tol = 1 / float64(n)
 	}
-	return &lhioEstimator{c: c, d: d, tree: tree, levels: levels, freq: freq, wu: wu}, nil
+	return &lhioEstimator{c: pr.p.C, d: d, tree: tree, levels: levels, freq: freq, wu: wu}, nil
 }
 
 // ciAlongFirst runs constrained inference on the attribute-1 tree slices of

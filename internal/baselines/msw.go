@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"privmdr/internal/dataset"
@@ -29,34 +30,112 @@ func NewMSW() *MSW { return &MSW{} }
 // Name implements mech.Mechanism.
 func (*MSW) Name() string { return "MSW" }
 
-// Fit implements mech.Mechanism.
+// Fit implements mech.Mechanism as a thin wrapper over the protocol path.
 func (m *MSW) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
-	if err := mech.ValidateFit(ds, eps, 1); err != nil {
+	return mech.FitViaProtocol(m, ds, eps, rng)
+}
+
+// mswProtocol is MSW's deployment face: one group per attribute, each
+// reporting through the Square Wave mechanism; Report.Value is the bucket
+// index of the perturbed point.
+type mswProtocol struct {
+	p    mech.Params
+	opts MSW
+	wave *sw.SW // one instance: every attribute shares the domain
+	as   *mech.Assigner
+}
+
+// Protocol implements mech.Mechanism.
+func (m *MSW) Protocol(p mech.Params) (mech.Protocol, error) {
+	if err := p.Validate(1); err != nil {
 		return nil, err
 	}
-	d, c := ds.D(), ds.C
-	groups, err := mech.SplitGroups(rng, ds.N(), d)
+	wave, err := sw.New(p.Eps, p.C)
 	if err != nil {
 		return nil, err
 	}
+	as, err := mech.NewAssigner(p.Seed, mech.EvenBounds(p.N, p.D))
+	if err != nil {
+		return nil, err
+	}
+	return &mswProtocol{p: p, opts: *m, wave: wave, as: as}, nil
+}
+
+// Name implements mech.Protocol.
+func (*mswProtocol) Name() string { return "MSW" }
+
+// Params implements mech.Protocol.
+func (pr *mswProtocol) Params() mech.Params { return pr.p }
+
+// NumGroups implements mech.Protocol.
+func (pr *mswProtocol) NumGroups() int { return pr.p.D }
+
+// Assignment implements mech.Protocol: group g reports attribute g.
+func (pr *mswProtocol) Assignment(user int) (mech.Assignment, error) {
+	g, err := pr.as.GroupOf(user)
+	if err != nil {
+		return mech.Assignment{}, err
+	}
+	return mech.Assignment{Group: g, Attr1: g, Attr2: -1}, nil
+}
+
+// ClientReport implements mech.Protocol.
+func (pr *mswProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.Rand) (mech.Report, error) {
+	if a.Group < 0 || a.Group >= pr.p.D {
+		return mech.Report{}, fmt.Errorf("baselines: assignment group %d outside [0,%d)", a.Group, pr.p.D)
+	}
+	if err := mech.CheckRecord(pr.p, record); err != nil {
+		return mech.Report{}, err
+	}
+	y := pr.wave.Perturb(record[a.Group], rng)
+	return mech.Report{Group: a.Group, Value: pr.wave.Bucket(y)}, nil
+}
+
+// NewCollector implements mech.Protocol.
+func (pr *mswProtocol) NewCollector() (mech.Collector, error) {
+	check := func(r mech.Report) error {
+		if r.Value < 0 || r.Value >= pr.wave.B {
+			return fmt.Errorf("baselines: MSW report bucket %d outside [0,%d)", r.Value, pr.wave.B)
+		}
+		if r.Seed != 0 {
+			return fmt.Errorf("baselines: MSW report carries unexpected seed %d", r.Seed)
+		}
+		return nil
+	}
+	return &mswCollector{Ingest: mech.NewIngest(pr.p.D, check), pr: pr}, nil
+}
+
+// mswCollector is the aggregator side of an MSW deployment.
+type mswCollector struct {
+	*mech.Ingest
+	pr *mswProtocol
+}
+
+// Finalize implements mech.Collector: bucketize each attribute's reports,
+// run EM(S), and answer queries as products of 1-D range answers.
+func (c *mswCollector) Finalize() (mech.Estimator, error) {
+	byGroup, err := c.Drain()
+	if err != nil {
+		return nil, err
+	}
+	pr := c.pr
+	d, cc := pr.p.D, pr.p.C
 	// cdf[a] holds the prefix sums of attribute a's reconstructed
 	// distribution, so a 1-D range answer is one subtraction.
 	cdf := make([][]float64, d)
 	for a := 0; a < d; a++ {
-		wave, err := sw.New(eps, c)
-		if err != nil {
-			return nil, err
+		buckets := make([]int, pr.wave.B)
+		for _, r := range byGroup[a] {
+			buckets[r.Value]++
 		}
-		values := mech.ColumnValues(ds, a, groups[a])
-		buckets := wave.PerturbAll(values, rng)
-		dist, err := wave.Reconstruct(buckets, sw.EMOptions{MaxIters: m.EMIters, Smooth: !m.NoSmooth})
+		dist, err := pr.wave.Reconstruct(buckets, sw.EMOptions{MaxIters: pr.opts.EMIters, Smooth: !pr.opts.NoSmooth})
 		if err != nil {
 			return nil, err
 		}
 		cdf[a] = mathx.Prefix1D(dist)
 	}
 	return mech.EstimatorFunc(func(q query.Query) (float64, error) {
-		if err := q.Validate(d, c); err != nil {
+		if err := q.Validate(d, cc); err != nil {
 			return 0, err
 		}
 		ans := 1.0

@@ -6,236 +6,229 @@ import (
 
 	"privmdr/internal/fo"
 	"privmdr/internal/grid"
-	"privmdr/internal/ldprand"
 	"privmdr/internal/mathx"
 	"privmdr/internal/mech"
 )
 
-// This file contains the deployment-shaped API for HDG: Fit simulates both
+// This file implements HDG's side of the protocol API: Fit simulates both
 // sides in one call, but a real rollout separates them —
 //
-//	aggregator                        client i
-//	----------                        --------
-//	p := Params{...}           ──────▶ (public parameters)
-//	a := c.Assignment(i)       ──────▶ which grid user i reports
-//	                            ◀────── rep := ClientReport(p, a, record, rng)
-//	c.Submit(a, rep)
-//	est, _ := c.Finalize()
+//	aggregator                          client i
+//	----------                          --------
+//	pr, _ := NewHDG(opts).Protocol(p)    pr, _ := NewHDG(opts).Protocol(p)
+//	coll, _ := pr.NewCollector()         a, _ := pr.Assignment(i)
+//	                              ◀────── rep, _ := pr.ClientReport(a, record, rng)
+//	coll.Submit(rep)
+//	est, _ := coll.Finalize()
 //
-// The only user-derived message is the fo.Report from ClientReport, which
-// is ε-LDP; assignments depend solely on the public seed and user index.
+// Both sides build the identical protocol from the public Params; the only
+// user-derived message is the ε-LDP Report from ClientReport.
 
-// Params are the public parameters of an HDG deployment. Every field is
-// known to (or sent to) all parties; none depends on user data.
-type Params struct {
-	N   int     // expected number of users
-	D   int     // attributes per record
-	C   int     // attribute domain size (power of two)
-	Eps float64 // privacy budget per user
-	// G1/G2 override the guideline granularities (0 → guideline with the
-	// default alphas and even split).
-	G1, G2 int
-	// Seed drives the public user→group assignment.
-	Seed uint64
+// hdgProtocol is the deployment-shaped face of HDG: d fine-grained 1-D
+// grids plus (d choose 2) coarse 2-D grids, one user group each.
+type hdgProtocol struct {
+	mechName string
+	p        mech.Params
+	opts     Options
+	g1, g2   int
+	n1       int // users assigned to 1-D grids
+	pairs    [][2]int
+	as       *mech.Assigner
+	o1, o2   *fo.OLH // shared oracles: domain g1 (1-D) and g2² (2-D)
 }
 
-// resolve fills in guideline granularities and validates.
-func (p Params) resolve() (Params, error) {
-	if p.N < 1 || p.D < 2 || p.Eps <= 0 {
-		return p, fmt.Errorf("core: invalid params n=%d d=%d eps=%g", p.N, p.D, p.Eps)
+// Protocol implements mech.Mechanism for HDG.
+func (h *HDG) Protocol(p mech.Params) (mech.Protocol, error) {
+	return newHDGProtocol(h.Name(), p, h.opts)
+}
+
+// newHDGProtocol resolves the public parameters exactly the way Fit always
+// did: guideline granularities from the per-group populations of the
+// σ-split, with option overrides layered on top.
+func newHDGProtocol(name string, p mech.Params, opts Options) (*hdgProtocol, error) {
+	if err := p.Validate(2); err != nil {
+		return nil, err
 	}
 	if !mathx.IsPow2(p.C) {
-		return p, fmt.Errorf("core: domain size %d must be a power of two", p.C)
+		return nil, fmt.Errorf("core: domain size %d must be a power of two", p.C)
 	}
-	m1, m2 := HDGGroups(p.D)
-	if p.N < m1+m2 {
-		return p, fmt.Errorf("core: %d users cannot populate %d groups", p.N, m1+m2)
-	}
-	if p.G1 == 0 || p.G2 == 0 {
-		g1, g2, err := HDGGranularities(p.Eps, p.N, p.D, p.C, 0, 0)
-		if err != nil {
-			return p, err
-		}
-		if p.G1 == 0 {
-			p.G1 = g1
-		}
-		if p.G2 == 0 {
-			p.G2 = g2
-		}
-	}
-	if p.G1 < p.G2 {
-		p.G1 = p.G2
-	}
-	if p.C%p.G1 != 0 || p.C%p.G2 != 0 || p.G1%p.G2 != 0 {
-		return p, fmt.Errorf("core: granularities (g1=%d, g2=%d) must divide domain %d and each other", p.G1, p.G2, p.C)
-	}
-	return p, nil
-}
+	opts = opts.withDefaults()
+	n, d, c := p.N, p.D, p.C
+	m1, m2 := HDGGroups(d)
 
-// Assignment tells a user which grid to report. Attr2 < 0 means a 1-D grid
-// on Attr1; otherwise the 2-D grid of (Attr1, Attr2). Domain is the
-// frequency-oracle input domain the client must use.
-type Assignment struct {
-	Grid   int // 0..d-1: 1-D grids; d..: 2-D pair grids (mech.AllPairs order)
-	Attr1  int
-	Attr2  int
-	Domain int
-}
+	sigma := opts.Sigma
+	if sigma <= 0 {
+		sigma = float64(m1) / float64(m1+m2)
+	}
+	if sigma >= 1 {
+		return nil, fmt.Errorf("core: sigma %g must be in (0,1)", sigma)
+	}
+	n1 := int(sigma * float64(n))
+	if n1 < m1 {
+		n1 = m1
+	}
+	if n-n1 < m2 {
+		return nil, fmt.Errorf("core: %d users cannot populate %d 2-D groups with sigma=%g", n, m2, sigma)
+	}
 
-// Collector is the aggregator side of an HDG deployment. It is not safe
-// for concurrent Submit calls; serialize ingestion or shard by grid.
-type Collector struct {
-	p       Params
-	opts    Options
-	pairs   [][2]int
-	oracles []*fo.OLH     // per grid (1-D grids first, then pairs)
-	reports [][]fo.Report // per grid
-	groupOf []int         // public group assignment per user index
-	done    bool
-}
+	g1, g2 := opts.G1, opts.G2
+	if g1 == 0 || g2 == 0 {
+		gg1, _ := Granularities(p.Eps, float64(n1)/float64(m1), c, opts.Alpha1, opts.Alpha2)
+		_, gg2 := Granularities(p.Eps, float64(n-n1)/float64(m2), c, opts.Alpha1, opts.Alpha2)
+		if g1 == 0 {
+			g1 = gg1
+		}
+		if g2 == 0 {
+			g2 = gg2
+		}
+	}
+	if g1 < g2 {
+		g1 = g2
+	}
+	if c%g1 != 0 || c%g2 != 0 || g1%g2 != 0 {
+		return nil, fmt.Errorf("core: granularities (g1=%d, g2=%d) must divide domain %d and each other", g1, g2, c)
+	}
 
-// NewCollector validates the public parameters and prepares the per-grid
-// oracles and the public group assignment.
-func NewCollector(p Params, opts Options) (*Collector, error) {
-	rp, err := p.resolve()
+	// Permutation positions [0, n1) feed the m1 1-D grids, the rest the m2
+	// 2-D grids, each side cut evenly.
+	bounds := make([]int, 0, m1+m2+1)
+	for g := 0; g <= m1; g++ {
+		bounds = append(bounds, g*n1/m1)
+	}
+	for g := 1; g <= m2; g++ {
+		bounds = append(bounds, n1+g*(n-n1)/m2)
+	}
+	as, err := mech.NewAssigner(p.Seed, bounds)
 	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
-	d := rp.D
-	m1, m2 := HDGGroups(d)
-	numGrids := m1 + m2
-	c := &Collector{
-		p:       rp,
-		opts:    opts,
-		pairs:   mech.AllPairs(d),
-		oracles: make([]*fo.OLH, numGrids),
-		reports: make([][]fo.Report, numGrids),
+	o1, err := fo.NewOLH(p.Eps, g1)
+	if err != nil {
+		return nil, err
 	}
-	for gi := 0; gi < numGrids; gi++ {
-		domain := rp.G1
-		if gi >= d {
-			domain = rp.G2 * rp.G2
-		}
-		oracle, err := fo.NewOLH(rp.Eps, domain)
-		if err != nil {
-			return nil, err
-		}
-		c.oracles[gi] = oracle
+	o2, err := fo.NewOLH(p.Eps, g2*g2)
+	if err != nil {
+		return nil, err
 	}
-	// Public permutation split: same construction Fit uses.
-	perm := ldprand.Perm(ldprand.Split(rp.Seed, 0x636f6c6c), rp.N)
-	c.groupOf = make([]int, rp.N)
-	for pos, user := range perm {
-		c.groupOf[user] = pos * numGrids / rp.N
-	}
-	return c, nil
+	return &hdgProtocol{
+		mechName: name,
+		p:        p, opts: opts,
+		g1: g1, g2: g2, n1: n1,
+		pairs: mech.AllPairs(d),
+		as:    as, o1: o1, o2: o2,
+	}, nil
 }
 
-// Params returns the resolved public parameters (granularities filled in).
-func (c *Collector) Params() Params { return c.p }
+// Name implements mech.Protocol.
+func (pr *hdgProtocol) Name() string { return pr.mechName }
 
-// Assignment returns user i's grid assignment. It is a pure function of the
-// public parameters.
-func (c *Collector) Assignment(user int) (Assignment, error) {
-	if user < 0 || user >= c.p.N {
-		return Assignment{}, fmt.Errorf("core: user %d outside [0,%d)", user, c.p.N)
+// Params implements mech.Protocol.
+func (pr *hdgProtocol) Params() mech.Params { return pr.p }
+
+// NumGroups implements mech.Protocol.
+func (pr *hdgProtocol) NumGroups() int { return pr.as.NumGroups() }
+
+// Granularities returns the resolved grid granularities (g₁, g₂).
+func (pr *hdgProtocol) Granularities() (g1, g2 int) { return pr.g1, pr.g2 }
+
+// Assignment implements mech.Protocol.
+func (pr *hdgProtocol) Assignment(user int) (mech.Assignment, error) {
+	g, err := pr.as.GroupOf(user)
+	if err != nil {
+		return mech.Assignment{}, err
 	}
-	gi := c.groupOf[user]
-	a := Assignment{Grid: gi, Attr2: -1, Domain: c.p.G1}
-	if gi < c.p.D {
-		a.Attr1 = gi
-	} else {
-		pair := c.pairs[gi-c.p.D]
-		a.Attr1, a.Attr2 = pair[0], pair[1]
-		a.Domain = c.p.G2 * c.p.G2
-	}
-	return a, nil
+	return pr.groupAssignment(g), nil
 }
 
-// ClientReport is the client side: given the public parameters, the user's
-// assignment, and the user's own record, produce the single ε-LDP report.
-// It never sees other users' data and sends nothing else.
-func ClientReport(p Params, a Assignment, record []int, rng *rand.Rand) (fo.Report, error) {
-	rp, err := p.resolve()
-	if err != nil {
-		return fo.Report{}, err
+func (pr *hdgProtocol) groupAssignment(g int) mech.Assignment {
+	if g < pr.p.D {
+		return mech.Assignment{Group: g, Attr1: g, Attr2: -1, Domain: pr.g1}
 	}
-	if len(record) != rp.D {
-		return fo.Report{}, fmt.Errorf("core: record has %d attributes, want %d", len(record), rp.D)
+	pair := pr.pairs[g-pr.p.D]
+	return mech.Assignment{Group: g, Attr1: pair[0], Attr2: pair[1], Domain: pr.g2 * pr.g2}
+}
+
+// ClientReport implements mech.Protocol: encode the record's value (or
+// value pair) as a grid cell and perturb it through OLH.
+func (pr *hdgProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.Rand) (mech.Report, error) {
+	if a.Group < 0 || a.Group >= pr.NumGroups() {
+		return mech.Report{}, fmt.Errorf("core: assignment group %d outside [0,%d)", a.Group, pr.NumGroups())
 	}
-	for t, v := range record {
-		if v < 0 || v >= rp.C {
-			return fo.Report{}, fmt.Errorf("core: attribute %d value %d outside [0,%d)", t, v, rp.C)
-		}
+	if err := mech.CheckRecord(pr.p, record); err != nil {
+		return mech.Report{}, err
 	}
-	oracle, err := fo.NewOLH(rp.Eps, a.Domain)
-	if err != nil {
-		return fo.Report{}, err
-	}
+	a = pr.groupAssignment(a.Group) // Group is authoritative
 	var cell int
+	oracle := pr.o1
 	if a.Attr2 < 0 {
-		cell = record[a.Attr1] / (rp.C / rp.G1)
+		cell = record[a.Attr1] / (pr.p.C / pr.g1)
 	} else {
-		w := rp.C / rp.G2
-		cell = (record[a.Attr1]/w)*rp.G2 + record[a.Attr2]/w
+		w := pr.p.C / pr.g2
+		cell = (record[a.Attr1]/w)*pr.g2 + record[a.Attr2]/w
+		oracle = pr.o2
 	}
-	return oracle.Perturb(cell, rng), nil
+	return mech.FromFO(a.Group, oracle.Perturb(cell, rng)), nil
 }
 
-// Submit ingests one user's report for the given assignment.
-func (c *Collector) Submit(a Assignment, rep fo.Report) error {
-	if c.done {
-		return fmt.Errorf("core: collector already finalized")
+// NewCollector implements mech.Protocol.
+func (pr *hdgProtocol) NewCollector() (mech.Collector, error) {
+	check := func(r mech.Report) error {
+		if r.Group < pr.p.D {
+			return pr.o1.CheckReport(r.FO())
+		}
+		return pr.o2.CheckReport(r.FO())
 	}
-	if a.Grid < 0 || a.Grid >= len(c.reports) {
-		return fmt.Errorf("core: assignment grid %d out of range", a.Grid)
-	}
-	c.reports[a.Grid] = append(c.reports[a.Grid], rep)
-	return nil
+	return &hdgCollector{Ingest: mech.NewIngest(pr.NumGroups(), check), pr: pr}, nil
 }
 
-// Finalize aggregates everything received so far into an estimator. The
-// collector cannot accept further reports afterwards.
-func (c *Collector) Finalize() (mech.Estimator, error) {
-	if c.done {
-		return nil, fmt.Errorf("core: collector already finalized")
+// hdgCollector is the aggregator side of an HDG deployment.
+type hdgCollector struct {
+	*mech.Ingest
+	pr *hdgProtocol
+}
+
+// Finalize implements mech.Collector: estimate every grid from its group's
+// reports, post-process, and wrap the result in the query-time estimator.
+func (c *hdgCollector) Finalize() (mech.Estimator, error) {
+	byGroup, err := c.Drain()
+	if err != nil {
+		return nil, err
 	}
-	c.done = true
-	d, cc := c.p.D, c.p.C
+	pr := c.pr
+	d, cc := pr.p.D, pr.p.C
 	grids1 := make([]*grid.Grid1D, d)
 	for a := 0; a < d; a++ {
-		g, err := grid.NewGrid1D(cc, c.p.G1)
+		g, err := grid.NewGrid1D(cc, pr.g1)
 		if err != nil {
 			return nil, err
 		}
-		copy(g.Freq, c.oracles[a].EstimateAll(c.reports[a]))
+		copy(g.Freq, pr.o1.EstimateAll(mech.FOReports(byGroup[a])))
 		grids1[a] = g
 	}
-	grids2 := make([]*grid.Grid2D, len(c.pairs))
-	for pi := range c.pairs {
-		g, err := grid.NewGrid2D(cc, c.p.G2)
+	grids2 := make([]*grid.Grid2D, len(pr.pairs))
+	for pi := range pr.pairs {
+		g, err := grid.NewGrid2D(cc, pr.g2)
 		if err != nil {
 			return nil, err
 		}
-		copy(g.Freq, c.oracles[d+pi].EstimateAll(c.reports[d+pi]))
+		copy(g.Freq, pr.o2.EstimateAll(mech.FOReports(byGroup[d+pi])))
 		grids2[pi] = g
 	}
-	if !c.opts.SkipPostProcess {
-		if err := postProcessHybrid(d, grids1, grids2, c.opts.Rounds); err != nil {
+	if !pr.opts.SkipPostProcess {
+		if err := postProcessHybrid(d, grids1, grids2, pr.opts.Rounds); err != nil {
 			return nil, err
 		}
 	}
-	wu := c.opts.WU
+	wu := pr.opts.WU
 	if wu.Tol <= 0 {
-		wu.Tol = 1 / float64(max(c.p.N, 1))
+		wu.Tol = 1 / float64(max(pr.p.N, 1))
 	}
 	return &hdgEstimator{
-		c: cc, d: d, G1: c.p.G1, G2: c.p.G2,
+		c: cc, d: d, G1: pr.g1, G2: pr.g2,
 		grids1: grids1,
 		grids2: grids2,
 		wu:     wu,
-		traces: c.opts.CollectTraces,
-		prefix: make([]*mathx.Prefix2D, len(c.pairs)),
+		traces: pr.opts.CollectTraces,
+		prefix: make([]*mathx.Prefix2D, len(pr.pairs)),
 	}, nil
 }

@@ -5,41 +5,48 @@ import (
 	"testing"
 
 	"privmdr/internal/dataset"
-	"privmdr/internal/fo"
 	"privmdr/internal/ldprand"
+	"privmdr/internal/mech"
 	"privmdr/internal/query"
 )
 
-func TestParamsResolve(t *testing.T) {
-	p, err := Params{N: 1_000_000, D: 6, C: 64, Eps: 1.0}.resolve()
+func TestHDGProtocolResolution(t *testing.T) {
+	pr, err := NewHDG(Options{}).Protocol(mech.Params{N: 1_000_000, D: 6, C: 64, Eps: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.G1 != 16 || p.G2 != 4 {
-		t.Errorf("resolved granularities (%d,%d), Table 2 says (16,4)", p.G1, p.G2)
+	g1, g2 := pr.(*hdgProtocol).Granularities()
+	if g1 != 16 || g2 != 4 {
+		t.Errorf("resolved granularities (%d,%d), Table 2 says (16,4)", g1, g2)
 	}
-	bad := []Params{
+	if got := pr.NumGroups(); got != 6+15 {
+		t.Errorf("NumGroups = %d, want 21", got)
+	}
+	bad := []mech.Params{
 		{N: 0, D: 6, C: 64, Eps: 1},
 		{N: 100, D: 1, C: 64, Eps: 1},
 		{N: 100, D: 3, C: 48, Eps: 1},
 		{N: 100, D: 3, C: 64, Eps: 0},
-		{N: 5, D: 6, C: 64, Eps: 1},           // fewer users than groups
-		{N: 100, D: 3, C: 64, Eps: 1, G1: 12}, // non-power granularity
+		{N: 5, D: 6, C: 64, Eps: 1}, // fewer users than groups
 	}
 	for i, b := range bad {
-		if _, err := b.resolve(); err == nil {
+		if _, err := NewHDG(Options{}).Protocol(b); err == nil {
 			t.Errorf("case %d: invalid params accepted: %+v", i, b)
 		}
+	}
+	// Non-divisor granularity override.
+	if _, err := NewHDG(Options{G1: 12}).Protocol(mech.Params{N: 100, D: 3, C: 64, Eps: 1}); err == nil {
+		t.Error("non-power granularity override accepted")
 	}
 }
 
 func TestCollectorAssignmentsArePublicAndBalanced(t *testing.T) {
-	p := Params{N: 2100, D: 3, C: 16, Eps: 1, Seed: 5}
-	c1, err := NewCollector(p, Options{})
+	p := mech.Params{N: 2100, D: 3, C: 16, Eps: 1, Seed: 5}
+	c1, err := NewHDG(Options{}).Protocol(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := NewCollector(p, Options{})
+	c2, err := NewHDG(Options{}).Protocol(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,10 +60,10 @@ func TestCollectorAssignmentsArePublicAndBalanced(t *testing.T) {
 		if a1 != a2 {
 			t.Fatal("assignments must be a pure function of public parameters")
 		}
-		counts[a1.Grid]++
+		counts[a1.Group]++
 		// Structural checks.
-		if a1.Grid < 3 {
-			if a1.Attr2 != -1 || a1.Attr1 != a1.Grid {
+		if a1.Group < 3 {
+			if a1.Attr2 != -1 || a1.Attr1 != a1.Group {
 				t.Fatalf("1-D assignment malformed: %+v", a1)
 			}
 		} else if a1.Attr1 >= a1.Attr2 {
@@ -88,28 +95,35 @@ func TestCollectorEndToEndMatchesTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := Params{N: ds.N(), D: 3, C: 16, Eps: 2.0, Seed: 13}
-	coll, err := NewCollector(p, Options{})
+	p := mech.Params{N: ds.N(), D: 3, C: 16, Eps: 2.0, Seed: 13}
+	proto, err := NewHDG(Options{}).Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
 	if err != nil {
 		t.Fatal(err)
 	}
 	clientRng := ldprand.New(17)
 	record := make([]int, 3)
 	for u := 0; u < ds.N(); u++ {
-		a, err := coll.Assignment(u)
+		a, err := proto.Assignment(u)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for t2 := 0; t2 < 3; t2++ {
 			record[t2] = ds.Value(t2, u)
 		}
-		rep, err := ClientReport(p, a, record, clientRng)
+		rep, err := proto.ClientReport(a, record, clientRng)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := coll.Submit(a, rep); err != nil {
+		if err := coll.Submit(rep); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if got := coll.Received(); got != ds.N() {
+		t.Fatalf("collector received %d reports, want %d", got, ds.N())
 	}
 	est, err := coll.Finalize()
 	if err != nil {
@@ -131,16 +145,20 @@ func TestCollectorEndToEndMatchesTruth(t *testing.T) {
 }
 
 func TestCollectorLifecycle(t *testing.T) {
-	p := Params{N: 100, D: 3, C: 16, Eps: 1, Seed: 1}
-	coll, err := NewCollector(p, Options{})
+	p := mech.Params{N: 100, D: 3, C: 16, Eps: 1, Seed: 1}
+	proto, err := NewHDG(Options{}).Protocol(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := coll.Params(); got.G1 == 0 || got.G2 == 0 {
-		t.Error("Params() should return resolved granularities")
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := coll.Submit(Assignment{Grid: 99}, clientReportMust(t, p, coll, 0)); err == nil {
-		t.Error("out-of-range grid should fail")
+	good := clientReportMust(t, proto, 0)
+	bad := good
+	bad.Group = 99
+	if err := coll.Submit(bad); err == nil {
+		t.Error("out-of-range group should fail")
 	}
 	if _, err := coll.Finalize(); err != nil {
 		t.Fatal(err)
@@ -148,19 +166,21 @@ func TestCollectorLifecycle(t *testing.T) {
 	if _, err := coll.Finalize(); err == nil {
 		t.Error("double finalize should fail")
 	}
-	a, _ := coll.Assignment(0)
-	if err := coll.Submit(a, clientReportMust(t, p, coll, 0)); err == nil {
+	if err := coll.Submit(good); err == nil {
 		t.Error("submit after finalize should fail")
+	}
+	if err := coll.SubmitBatch([]mech.Report{good}); err == nil {
+		t.Error("batch submit after finalize should fail")
 	}
 }
 
-func clientReportMust(t *testing.T, p Params, coll *Collector, user int) fo.Report {
+func clientReportMust(t *testing.T, proto mech.Protocol, user int) mech.Report {
 	t.Helper()
-	a, err := coll.Assignment(user)
+	a, err := proto.Assignment(user)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := ClientReport(p, a, []int{1, 2, 3}, ldprand.New(uint64(user)))
+	r, err := proto.ClientReport(a, []int{1, 2, 3}, ldprand.New(uint64(user)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,44 +188,73 @@ func clientReportMust(t *testing.T, p Params, coll *Collector, user int) fo.Repo
 }
 
 func TestClientReportValidation(t *testing.T) {
-	p := Params{N: 100, D: 3, C: 16, Eps: 1, Seed: 1}
-	coll, err := NewCollector(p, Options{})
+	p := mech.Params{N: 100, D: 3, C: 16, Eps: 1, Seed: 1}
+	proto, err := NewHDG(Options{}).Protocol(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := coll.Assignment(0)
+	a, _ := proto.Assignment(0)
 	rng := ldprand.New(2)
-	if _, err := ClientReport(p, a, []int{1, 2}, rng); err == nil {
+	if _, err := proto.ClientReport(a, []int{1, 2}, rng); err == nil {
 		t.Error("short record should fail")
 	}
-	if _, err := ClientReport(p, a, []int{1, 2, 99}, rng); err == nil {
+	if _, err := proto.ClientReport(a, []int{1, 2, 99}, rng); err == nil {
 		t.Error("out-of-domain value should fail")
 	}
-	if _, err := ClientReport(Params{N: 0, D: 3, C: 16, Eps: 1}, a, []int{1, 2, 3}, rng); err == nil {
-		t.Error("invalid params should fail")
+	if _, err := proto.ClientReport(mech.Assignment{Group: -1}, []int{1, 2, 3}, rng); err == nil {
+		t.Error("invalid assignment should fail")
+	}
+}
+
+func TestCollectorRejectsMalformedPayloads(t *testing.T) {
+	p := mech.Params{N: 100, D: 3, C: 16, Eps: 1, Seed: 1}
+	proto, err := NewHDG(Options{}).Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := clientReportMust(t, proto, 0)
+	evil := good
+	evil.Value = 1 << 30 // far outside any OLH hash range
+	if err := coll.Submit(evil); err == nil {
+		t.Error("out-of-range OLH value should be rejected")
+	}
+	// An atomic batch with one bad report must leave no trace.
+	if err := coll.SubmitBatch([]mech.Report{good, evil}); err == nil {
+		t.Error("batch with malformed report should be rejected")
+	}
+	if got := coll.Received(); got != 0 {
+		t.Errorf("rejected batch left %d reports behind", got)
 	}
 }
 
 func TestCollectorToleratesMissingUsers(t *testing.T) {
 	// Partial participation (dropouts) must not break finalization.
 	ds, _ := dataset.Uniform(dataset.GenOptions{N: 5000, D: 3, C: 16, Seed: 21})
-	p := Params{N: ds.N(), D: 3, C: 16, Eps: 2.0, Seed: 23}
-	coll, err := NewCollector(p, Options{})
+	p := mech.Params{N: ds.N(), D: 3, C: 16, Eps: 2.0, Seed: 23}
+	proto, err := NewHDG(Options{}).Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := ldprand.New(25)
 	record := make([]int, 3)
 	for u := 0; u < ds.N(); u += 2 { // half the users drop out
-		a, _ := coll.Assignment(u)
+		a, _ := proto.Assignment(u)
 		for t2 := 0; t2 < 3; t2++ {
 			record[t2] = ds.Value(t2, u)
 		}
-		rep, err := ClientReport(p, a, record, rng)
+		rep, err := proto.ClientReport(a, record, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := coll.Submit(a, rep); err != nil {
+		if err := coll.Submit(rep); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -219,5 +268,28 @@ func TestCollectorToleratesMissingUsers(t *testing.T) {
 	}
 	if math.Abs(got-0.25) > 0.1 {
 		t.Errorf("half-participation answer %g, want ≈ 0.25", got)
+	}
+}
+
+func TestTDGProtocolEndToEnd(t *testing.T) {
+	ds, _ := dataset.Uniform(dataset.GenOptions{N: 9000, D: 3, C: 16, Seed: 31})
+	p := mech.Params{N: ds.N(), D: 3, C: 16, Eps: 2.0, Seed: 33}
+	proto, err := NewTDG(Options{}).Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proto.NumGroups() != 3 {
+		t.Fatalf("TDG d=3 should have 3 pair groups, got %d", proto.NumGroups())
+	}
+	est, err := mech.Run(proto, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.Answer(query.Query{{Attr: 0, Lo: 0, Hi: 7}, {Attr: 2, Lo: 0, Hi: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 0.1 {
+		t.Errorf("TDG protocol answer %g, want ≈ 0.25", got)
 	}
 }

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"privmdr/internal/dataset"
+)
+
+// fit runs Fit and hands back the concrete estimator type, so tests can
+// inspect grids, granularities, traces, and snapshots directly.
+func (h *HDG) fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (*hdgEstimator, error) {
+	est, err := h.Fit(ds, eps, rng)
+	if err != nil {
+		return nil, err
+	}
+	return est.(*hdgEstimator), nil
+}
+
+// fit is the TDG counterpart of HDG's test helper.
+func (t *TDG) fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (*tdgEstimator, error) {
+	est, err := t.Fit(ds, eps, rng)
+	if err != nil {
+		return nil, err
+	}
+	return est.(*tdgEstimator), nil
+}

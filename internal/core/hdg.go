@@ -1,14 +1,11 @@
 package core
 
 import (
-	"fmt"
 	"math/rand/v2"
 
 	"privmdr/internal/consistency"
 	"privmdr/internal/dataset"
-	"privmdr/internal/fo"
 	"privmdr/internal/grid"
-	"privmdr/internal/ldprand"
 	"privmdr/internal/mathx"
 	"privmdr/internal/mech"
 	"privmdr/internal/mwem"
@@ -55,136 +52,10 @@ type hdgEstimator struct {
 	LastAlg2Trace []float64
 }
 
-// Fit implements mech.Mechanism.
+// Fit implements mech.Mechanism as a thin wrapper over the protocol path:
+// Protocol → per-user ClientReport → Submit → Finalize.
 func (h *HDG) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
-	est, err := h.fit(ds, eps, rng)
-	if err != nil {
-		return nil, err
-	}
-	return est, nil
-}
-
-func (h *HDG) fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (*hdgEstimator, error) {
-	if err := mech.ValidateFit(ds, eps, 2); err != nil {
-		return nil, err
-	}
-	if !mathx.IsPow2(ds.C) {
-		return nil, fmt.Errorf("core: domain size %d must be a power of two", ds.C)
-	}
-	d, n, c := ds.D(), ds.N(), ds.C
-	m1, m2 := HDGGroups(d)
-	pairs := mech.AllPairs(d)
-
-	sigma := h.opts.Sigma
-	if sigma <= 0 {
-		sigma = float64(m1) / float64(m1+m2)
-	}
-	if sigma >= 1 {
-		return nil, fmt.Errorf("core: sigma %g must be in (0,1)", sigma)
-	}
-	n1 := int(sigma * float64(n))
-	if n1 < m1 {
-		n1 = m1
-	}
-	if n-n1 < m2 {
-		return nil, fmt.Errorf("core: %d users cannot populate %d 2-D groups with sigma=%g", n, m2, sigma)
-	}
-
-	g1, g2 := h.opts.G1, h.opts.G2
-	if g1 == 0 || g2 == 0 {
-		gg1, _ := Granularities(eps, float64(n1)/float64(m1), c, h.opts.Alpha1, h.opts.Alpha2)
-		_, gg2 := Granularities(eps, float64(n-n1)/float64(m2), c, h.opts.Alpha1, h.opts.Alpha2)
-		if g1 == 0 {
-			g1 = gg1
-		}
-		if g2 == 0 {
-			g2 = gg2
-		}
-	}
-	if g1 < g2 {
-		g1 = g2
-	}
-	if c%g1 != 0 || c%g2 != 0 || g1%g2 != 0 {
-		return nil, fmt.Errorf("core: granularities (g1=%d, g2=%d) must divide domain %d and each other", g1, g2, c)
-	}
-
-	// Divide users: a permutation split where the first n1 users feed the d
-	// 1-D grids and the rest feed the (d choose 2) 2-D grids.
-	perm := ldprand.Perm(rng, n)
-	pool1, pool2 := perm[:n1], perm[n1:]
-	groups1 := chunk(pool1, m1)
-	groups2 := chunk(pool2, m2)
-
-	grids1 := make([]*grid.Grid1D, d)
-	for a := 0; a < d; a++ {
-		g, err := grid.NewGrid1D(c, g1)
-		if err != nil {
-			return nil, err
-		}
-		oracle, err := fo.NewOLH(eps, g1)
-		if err != nil {
-			return nil, err
-		}
-		rows := groups1[a]
-		cells := make([]int, len(rows))
-		col := ds.Cols[a]
-		for i, r := range rows {
-			cells[i] = g.CellOf(int(col[r]))
-		}
-		reports := fo.PerturbAll(oracle, cells, rng)
-		copy(g.Freq, oracle.EstimateAll(reports))
-		grids1[a] = g
-	}
-
-	grids2 := make([]*grid.Grid2D, m2)
-	for pi, pair := range pairs {
-		g, err := grid.NewGrid2D(c, g2)
-		if err != nil {
-			return nil, err
-		}
-		oracle, err := fo.NewOLH(eps, g2*g2)
-		if err != nil {
-			return nil, err
-		}
-		rows := groups2[pi]
-		cells := make([]int, len(rows))
-		colJ, colK := ds.Cols[pair[0]], ds.Cols[pair[1]]
-		for i, r := range rows {
-			cells[i] = g.CellOf(int(colJ[r]), int(colK[r]))
-		}
-		reports := fo.PerturbAll(oracle, cells, rng)
-		copy(g.Freq, oracle.EstimateAll(reports))
-		grids2[pi] = g
-	}
-
-	if !h.opts.SkipPostProcess {
-		if err := postProcessHybrid(d, grids1, grids2, h.opts.Rounds); err != nil {
-			return nil, err
-		}
-	}
-
-	wu := h.opts.WU
-	if wu.Tol <= 0 {
-		wu.Tol = 1 / float64(n)
-	}
-	return &hdgEstimator{
-		c: c, d: d, G1: g1, G2: g2,
-		grids1: grids1,
-		grids2: grids2,
-		wu:     wu,
-		traces: h.opts.CollectTraces,
-		prefix: make([]*mathx.Prefix2D, m2),
-	}, nil
-}
-
-// chunk splits rows into m near-equal contiguous groups.
-func chunk(rows []int, m int) [][]int {
-	out := make([][]int, m)
-	n := len(rows)
-	for g := 0; g < m; g++ {
-		out[g] = rows[g*n/m : (g+1)*n/m]
-	}
-	return out
+	return mech.FitViaProtocol(h, ds, eps, rng)
 }
 
 // postProcessHybrid runs Phase 2 for HDG: each attribute's views are its 1-D

@@ -86,79 +86,129 @@ type tdgEstimator struct {
 	LastAlg2Trace []float64
 }
 
-// Fit implements mech.Mechanism.
+// Fit implements mech.Mechanism as a thin wrapper over the protocol path.
 func (t *TDG) Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (mech.Estimator, error) {
-	est, err := t.fit(ds, eps, rng)
-	if err != nil {
-		return nil, err
-	}
-	return est, nil
+	return mech.FitViaProtocol(t, ds, eps, rng)
 }
 
-func (t *TDG) fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (*tdgEstimator, error) {
-	if err := mech.ValidateFit(ds, eps, 2); err != nil {
+// tdgProtocol is the deployment-shaped face of TDG: one g₂×g₂ grid — and
+// one user group — per attribute pair.
+type tdgProtocol struct {
+	mechName string
+	p        mech.Params
+	opts     Options
+	g2       int
+	pairs    [][2]int
+	as       *mech.Assigner
+	o2       *fo.OLH // shared oracle, domain g2²
+}
+
+// Protocol implements mech.Mechanism for TDG.
+func (t *TDG) Protocol(p mech.Params) (mech.Protocol, error) {
+	if err := p.Validate(2); err != nil {
 		return nil, err
 	}
-	if !mathx.IsPow2(ds.C) {
-		return nil, fmt.Errorf("core: domain size %d must be a power of two", ds.C)
+	if !mathx.IsPow2(p.C) {
+		return nil, fmt.Errorf("core: domain size %d must be a power of two", p.C)
 	}
-	d, n, c := ds.D(), ds.N(), ds.C
-	pairs := mech.AllPairs(d)
-	m := len(pairs)
-
-	g2 := t.opts.G2
+	opts := t.opts.withDefaults()
+	g2 := opts.G2
 	if g2 == 0 {
 		var err error
-		g2, err = TDGGranularity(eps, n, d, c, t.opts.Alpha2)
+		g2, err = TDGGranularity(p.Eps, p.N, p.D, p.C, opts.Alpha2)
 		if err != nil {
 			return nil, err
 		}
 	}
-	if c%g2 != 0 {
-		return nil, fmt.Errorf("core: granularity g2=%d does not divide domain %d", g2, c)
+	if p.C%g2 != 0 {
+		return nil, fmt.Errorf("core: granularity g2=%d does not divide domain %d", g2, p.C)
 	}
-
-	groups, err := mech.SplitGroups(rng, n, m)
+	pairs := mech.AllPairs(p.D)
+	as, err := mech.NewAssigner(p.Seed, mech.EvenBounds(p.N, len(pairs)))
 	if err != nil {
 		return nil, err
 	}
+	o2, err := fo.NewOLH(p.Eps, g2*g2)
+	if err != nil {
+		return nil, err
+	}
+	return &tdgProtocol{mechName: t.Name(), p: p, opts: opts, g2: g2, pairs: pairs, as: as, o2: o2}, nil
+}
 
-	grids := make([]*grid.Grid2D, m)
-	for pi, pair := range pairs {
-		g, err := grid.NewGrid2D(c, g2)
+// Name implements mech.Protocol.
+func (pr *tdgProtocol) Name() string { return pr.mechName }
+
+// Params implements mech.Protocol.
+func (pr *tdgProtocol) Params() mech.Params { return pr.p }
+
+// NumGroups implements mech.Protocol.
+func (pr *tdgProtocol) NumGroups() int { return len(pr.pairs) }
+
+// Assignment implements mech.Protocol.
+func (pr *tdgProtocol) Assignment(user int) (mech.Assignment, error) {
+	g, err := pr.as.GroupOf(user)
+	if err != nil {
+		return mech.Assignment{}, err
+	}
+	pair := pr.pairs[g]
+	return mech.Assignment{Group: g, Attr1: pair[0], Attr2: pair[1], Domain: pr.g2 * pr.g2}, nil
+}
+
+// ClientReport implements mech.Protocol.
+func (pr *tdgProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.Rand) (mech.Report, error) {
+	if a.Group < 0 || a.Group >= len(pr.pairs) {
+		return mech.Report{}, fmt.Errorf("core: assignment group %d outside [0,%d)", a.Group, len(pr.pairs))
+	}
+	if err := mech.CheckRecord(pr.p, record); err != nil {
+		return mech.Report{}, err
+	}
+	pair := pr.pairs[a.Group]
+	w := pr.p.C / pr.g2
+	cell := (record[pair[0]]/w)*pr.g2 + record[pair[1]]/w
+	return mech.FromFO(a.Group, pr.o2.Perturb(cell, rng)), nil
+}
+
+// NewCollector implements mech.Protocol.
+func (pr *tdgProtocol) NewCollector() (mech.Collector, error) {
+	return &tdgCollector{Ingest: mech.NewIngest(len(pr.pairs), mech.OracleCheck(pr.o2)), pr: pr}, nil
+}
+
+// tdgCollector is the aggregator side of a TDG deployment.
+type tdgCollector struct {
+	*mech.Ingest
+	pr *tdgProtocol
+}
+
+// Finalize implements mech.Collector.
+func (c *tdgCollector) Finalize() (mech.Estimator, error) {
+	byGroup, err := c.Drain()
+	if err != nil {
+		return nil, err
+	}
+	pr := c.pr
+	grids := make([]*grid.Grid2D, len(pr.pairs))
+	for pi := range pr.pairs {
+		g, err := grid.NewGrid2D(pr.p.C, pr.g2)
 		if err != nil {
 			return nil, err
 		}
-		oracle, err := fo.NewOLH(eps, g2*g2)
-		if err != nil {
-			return nil, err
-		}
-		rows := groups[pi]
-		cells := make([]int, len(rows))
-		colJ, colK := ds.Cols[pair[0]], ds.Cols[pair[1]]
-		for i, r := range rows {
-			cells[i] = g.CellOf(int(colJ[r]), int(colK[r]))
-		}
-		reports := fo.PerturbAll(oracle, cells, rng)
-		copy(g.Freq, oracle.EstimateAll(reports))
+		copy(g.Freq, pr.o2.EstimateAll(mech.FOReports(byGroup[pi])))
 		grids[pi] = g
 	}
-
-	if !t.opts.SkipPostProcess {
-		if err := postProcess2D(d, grids, t.opts.Rounds); err != nil {
+	if !pr.opts.SkipPostProcess {
+		if err := postProcess2D(pr.p.D, grids, pr.opts.Rounds); err != nil {
 			return nil, err
 		}
 	}
-
-	wu := t.opts.WU
+	wu := pr.opts.WU
 	if wu.Tol <= 0 {
-		wu.Tol = 1 / float64(n)
+		wu.Tol = 1 / float64(pr.p.N)
 	}
 	return &tdgEstimator{
-		c: c, d: d, g2: g2,
+		c: pr.p.C, d: pr.p.D, g2: pr.g2,
 		grids:  grids,
 		wu:     wu,
-		traces: t.opts.CollectTraces,
+		traces: pr.opts.CollectTraces,
 	}, nil
 }
 

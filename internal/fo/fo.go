@@ -35,6 +35,10 @@ type Oracle interface {
 	// Perturb sanitizes one user's value. This is the ε-LDP boundary: the
 	// aggregator sees nothing about the user except the returned Report.
 	Perturb(v int, rng *rand.Rand) Report
+	// CheckReport rejects reports whose fields cannot have been produced
+	// by an honest client of this oracle — the aggregator's first line of
+	// defense against malformed wire payloads.
+	CheckReport(r Report) error
 	// EstimateAll converts the collected reports into unbiased frequency
 	// estimates for all c values (fractions; they need not be in [0,1]).
 	EstimateAll(reports []Report) []float64
@@ -86,6 +90,17 @@ func (g *GRR) Perturb(v int, rng *rand.Rand) Report {
 		y++
 	}
 	return Report{Value: y}
+}
+
+// CheckReport implements Oracle: GRR reports carry a bare domain value.
+func (g *GRR) CheckReport(r Report) error {
+	if r.Value < 0 || r.Value >= g.c {
+		return fmt.Errorf("fo: GRR report value %d outside [0,%d)", r.Value, g.c)
+	}
+	if r.Seed != 0 {
+		return fmt.Errorf("fo: GRR report carries unexpected seed %d", r.Seed)
+	}
+	return nil
 }
 
 // EstimateAll implements Oracle.
@@ -173,6 +188,15 @@ func (o *OLH) Perturb(v int, rng *rand.Rand) Report {
 		}
 	}
 	return Report{Seed: seed, Value: y}
+}
+
+// CheckReport implements Oracle: the hashed value must lie in [0, g); the
+// seed is the user's free choice of hash function and cannot be vetted.
+func (o *OLH) CheckReport(r Report) error {
+	if r.Value < 0 || r.Value >= o.g {
+		return fmt.Errorf("fo: OLH report value %d outside hash range [0,%d)", r.Value, o.g)
+	}
+	return nil
 }
 
 // Support counts, for each domain value v, how many reports "support" v,

@@ -67,6 +67,17 @@ func (h *Hadamard) Perturb(v int, rng *rand.Rand) Report {
 	return Report{Seed: row, Value: bit}
 }
 
+// CheckReport implements Oracle: Seed is a matrix row, Value a sign bit.
+func (h *Hadamard) CheckReport(r Report) error {
+	if r.Seed >= uint64(h.k) {
+		return fmt.Errorf("fo: hadamard report row %d outside [0,%d)", r.Seed, h.k)
+	}
+	if r.Value != 0 && r.Value != 1 {
+		return fmt.Errorf("fo: hadamard report bit %d not in {0,1}", r.Value)
+	}
+	return nil
+}
+
 // EstimateAll implements Oracle: accumulate per-row signed counts, transform
 // once, and rescale.
 func (h *Hadamard) EstimateAll(reports []Report) []float64 {

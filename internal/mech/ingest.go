@@ -1,0 +1,95 @@
+package mech
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ingest is the concurrency-safe report store every collector embeds. It
+// validates and files reports by group under a mutex; because estimation
+// downstream only ever counts reports, the order in which concurrent
+// submitters interleave never changes the finalized estimator.
+type Ingest struct {
+	check func(Report) error
+
+	mu      sync.Mutex
+	byGroup [][]Report
+	n       int
+	done    bool
+}
+
+// NewIngest prepares storage for the given number of groups. check, when
+// non-nil, vets each report's payload (oracle domain, bucket range, …)
+// before it is accepted; the group-range check is built in.
+func NewIngest(groups int, check func(Report) error) *Ingest {
+	return &Ingest{check: check, byGroup: make([][]Report, groups)}
+}
+
+// vet validates a report without taking the lock.
+func (in *Ingest) vet(r Report) error {
+	if r.Group < 0 || r.Group >= len(in.byGroup) {
+		return fmt.Errorf("mech: report group %d outside [0,%d)", r.Group, len(in.byGroup))
+	}
+	if in.check != nil {
+		if err := in.check(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Submit ingests one report.
+func (in *Ingest) Submit(r Report) error {
+	if err := in.vet(r); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.done {
+		return fmt.Errorf("mech: collector already finalized")
+	}
+	in.byGroup[r.Group] = append(in.byGroup[r.Group], r)
+	in.n++
+	return nil
+}
+
+// SubmitBatch ingests a batch atomically: either every report is accepted
+// or none is, so a malformed report in a network frame cannot leave the
+// collector partially updated.
+func (in *Ingest) SubmitBatch(rs []Report) error {
+	for i, r := range rs {
+		if err := in.vet(r); err != nil {
+			return fmt.Errorf("mech: batch report %d: %w", i, err)
+		}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.done {
+		return fmt.Errorf("mech: collector already finalized")
+	}
+	for _, r := range rs {
+		in.byGroup[r.Group] = append(in.byGroup[r.Group], r)
+	}
+	in.n += len(rs)
+	return nil
+}
+
+// Received reports how many reports have been accepted so far.
+func (in *Ingest) Received() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.n
+}
+
+// Drain closes ingestion and hands the per-group reports to Finalize.
+// It fails on the second call, which is what makes double-Finalize an
+// error for every collector.
+func (in *Ingest) Drain() ([][]Report, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.done {
+		return nil, fmt.Errorf("mech: collector already finalized")
+	}
+	in.done = true
+	return in.byGroup, nil
+}

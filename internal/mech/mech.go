@@ -8,7 +8,6 @@ import (
 	"math/rand/v2"
 
 	"privmdr/internal/dataset"
-	"privmdr/internal/ldprand"
 	"privmdr/internal/query"
 )
 
@@ -25,40 +24,19 @@ type EstimatorFunc func(q query.Query) (float64, error)
 // Answer implements Estimator.
 func (f EstimatorFunc) Answer(q query.Query) (float64, error) { return f(q) }
 
-// Mechanism runs a full LDP pipeline: simulate each user's single sanitized
-// report over ds under budget eps, aggregate, and return an Estimator.
+// Mechanism is a full LDP pipeline. Protocol is the primary interface: it
+// exposes the mechanism's client/server split for real deployments. Fit is
+// the batch convenience wrapper — it simulates every client and the
+// aggregator in one call via the identical protocol path, so the two routes
+// produce the same estimator for the same parameters.
 type Mechanism interface {
 	Name() string
+	// Protocol instantiates the deployment-shaped API from public
+	// parameters; see the Protocol interface.
+	Protocol(p Params) (Protocol, error)
+	// Fit simulates one whole deployment over ds under budget eps, with
+	// the protocol seed and client randomness drawn from rng.
 	Fit(ds *dataset.Dataset, eps float64, rng *rand.Rand) (Estimator, error)
-}
-
-// SplitGroups randomly partitions the n record indices into m near-equal
-// groups via a seeded permutation. Every group is non-empty when n ≥ m.
-func SplitGroups(rng *rand.Rand, n, m int) ([][]int, error) {
-	if m < 1 {
-		return nil, fmt.Errorf("mech: cannot split into %d groups", m)
-	}
-	if n < m {
-		return nil, fmt.Errorf("mech: %d users cannot populate %d groups", n, m)
-	}
-	perm := ldprand.Perm(rng, n)
-	groups := make([][]int, m)
-	for g := 0; g < m; g++ {
-		lo := g * n / m
-		hi := (g + 1) * n / m
-		groups[g] = perm[lo:hi]
-	}
-	return groups, nil
-}
-
-// ColumnValues gathers the attr-column values of the given rows.
-func ColumnValues(ds *dataset.Dataset, attr int, rows []int) []int {
-	out := make([]int, len(rows))
-	col := ds.Cols[attr]
-	for i, r := range rows {
-		out[i] = int(col[r])
-	}
-	return out
 }
 
 // AllPairs enumerates the (d choose 2) attribute pairs (j,k), j < k, in
@@ -80,19 +58,4 @@ func PairIndex(d, j, k int) (int, error) {
 	}
 	// Pairs starting with 0..j-1 contribute (d-1)+(d-2)+…+(d-j) entries.
 	return j*d - j*(j+1)/2 + (k - j - 1), nil
-}
-
-// ValidateFit is the shared precondition check mechanisms run before
-// fitting.
-func ValidateFit(ds *dataset.Dataset, eps float64, minAttrs int) error {
-	if ds == nil || ds.N() == 0 {
-		return fmt.Errorf("mech: empty dataset")
-	}
-	if eps <= 0 {
-		return fmt.Errorf("mech: epsilon must be positive, got %g", eps)
-	}
-	if ds.D() < minAttrs {
-		return fmt.Errorf("mech: need at least %d attributes, dataset has %d", minAttrs, ds.D())
-	}
-	return nil
 }

@@ -2,62 +2,9 @@ package mech
 
 import (
 	"testing"
-	"testing/quick"
 
-	"privmdr/internal/dataset"
-	"privmdr/internal/ldprand"
 	"privmdr/internal/query"
 )
-
-func TestSplitGroupsPartition(t *testing.T) {
-	f := func(seed uint64, nRaw, mRaw uint8) bool {
-		m := int(mRaw%10) + 1
-		n := m + int(nRaw)
-		groups, err := SplitGroups(ldprand.New(seed), n, m)
-		if err != nil {
-			return false
-		}
-		if len(groups) != m {
-			return false
-		}
-		seen := make([]bool, n)
-		total := 0
-		for _, g := range groups {
-			total += len(g)
-			for _, r := range g {
-				if r < 0 || r >= n || seen[r] {
-					return false
-				}
-				seen[r] = true
-			}
-		}
-		return total == n
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestSplitGroupsNearEqual(t *testing.T) {
-	groups, err := SplitGroups(ldprand.New(1), 100, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, g := range groups {
-		if len(g) < 100/7 || len(g) > 100/7+1 {
-			t.Errorf("group size %d not near-equal", len(g))
-		}
-	}
-}
-
-func TestSplitGroupsErrors(t *testing.T) {
-	if _, err := SplitGroups(ldprand.New(1), 5, 10); err == nil {
-		t.Error("n < m should fail")
-	}
-	if _, err := SplitGroups(ldprand.New(1), 5, 0); err == nil {
-		t.Error("m = 0 should fail")
-	}
-}
 
 func TestAllPairsAndPairIndex(t *testing.T) {
 	for d := 2; d <= 10; d++ {
@@ -82,34 +29,6 @@ func TestPairIndexErrors(t *testing.T) {
 		if _, err := PairIndex(6, bad[0], bad[1]); err == nil {
 			t.Errorf("PairIndex(6,%d,%d) should fail", bad[0], bad[1])
 		}
-	}
-}
-
-func TestColumnValues(t *testing.T) {
-	ds := &dataset.Dataset{C: 8, Cols: [][]uint16{{5, 6, 7, 0}}}
-	got := ColumnValues(ds, 0, []int{2, 0})
-	if len(got) != 2 || got[0] != 7 || got[1] != 5 {
-		t.Errorf("ColumnValues = %v", got)
-	}
-}
-
-func TestValidateFit(t *testing.T) {
-	ds := &dataset.Dataset{C: 8, Cols: [][]uint16{{1, 2}}}
-	if err := ValidateFit(ds, 1.0, 1); err != nil {
-		t.Errorf("valid fit rejected: %v", err)
-	}
-	if err := ValidateFit(ds, 0, 1); err == nil {
-		t.Error("eps 0 should fail")
-	}
-	if err := ValidateFit(ds, 1.0, 2); err == nil {
-		t.Error("minAttrs should fail")
-	}
-	if err := ValidateFit(nil, 1.0, 1); err == nil {
-		t.Error("nil dataset should fail")
-	}
-	empty := &dataset.Dataset{C: 8, Cols: [][]uint16{{}}}
-	if err := ValidateFit(empty, 1.0, 1); err == nil {
-		t.Error("empty dataset should fail")
 	}
 }
 

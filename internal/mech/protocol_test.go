@@ -1,0 +1,199 @@
+package mech
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEvenBoundsAndAssigner(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{10, 3}, {100, 7}, {21, 21}, {5, 1}} {
+		bounds := EvenBounds(tc.n, tc.m)
+		as, err := NewAssigner(1, bounds)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", tc.n, tc.m, err)
+		}
+		if as.N() != tc.n || as.NumGroups() != tc.m {
+			t.Fatalf("n=%d m=%d: got (%d,%d)", tc.n, tc.m, as.N(), as.NumGroups())
+		}
+		counts := make([]int, tc.m)
+		for u := 0; u < tc.n; u++ {
+			g, err := as.GroupOf(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[g]++
+		}
+		for g, got := range counts {
+			if got != as.GroupSize(g) {
+				t.Errorf("group %d: %d users, GroupSize says %d", g, got, as.GroupSize(g))
+			}
+			if got < tc.n/tc.m || got > tc.n/tc.m+1 {
+				t.Errorf("group %d size %d not near-even", g, got)
+			}
+		}
+	}
+}
+
+func TestAssignerDeterministicInSeed(t *testing.T) {
+	bounds := EvenBounds(500, 6)
+	a1, _ := NewAssigner(42, bounds)
+	a2, _ := NewAssigner(42, bounds)
+	a3, _ := NewAssigner(43, bounds)
+	same := true
+	for u := 0; u < 500; u++ {
+		g1, _ := a1.GroupOf(u)
+		g2, _ := a2.GroupOf(u)
+		g3, _ := a3.GroupOf(u)
+		if g1 != g2 {
+			t.Fatal("same seed produced different assignments")
+		}
+		if g1 != g3 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical assignments")
+	}
+}
+
+func TestAssignerErrors(t *testing.T) {
+	if _, err := NewAssigner(1, EvenBounds(5, 10)); err == nil {
+		t.Error("n < m should fail")
+	}
+	if _, err := NewAssigner(1, []int{0}); err == nil {
+		t.Error("zero groups should fail")
+	}
+	as, _ := NewAssigner(1, EvenBounds(10, 2))
+	if _, err := as.GroupOf(-1); err == nil {
+		t.Error("negative user should fail")
+	}
+	if _, err := as.GroupOf(10); err == nil {
+		t.Error("out-of-range user should fail")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	in := NewIngest(3, func(r Report) error {
+		if r.Value > 10 {
+			return fmt.Errorf("value too large")
+		}
+		return nil
+	})
+	if err := in.Submit(Report{Group: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Submit(Report{Group: 3, Value: 1}); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if err := in.Submit(Report{Group: -1, Value: 1}); err == nil {
+		t.Error("negative group accepted")
+	}
+	if err := in.Submit(Report{Group: 0, Value: 11}); err == nil {
+		t.Error("check func not applied")
+	}
+	// Batch atomicity: one bad report rejects the whole batch.
+	err := in.SubmitBatch([]Report{{Group: 1, Value: 2}, {Group: 1, Value: 99}})
+	if err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if got := in.Received(); got != 1 {
+		t.Errorf("Received = %d after rejected batch, want 1", got)
+	}
+	byGroup, err := in.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byGroup[0]) != 1 || len(byGroup[1]) != 0 {
+		t.Errorf("unexpected drain contents: %v", byGroup)
+	}
+	if _, err := in.Drain(); err == nil {
+		t.Error("double drain accepted")
+	}
+	if err := in.Submit(Report{Group: 0}); err == nil {
+		t.Error("submit after drain accepted")
+	}
+}
+
+func TestIngestConcurrent(t *testing.T) {
+	const workers, perWorker = 16, 500
+	in := NewIngest(4, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := Report{Group: (w + i) % 4, Value: i}
+				if i%2 == 0 {
+					_ = in.Submit(r)
+				} else {
+					_ = in.SubmitBatch([]Report{r})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := in.Received(); got != workers*perWorker {
+		t.Fatalf("received %d, want %d", got, workers*perWorker)
+	}
+	byGroup, err := in.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range byGroup {
+		total += len(g)
+	}
+	if total != workers*perWorker {
+		t.Fatalf("drained %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestClientRandIndependentAcrossUsers(t *testing.T) {
+	p := Params{Seed: 7}
+	r0 := ClientRand(p, 0)
+	r0b := ClientRand(p, 0)
+	r1 := ClientRand(p, 1)
+	a, b, c := r0.Uint64(), r0b.Uint64(), r1.Uint64()
+	if a != b {
+		t.Error("same (seed, user) must reproduce the same stream")
+	}
+	if a == c {
+		t.Error("different users should get different streams")
+	}
+	if d := ClientRand(Params{Seed: 8}, 0).Uint64(); d == a {
+		t.Error("different seeds should get different streams")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{N: 10, D: 3, C: 16, Eps: 1}
+	if err := good.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: 0, D: 3, C: 16, Eps: 1},
+		{N: 10, D: 1, C: 16, Eps: 1},
+		{N: 10, D: 3, C: 1, Eps: 1},
+		{N: 10, D: 3, C: 16, Eps: 0},
+		{N: 10, D: 3, C: 16, Eps: -2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(2); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestCheckRecord(t *testing.T) {
+	p := Params{N: 10, D: 2, C: 4, Eps: 1}
+	if err := CheckRecord(p, []int{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range [][]int{{1}, {1, 2, 3}, {-1, 0}, {0, 4}} {
+		if err := CheckRecord(p, rec); err == nil {
+			t.Errorf("record %v accepted", rec)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package mech
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReportBinaryRoundTrip(t *testing.T) {
+	cases := []Report{
+		{},
+		{Group: 0, Seed: 0, Value: 1},
+		{Group: 20, Seed: 0xdeadbeefcafe, Value: 15},
+		{Group: 1 << 20, Seed: math.MaxUint64, Value: 1 << 40},
+	}
+	for _, r := range cases {
+		data, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%+v: %v", r, err)
+		}
+		var back Report
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%+v: %v", r, err)
+		}
+		if back != r {
+			t.Errorf("round trip %+v -> %+v", r, back)
+		}
+	}
+}
+
+func TestReportBinaryRoundTripQuick(t *testing.T) {
+	f := func(group uint16, seed uint64, value uint32) bool {
+		r := Report{Group: int(group), Seed: seed, Value: int(value)}
+		data, err := r.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Report
+		return back.UnmarshalBinary(data) == nil && back == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportBinaryRejectsMalformed(t *testing.T) {
+	good, err := Report{Group: 3, Seed: 12345678901234, Value: 7}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := r.UnmarshalBinary(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := r.UnmarshalBinary([]byte{99, 1, 2, 3}); err == nil {
+		t.Error("unknown version accepted")
+	}
+	for cut := 1; cut < len(good); cut++ {
+		if err := r.UnmarshalBinary(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if err := r.UnmarshalBinary(append(append([]byte{}, good...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// A seed varint longer than 10 bytes must not panic or wrap.
+	overlong := []byte{reportVersion, 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02, 0}
+	if err := r.UnmarshalBinary(overlong); err == nil {
+		t.Error("overlong varint accepted")
+	}
+	// Non-minimal varints would give one report several wire forms.
+	nonMinimal := []byte{reportVersion, 0x80, 0x00, 0, 0}
+	if err := r.UnmarshalBinary(nonMinimal); err == nil {
+		t.Error("non-minimal varint accepted")
+	}
+	if _, err := (Report{Group: -1}).MarshalBinary(); err == nil {
+		t.Error("negative group encoded")
+	}
+	if _, err := (Report{Value: -1}).MarshalBinary(); err == nil {
+		t.Error("negative value encoded")
+	}
+}
+
+func TestReportBatchRoundTrip(t *testing.T) {
+	batches := [][]Report{
+		nil,
+		{},
+		{{Group: 1, Seed: 2, Value: 3}},
+		{{Group: 0, Value: 0}, {Group: 7, Seed: 1 << 60, Value: 12}, {Group: 2, Value: 1}},
+	}
+	for _, rs := range batches {
+		data, err := EncodeReports(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeReports(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(rs) {
+			t.Fatalf("batch of %d came back as %d", len(rs), len(back))
+		}
+		for i := range rs {
+			if back[i] != rs[i] {
+				t.Errorf("report %d: %+v -> %+v", i, rs[i], back[i])
+			}
+		}
+	}
+}
+
+func TestReportBatchRejectsMalformed(t *testing.T) {
+	data, err := EncodeReports([]Report{{Group: 1, Value: 2}, {Group: 3, Seed: 9, Value: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeReports(nil); err == nil {
+		t.Error("empty batch payload accepted")
+	}
+	if _, err := DecodeReports(data[:len(data)-2]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+	if _, err := DecodeReports(append(append([]byte{}, data...), 1, 2)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// A count far beyond the payload size must fail before allocating.
+	if _, err := DecodeReports([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("absurd count accepted")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := Report{Group: 5, Seed: 123456789, Value: 42}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("JSON round trip %+v -> %+v", r, back)
+	}
+	// Seedless reports stay compact on the wire.
+	data, _ = json.Marshal(Report{Group: 1, Value: 3})
+	if want := `{"g":1,"v":3}`; string(data) != want {
+		t.Errorf("seedless JSON = %s, want %s", data, want)
+	}
+}

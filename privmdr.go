@@ -19,7 +19,34 @@
 // aggregator post-processes the reports into an Estimator that answers
 // arbitrary queries with no further privacy cost.
 //
-// # Quick start
+// # Protocol quick start
+//
+// The primary API mirrors that deployment: every mechanism splits into a
+// client side and an aggregator side that share only the public Params.
+//
+//	p := privmdr.Params{N: 100_000, D: 6, C: 64, Eps: 1.0, Seed: 7}
+//	proto, _ := privmdr.NewHDG().Protocol(p)
+//
+//	// Aggregator: collect reports (Submit/SubmitBatch are concurrency-safe).
+//	coll, _ := proto.NewCollector()
+//
+//	// Client i (on the user's device — only the Report crosses the wire):
+//	a, _ := proto.Assignment(i)
+//	rep, _ := proto.ClientReport(a, record, privmdr.ClientRand(p, i))
+//	wire, _ := rep.MarshalBinary()
+//
+//	// Aggregator again:
+//	var r privmdr.Report
+//	_ = r.UnmarshalBinary(wire)
+//	_ = coll.Submit(r)
+//	est, _ := coll.Finalize()
+//	ans, _ := est.Answer(privmdr.Query{{Attr: 0, Lo: 16, Hi: 47}})
+//
+// # Batch quick start
+//
+// Fit wraps the whole exchange for simulations and experiments — it runs
+// the identical protocol path in one call, so Fit and a hand-rolled
+// deployment with the same Params produce the same estimator:
 //
 //	ds, _ := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: 100_000, D: 6, C: 64, Seed: 1})
 //	est, _ := privmdr.Fit(privmdr.NewHDG(), ds, 1.0, 7)        // ε = 1
@@ -28,18 +55,19 @@
 //	    {Attr: 3, Lo: 0, Hi: 31},
 //	})
 //
-// See examples/ for full programs and EXPERIMENTS.md for the reproduction
-// of every figure and table in the paper.
+// See PROTOCOL.md for the deployment topology (who knows Params, what
+// crosses the wire), examples/ for full programs, and EXPERIMENTS.md for
+// the reproduction of every figure and table in the paper.
 package privmdr
 
 import (
+	"fmt"
 	"io"
 	"math/rand/v2"
 
 	"privmdr/internal/baselines"
 	"privmdr/internal/core"
 	"privmdr/internal/dataset"
-	"privmdr/internal/fo"
 	"privmdr/internal/ldprand"
 	"privmdr/internal/mech"
 	"privmdr/internal/mwem"
@@ -61,8 +89,8 @@ type (
 	Query = query.Query
 	// Estimator answers range queries from aggregated LDP reports.
 	Estimator = mech.Estimator
-	// Mechanism is a full LDP pipeline: perturb on the user side, aggregate,
-	// return an Estimator.
+	// Mechanism is a full LDP pipeline; its Protocol method exposes the
+	// client/aggregator split and Fit simulates a whole deployment.
 	Mechanism = mech.Mechanism
 	// Options tune TDG/HDG; the zero value reproduces the paper's defaults
 	// (guideline granularities, 3 post-processing rounds, weighted-update
@@ -70,6 +98,26 @@ type (
 	Options = core.Options
 	// WUOptions bound the weighted-update loops (Algorithms 1 and 2).
 	WUOptions = mwem.Options
+)
+
+// Protocol API: a real rollout separates the client side (one ClientReport
+// per user) from the aggregator side (a Collector). These aliases are the
+// deployment-shaped face every mechanism implements.
+type (
+	// Params are the public parameters shared by aggregator and clients.
+	Params = mech.Params
+	// Assignment tells one user which group to report.
+	Assignment = mech.Assignment
+	// Report is a user's single sanitized message — the only user-derived
+	// bytes that cross the wire. It serializes to JSON and to a compact
+	// binary format (MarshalBinary / EncodeReports).
+	Report = mech.Report
+	// Protocol is a mechanism's client/aggregator split, a pure function
+	// of Params; see Mechanism.Protocol.
+	Protocol = mech.Protocol
+	// Collector is the aggregator side: concurrency-safe Submit and
+	// SubmitBatch ingestion, then a single Finalize.
+	Collector = mech.Collector
 )
 
 // NewHDG returns the paper's best mechanism: Hybrid-Dimensional Grids.
@@ -113,18 +161,64 @@ func MechanismByName(name string) (Mechanism, error) {
 	return mechByName(name)
 }
 
-// Fit runs mechanism m over ds with privacy budget eps, deriving all
-// randomness (group splits, perturbation) from seed. Identical inputs give
-// identical estimators.
-func Fit(m Mechanism, ds *Dataset, eps float64, seed uint64) (Estimator, error) {
-	return m.Fit(ds, eps, ldprand.Split(seed, 0x666974))
+// ProtocolByName resolves a mechanism by name and instantiates its
+// protocol from the public parameters — the entry point network services
+// use, since both sides of the wire agree on (name, Params).
+func ProtocolByName(name string, p Params) (Protocol, error) {
+	m, err := mechByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return m.Protocol(p)
 }
 
-// FitWithRand is Fit with a caller-supplied random source, for integration
-// into existing pipelines.
+// Fit runs mechanism m over ds with privacy budget eps. It is a thin
+// wrapper over the protocol path: the public parameters are read off the
+// dataset with the given assignment seed, every client is simulated with
+// ClientRand, and the collector is finalized. Identical inputs give
+// identical estimators — and the same estimator as an explicit
+// Protocol/Submit/Finalize deployment with the same Params.
+func Fit(m Mechanism, ds *Dataset, eps float64, seed uint64) (Estimator, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, fmt.Errorf("privmdr: empty dataset")
+	}
+	p, err := m.Protocol(Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: eps, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return mech.Run(p, ds)
+}
+
+// FitWithRand is Fit with a caller-supplied random source (the protocol
+// seed is drawn from rng), for integration into existing pipelines.
 func FitWithRand(m Mechanism, ds *Dataset, eps float64, rng *rand.Rand) (Estimator, error) {
 	return m.Fit(ds, eps, rng)
 }
+
+// Simulate plays a full deployment of proto over ds in-process: every
+// user's client side runs with ClientRand and all reports are submitted
+// and finalized. Fit is Simulate over a freshly constructed protocol.
+func Simulate(proto Protocol, ds *Dataset) (Estimator, error) {
+	return mech.Run(proto, ds)
+}
+
+// ClientRand returns the canonical per-user randomness stream simulations
+// use for client-side perturbation: a pure function of (Params.Seed, user),
+// independent across users. Production clients should perturb with OS
+// entropy instead — the aggregator cannot tell the difference.
+func ClientRand(p Params, user int) *rand.Rand { return mech.ClientRand(p, user) }
+
+// NewClientRand returns a seeded random source for client-side
+// perturbation when the caller manages its own seeding scheme.
+func NewClientRand(seed uint64) *rand.Rand { return ldprand.New(seed) }
+
+// EncodeReports packs a report batch into the compact self-delimiting
+// binary frame clients ship to the aggregator.
+func EncodeReports(rs []Report) ([]byte, error) { return mech.EncodeReports(rs) }
+
+// DecodeReports unpacks a frame written by EncodeReports, rejecting
+// malformed payloads.
+func DecodeReports(data []byte) ([]Report, error) { return mech.DecodeReports(data) }
 
 // GenerateDataset draws a synthetic dataset by generator name: "ipums",
 // "bfive", "normal", "laplace", "loan", "acs", or "uniform" (see DESIGN.md
@@ -173,46 +267,10 @@ func GuidelineGranularities(eps float64, n, d, c int) (g1, g2 int, err error) {
 	return core.HDGGranularities(eps, n, d, c, core.DefaultAlpha1, core.DefaultAlpha2)
 }
 
-// Deployment-shaped API: a real rollout separates the client side (one
-// ClientReport per user) from the aggregator side (Collector). Fit wraps
-// both for simulations; these types let you put the ε-LDP boundary on the
-// wire. See examples/distributed.
-type (
-	// Params are the public parameters shared by aggregator and clients.
-	Params = core.Params
-	// Assignment tells one user which grid to report.
-	Assignment = core.Assignment
-	// Report is a user's single sanitized message.
-	Report = fo.Report
-	// Collector is the aggregator side of an HDG deployment.
-	Collector = core.Collector
-)
-
-// NewCollector prepares the aggregator side of an HDG deployment.
-func NewCollector(p Params) (*Collector, error) {
-	return core.NewCollector(p, Options{})
-}
-
-// NewCollectorWithOptions is NewCollector with explicit HDG options.
-func NewCollectorWithOptions(p Params, opts Options) (*Collector, error) {
-	return core.NewCollector(p, opts)
-}
-
-// ClientReport is the client side of a deployment: it turns one user's
-// record into the single ε-LDP report for their assigned grid.
-func ClientReport(p Params, a Assignment, record []int, rng *rand.Rand) (Report, error) {
-	return core.ClientReport(p, a, record, rng)
-}
-
-// NewClientRand returns a random source suitable for client-side
-// perturbation. Production clients should seed from the OS entropy pool;
-// this helper exists so simulations stay reproducible.
-func NewClientRand(seed uint64) *rand.Rand { return ldprand.New(seed) }
-
 // SaveEstimator persists a fitted HDG estimator as JSON. The snapshot is
 // post-processed output of ε-LDP reports, so storing or shipping it adds no
-// privacy cost. Only HDG estimators (Fit(NewHDG...) or Collector.Finalize)
-// are serializable.
+// privacy cost. Only HDG estimators (Fit(NewHDG...) or the HDG collector's
+// Finalize) are serializable.
 func SaveEstimator(w io.Writer, est Estimator) error {
 	return core.SaveEstimator(w, est)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"privmdr"
@@ -226,24 +227,28 @@ func TestSaveLoadEstimatorPublic(t *testing.T) {
 func TestCollectorPublicFlow(t *testing.T) {
 	ds := genSmall(t)
 	p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 2.0, Seed: 8}
-	coll, err := privmdr.NewCollector(p)
+	proto, err := privmdr.NewHDG().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
 	if err != nil {
 		t.Fatal(err)
 	}
 	record := make([]int, ds.D())
 	for u := 0; u < ds.N(); u++ {
-		a, err := coll.Assignment(u)
+		a, err := proto.Assignment(u)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i := range record {
 			record[i] = ds.Value(i, u)
 		}
-		rep, err := privmdr.ClientReport(p, a, record, privmdr.NewClientRand(uint64(u)))
+		rep, err := proto.ClientReport(a, record, privmdr.NewClientRand(uint64(u)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := coll.Submit(a, rep); err != nil {
+		if err := coll.Submit(rep); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -259,5 +264,288 @@ func TestCollectorPublicFlow(t *testing.T) {
 	var buf bytes.Buffer
 	if err := privmdr.SaveEstimator(&buf, est); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// protocolDataset is small enough for every mechanism (HIO needs levels^d
+// groups) yet large enough for meaningful estimates.
+func protocolDataset(t *testing.T) *privmdr.Dataset {
+	t.Helper()
+	ds, err := privmdr.GenerateDataset("ipums", privmdr.GenOptions{N: 12_000, D: 3, C: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// runProtocolPath plays the explicit deployment flow — Protocol →
+// Assignment → ClientReport → Submit → Finalize — exactly as a fleet of
+// remote clients would, using the canonical per-user client randomness.
+func runProtocolPath(t *testing.T, m privmdr.Mechanism, ds *privmdr.Dataset, eps float64, seed uint64) privmdr.Estimator {
+	t.Helper()
+	p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: eps, Seed: seed}
+	proto, err := m.Protocol(p)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	record := make([]int, ds.D())
+	for u := 0; u < ds.N(); u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		rep, err := proto.ClientReport(a, record, privmdr.ClientRand(p, u))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if err := coll.Submit(rep); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+	}
+	est, err := coll.Finalize()
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	return est
+}
+
+// TestProtocolPathMatchesFit is the core contract of the API redesign:
+// for every mechanism, the explicit client/server protocol path and the
+// batch Fit convenience wrapper produce bit-identical estimators under the
+// same public parameters.
+func TestProtocolPathMatchesFit(t *testing.T) {
+	ds := protocolDataset(t)
+	qs, err := privmdr.RandomWorkload(25, 2, ds.D(), ds.C, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = append(qs, privmdr.Query{{Attr: 1, Lo: 3, Hi: 12}}) // 1-D coverage
+	const eps, seed = 1.0, 42
+	for _, m := range privmdr.Mechanisms() {
+		fitEst, err := privmdr.Fit(m, ds, eps, seed)
+		if err != nil {
+			t.Fatalf("%s: Fit: %v", m.Name(), err)
+		}
+		protoEst := runProtocolPath(t, m, ds, eps, seed)
+		fitAns, err := privmdr.Answers(fitEst, qs)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		protoAns, err := privmdr.Answers(protoEst, qs)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for i := range qs {
+			if fitAns[i] != protoAns[i] {
+				t.Fatalf("%s: query %d: protocol path %v, Fit %v", m.Name(), i, protoAns[i], fitAns[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentSubmitMatchesFit fans every user's report into the
+// collector from many goroutines in whatever order the scheduler picks and
+// asserts the finalized estimator still matches the sequential Fit result
+// bit for bit: aggregation depends only on the multiset of reports. Run
+// with -race, this is also the ingestion-safety test.
+func TestConcurrentSubmitMatchesFit(t *testing.T) {
+	ds := protocolDataset(t)
+	qs, err := privmdr.RandomWorkload(15, 2, ds.D(), ds.C, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps, seed = 1.0, 77
+	for _, m := range []privmdr.Mechanism{privmdr.NewHDG(), privmdr.NewTDG(), privmdr.NewMSW()} {
+		p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: eps, Seed: seed}
+		proto, err := m.Protocol(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Client side: produce every report first (deterministic per user).
+		reports := make([]privmdr.Report, ds.N())
+		record := make([]int, ds.D())
+		for u := 0; u < ds.N(); u++ {
+			a, err := proto.Assignment(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range record {
+				record[i] = ds.Value(i, u)
+			}
+			reports[u], err = proto.ClientReport(a, record, privmdr.ClientRand(p, u))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Server side: 8 workers race interleaved batches and singles.
+		coll, err := proto.NewCollector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const workers = 8
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var batch []privmdr.Report
+				for u := w; u < len(reports); u += workers {
+					if len(batch) == 64 {
+						if err := coll.SubmitBatch(batch); err != nil {
+							errs <- err
+							return
+						}
+						batch = batch[:0]
+					}
+					batch = append(batch, reports[u])
+				}
+				if err := coll.SubmitBatch(batch); err != nil {
+					errs <- err
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if got := coll.Received(); got != ds.N() {
+			t.Fatalf("%s: received %d reports, want %d", m.Name(), got, ds.N())
+		}
+		concEst, err := coll.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitEst, err := privmdr.Fit(m, ds, eps, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		concAns, err := privmdr.Answers(concEst, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitAns, err := privmdr.Answers(fitEst, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if concAns[i] != fitAns[i] {
+				t.Fatalf("%s: query %d: concurrent %v, sequential Fit %v", m.Name(), i, concAns[i], fitAns[i])
+			}
+		}
+	}
+}
+
+// TestReportWireRoundTrip sends every report through the binary wire
+// format and asserts the decoded deployment finalizes to the identical
+// estimator, and that malformed payloads are rejected.
+func TestReportWireRoundTrip(t *testing.T) {
+	ds := protocolDataset(t)
+	const eps, seed = 1.0, 9
+	m := privmdr.NewHDG()
+	p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: eps, Seed: seed}
+	proto, err := m.Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := make([]int, ds.D())
+	var batch []privmdr.Report
+	for u := 0; u < ds.N(); u++ {
+		a, _ := proto.Assignment(u)
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		rep, err := proto.ClientReport(a, record, privmdr.ClientRand(p, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, rep)
+		if len(batch) == 500 || u == ds.N()-1 {
+			// ── wire boundary: encode on the client, decode on the server ──
+			frame, err := privmdr.EncodeReports(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := privmdr.DecodeReports(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(back) != len(batch) {
+				t.Fatalf("round trip lost reports: %d -> %d", len(batch), len(back))
+			}
+			for i := range back {
+				if back[i] != batch[i] {
+					t.Fatalf("report %d mutated in transit: %+v -> %+v", i, batch[i], back[i])
+				}
+			}
+			if err := coll.SubmitBatch(back); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	wireEst, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitEst, err := privmdr.Fit(m, ds, eps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := privmdr.RandomWorkload(10, 2, ds.D(), ds.C, 0.5, 11)
+	wireAns, _ := privmdr.Answers(wireEst, qs)
+	fitAns, _ := privmdr.Answers(fitEst, qs)
+	for i := range qs {
+		if wireAns[i] != fitAns[i] {
+			t.Fatalf("query %d: wire path %v, Fit %v", i, wireAns[i], fitAns[i])
+		}
+	}
+
+	// Malformed payloads must be rejected, not misparsed.
+	good, err := privmdr.EncodeReports([]privmdr.Report{{Group: 1, Seed: 99, Value: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := privmdr.DecodeReports(good[:len(good)-1]); err == nil {
+		t.Error("truncated frame should fail")
+	}
+	if _, err := privmdr.DecodeReports(append(good, 0xFF)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	if _, err := privmdr.DecodeReports([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("garbage frame should fail")
+	}
+	var r privmdr.Report
+	if err := r.UnmarshalBinary([]byte{0x07, 1, 2, 3}); err == nil {
+		t.Error("unknown version byte should fail")
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	p := privmdr.Params{N: 10_000, D: 3, C: 16, Eps: 1, Seed: 2}
+	proto, err := privmdr.ProtocolByName("hdg", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proto.Name() != "HDG" {
+		t.Errorf("protocol name %q", proto.Name())
+	}
+	if _, err := privmdr.ProtocolByName("bogus", p); err == nil {
+		t.Error("unknown mechanism should fail")
+	}
+	if _, err := privmdr.ProtocolByName("hdg", privmdr.Params{}); err == nil {
+		t.Error("invalid params should fail")
 	}
 }
