@@ -170,6 +170,82 @@ func BenchmarkMSWFit(b *testing.B) {
 	}
 }
 
+// benchmarkAnswer fits one mechanism and measures steady-state single-query
+// answering, sequentially and under parallel load (the query-server
+// traffic shape). The estimator is warmed on the whole workload first so
+// lazy one-time work (HDG response matrices, HIO memo entries) is not
+// billed to the timed loop.
+func benchmarkAnswer(b *testing.B, m privmdr.Mechanism, n, d, c, lambda int) {
+	b.Helper()
+	ds, err := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: n, D: d, C: c, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := privmdr.Fit(m, ds, 1.0, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := privmdr.RandomWorkload(256, lambda, d, c, 0.5, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := privmdr.AnswerBatch(est, qs); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := est.Answer(qs[i%len(qs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := est.Answer(qs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkAnswerHDG / TDG / CALM / HIO measure per-query answering for the
+// headline mechanisms and the baselines with nontrivial answer paths.
+// (HIO runs at d=4 so its 4^d hierarchy groups stay feasible.)
+func BenchmarkAnswerHDG(b *testing.B)  { benchmarkAnswer(b, privmdr.NewHDG(), 50_000, 6, 64, 2) }
+func BenchmarkAnswerTDG(b *testing.B)  { benchmarkAnswer(b, privmdr.NewTDG(), 50_000, 6, 64, 2) }
+func BenchmarkAnswerCALM(b *testing.B) { benchmarkAnswer(b, privmdr.NewCALM(), 50_000, 6, 64, 2) }
+func BenchmarkAnswerHIO(b *testing.B)  { benchmarkAnswer(b, privmdr.NewHIO(), 20_000, 4, 64, 2) }
+
+// BenchmarkAnswerBatchHDG measures whole-workload throughput through the
+// bounded worker pool — the unit of work one POST /query performs.
+func BenchmarkAnswerBatchHDG(b *testing.B) {
+	ds, err := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: 50_000, D: 6, C: 64, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := privmdr.Fit(privmdr.NewHDG(), ds, 1.0, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := privmdr.RandomWorkload(256, 2, 6, 64, 0.5, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := privmdr.AnswerBatch(est, qs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privmdr.AnswerBatch(est, qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTrueAnswers measures the exact-answer scan the harness uses.
 func BenchmarkTrueAnswers(b *testing.B) {
 	ds := benchDataset(b, 50_000)

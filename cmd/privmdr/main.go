@@ -14,6 +14,7 @@
 //	privmdr client -params params.json -in data.csv -users 0:50000 -out shard0.bin
 //	privmdr client -params params.json -in data.csv -users 50000:100000 -out shard1.bin
 //	privmdr serve -params params.json -reports shard0.bin,shard1.bin -queries "0:16-47,3:0-31"
+//	privmdr serve -params params.json -reports shard0.bin,shard1.bin -http :8080
 //
 // Query syntax: semicolon-separated queries, each a comma-separated list of
 // attr:lo-hi predicates (0-based inclusive).
@@ -26,9 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"math/rand/v2"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"privmdr"
 )
@@ -92,7 +95,9 @@ batch subcommands (simulate both sides in one process):
 protocol subcommands (drive the two deployment sides separately):
   params    publish the public parameters of a deployment as JSON
   client    produce the ε-LDP report shard for a range of users (wire format)
-  serve     ingest report shards, finalize, and answer queries
+  serve     ingest report shards, finalize, and answer queries — or, with
+            -http, stay up as a persistent HTTP query server (POST /reports,
+            POST /finalize, POST /query; see PROTOCOL.md "Serving")
 
 examples:
   privmdr gen -data normal -n 100000 -d 6 -c 64 -out data.csv
@@ -101,7 +106,8 @@ examples:
   privmdr marginal -in data.csv -c 64 -eps 1.0 -attrs 0,3 -out marg.csv
   privmdr params -mech HDG -n 100000 -d 6 -c 64 -eps 1.0 -seed 7 -out params.json
   privmdr client -params params.json -in data.csv -users 0:50000 -out shard0.bin
-  privmdr serve -params params.json -reports shard0.bin,shard1.bin -queries "0:16-47"`)
+  privmdr serve -params params.json -reports shard0.bin,shard1.bin -queries "0:16-47"
+  privmdr serve -params params.json -reports shard0.bin,shard1.bin -http :8080`)
 }
 
 // paramsFile is the on-disk form of a deployment's public parameters: the
@@ -237,14 +243,28 @@ func cmdClient(args []string) error {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	paramsPath := fs.String("params", "", "public parameters JSON (required)")
-	reportsArg := fs.String("reports", "", "comma-separated report shards (required)")
-	queries := fs.String("queries", "", "semicolon-separated queries, predicates attr:lo-hi (required)")
+	reportsArg := fs.String("reports", "", "comma-separated report shards (required unless -http)")
+	queries := fs.String("queries", "", "semicolon-separated queries, predicates attr:lo-hi (required unless -http)")
 	save := fs.String("save", "", "also persist the finalized estimator as JSON (HDG only)")
+	httpAddr := fs.String("http", "", "listen address (e.g. :8080): stay up as a persistent HTTP query server instead of answering -queries and exiting")
+	finalizeNow := fs.Bool("finalize", false, "with -http: finalize right after ingesting -reports instead of on the first query")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *httpAddr != "" {
+		if *paramsPath == "" {
+			return fmt.Errorf("serve: -params is required")
+		}
+		if *queries != "" || *save != "" {
+			return fmt.Errorf("serve: -queries and -save apply to the batch mode only; POST /query to the HTTP server instead")
+		}
+		return serveHTTP(*httpAddr, *paramsPath, *reportsArg, *finalizeNow)
+	}
+	if *finalizeNow {
+		return fmt.Errorf("serve: -finalize applies to the HTTP mode only (batch mode always finalizes)")
+	}
 	if *paramsPath == "" || *reportsArg == "" || *queries == "" {
-		return fmt.Errorf("serve: -params, -reports, and -queries are required")
+		return fmt.Errorf("serve: -params, -reports, and -queries are required (or pass -http to run the persistent server)")
 	}
 	pf, proto, err := loadParams(*paramsPath)
 	if err != nil {
@@ -258,7 +278,39 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, path := range strings.Split(*reportsArg, ",") {
+	if err := ingestShards(coll, *reportsArg); err != nil {
+		return err
+	}
+	received := coll.Received()
+	est, err := coll.Finalize()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  n=%d (received %d reports) d=%d c=%d eps=%g\n",
+		pf.Mechanism, pf.N, received, pf.D, pf.C, pf.Eps)
+	answers, err := privmdr.AnswerBatch(est, qs)
+	if err != nil {
+		return err
+	}
+	for i, q := range qs {
+		fmt.Printf("%-40s  %.6f\n", formatQuery(q), answers[i])
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := privmdr.SaveEstimator(f, est); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestShards reads each comma-separated binary shard and submits it.
+func ingestShards(coll privmdr.Collector, reportsArg string) error {
+	for _, path := range strings.Split(reportsArg, ",") {
 		path = strings.TrimSpace(path)
 		if path == "" {
 			continue
@@ -275,31 +327,43 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("shard %s: %w", path, err)
 		}
 	}
-	received := coll.Received()
-	est, err := coll.Finalize()
+	return nil
+}
+
+// serveHTTP runs the persistent query server: preload any shards given on
+// the command line, then serve ingestion and query traffic until killed.
+// The lifecycle is finalize-once — the first POST /query (or POST
+// /finalize, or -finalize here) freezes the estimator, after which report
+// submissions are rejected.
+func serveHTTP(addr, paramsPath, reportsArg string, finalizeNow bool) error {
+	pf, proto, err := loadParams(paramsPath)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s  n=%d (received %d reports) d=%d c=%d eps=%g\n",
-		pf.Mechanism, pf.N, received, pf.D, pf.C, pf.Eps)
-	for _, q := range qs {
-		a, err := est.Answer(q)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-40s  %.6f\n", formatQuery(q), a)
+	srv, err := privmdr.NewQueryServer(proto)
+	if err != nil {
+		return err
 	}
-	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := privmdr.SaveEstimator(f, est); err != nil {
+	if reportsArg != "" {
+		if err := ingestShards(srv, reportsArg); err != nil {
 			return err
 		}
 	}
-	return nil
+	if finalizeNow {
+		if _, err := srv.Finalize(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s  n=%d d=%d c=%d eps=%g — serving on %s (%d reports preloaded)\n",
+		pf.Mechanism, pf.N, pf.D, pf.C, pf.Eps, addr, srv.Received())
+	server := &http.Server{
+		Addr:    addr,
+		Handler: srv,
+		// A long-lived public listener must not let slow clients pin
+		// goroutines forever; bodies are already capped by the handler.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return server.ListenAndServe()
 }
 
 // parseUserRange parses "lo:hi" (hi exclusive), rejecting ranges that fall

@@ -109,3 +109,17 @@ func TestProtocolPipeline(t *testing.T) {
 		t.Error("infeasible params accepted")
 	}
 }
+
+func TestServeHTTPFlagValidation(t *testing.T) {
+	// The HTTP mode needs params and owns the query lifecycle — batch-mode
+	// flags are rejected up front, before anything is loaded or bound.
+	if err := cmdServe([]string{"-http", "127.0.0.1:0"}); err == nil {
+		t.Error("serve -http without -params should fail")
+	}
+	if err := cmdServe([]string{"-http", "127.0.0.1:0", "-params", "unused.json", "-queries", "0:0-1"}); err == nil {
+		t.Error("serve -http with -queries should fail")
+	}
+	if err := cmdServe([]string{"-http", "127.0.0.1:0", "-params", "unused.json", "-save", "est.json"}); err == nil {
+		t.Error("serve -http with -save should fail")
+	}
+}

@@ -1,0 +1,177 @@
+// Queryserver: a persistent HTTP deployment under load. The program stands
+// up privmdr.QueryServer on a local listener (or targets an already-running
+// `privmdr serve -http` with -addr), drives the full serving lifecycle over
+// the wire — concurrent clients POST report shards, one POST /finalize
+// freezes the estimator — and then hammers POST /query with concurrent
+// batches, reporting throughput and accuracy.
+//
+// Run with:
+//
+//	go run ./examples/queryserver
+//	go run ./examples/queryserver -addr http://localhost:8080 -skip-ingest
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"privmdr"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "target an external server (e.g. http://localhost:8080) instead of starting one in-process")
+		skipIngest = flag.Bool("skip-ingest", false, "skip the ingestion phase (the external server already holds its reports)")
+		n          = flag.Int("n", 40_000, "users")
+		d          = flag.Int("d", 4, "attributes")
+		c          = flag.Int("c", 64, "domain size")
+		eps        = flag.Float64("eps", 1.0, "privacy budget")
+		seed       = flag.Uint64("seed", 21, "public assignment seed")
+		mechName   = flag.String("mech", "HDG", "mechanism")
+		shards     = flag.Int("shards", 8, "report shards POSTed concurrently")
+		clients    = flag.Int("clients", 8, "concurrent query clients")
+		batches    = flag.Int("batches", 64, "query batches per client")
+		batchSize  = flag.Int("batch", 32, "queries per batch")
+		lambda     = flag.Int("lambda", 2, "query dimension")
+	)
+	flag.Parse()
+
+	// Stand-in for the users' private records; also the ground truth for
+	// the accuracy report at the end.
+	ds, err := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: *n, D: *d, C: *c, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := privmdr.Params{N: *n, D: *d, C: *c, Eps: *eps, Seed: *seed}
+	proto, err := privmdr.ProtocolByName(*mechName, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := *addr
+	if base == "" {
+		// In-process server on an ephemeral port — the same handler
+		// `privmdr serve -http` mounts.
+		srv, err := privmdr.NewQueryServer(proto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := http.Serve(ln, srv); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+	fmt.Printf("query server: %s (%s, n=%d d=%d c=%d eps=%g)\n", base, *mechName, *n, *d, *c, *eps)
+
+	// ── Phase 1: concurrent shard ingestion over the wire. ──
+	if !*skipIngest {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < *shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				lo, hi := s**n / *shards, (s+1)**n / *shards
+				reports := make([]privmdr.Report, 0, hi-lo)
+				record := make([]int, *d)
+				for u := lo; u < hi; u++ {
+					a, err := proto.Assignment(u)
+					if err != nil {
+						log.Fatal(err)
+					}
+					for t := 0; t < *d; t++ {
+						record[t] = ds.Value(t, u)
+					}
+					rep, err := proto.ClientReport(a, record, privmdr.ClientRand(params, u))
+					if err != nil {
+						log.Fatal(err)
+					}
+					reports = append(reports, rep)
+				}
+				frame, err := privmdr.EncodeReports(reports)
+				if err != nil {
+					log.Fatal(err)
+				}
+				post(base+"/reports", "application/octet-stream", frame, nil)
+			}(s)
+		}
+		wg.Wait()
+		var fin struct {
+			Received int `json:"received"`
+		}
+		post(base+"/finalize", "application/json", nil, &fin)
+		fmt.Printf("ingested %d reports in %d shards, finalized in %v\n", fin.Received, *shards, time.Since(start).Round(time.Millisecond))
+	}
+
+	// ── Phase 2: concurrent query load. Every client sends the same
+	// workload sliced into batches, so answers are directly checkable. ──
+	queries, err := privmdr.RandomWorkload(*batches**batchSize, *lambda, *d, *c, 0.5, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers := make([]float64, len(queries))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := w; b < *batches; b += *clients {
+				qs := queries[b**batchSize : (b+1)**batchSize]
+				body, err := json.Marshal(privmdr.QueryRequest{Queries: qs})
+				if err != nil {
+					log.Fatal(err)
+				}
+				var resp privmdr.QueryResponse
+				post(base+"/query", "application/json", body, &resp)
+				if len(resp.Answers) != len(qs) {
+					log.Fatalf("batch %d: got %d answers for %d queries", b, len(resp.Answers), len(qs))
+				}
+				copy(answers[b**batchSize:], resp.Answers)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	qps := float64(len(queries)) / elapsed.Seconds()
+	fmt.Printf("answered %d queries (%d batches × %d, λ=%d) from %d clients in %v — %.0f queries/s\n",
+		len(queries), *batches, *batchSize, *lambda, *clients, elapsed.Round(time.Millisecond), qps)
+	truth := privmdr.TrueAnswers(ds, queries)
+	fmt.Printf("workload MAE: %.5f\n", privmdr.MAE(answers, truth))
+}
+
+// post sends one request and decodes the JSON reply into out (when non-nil),
+// failing the program on any transport or HTTP error.
+func post(url, contentType string, body []byte, out any) {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, payload)
+	}
+	if out != nil {
+		if err := json.Unmarshal(payload, out); err != nil {
+			log.Fatalf("POST %s: decoding reply: %v", url, err)
+		}
+	}
+}

@@ -210,3 +210,9 @@ func (e *calmEstimator) Answer(q query.Query) (float64, error) {
 	f, _, err := mwem.AnswerRange(qs, e.pair2D, e.wu)
 	return f, err
 }
+
+// AnswerBatch implements mech.BatchEstimator (the marginal prefix sums are
+// frozen at Finalize, so concurrent Answer calls are pure reads).
+func (e *calmEstimator) AnswerBatch(qs []query.Query) ([]float64, error) {
+	return mech.AnswerQueries(e, qs)
+}

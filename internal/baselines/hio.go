@@ -3,6 +3,7 @@ package baselines
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"privmdr/internal/dataset"
 	"privmdr/internal/fo"
@@ -42,14 +43,20 @@ type hioKey struct {
 	id    uint64
 }
 
+// hioEstimator keeps the raw per-group reports and estimates interval
+// frequencies on demand, memoizing them under mu — estimation is a pure
+// function of the frozen reports, so concurrent Answer calls that race to
+// the same key compute the same value and the estimator stays deterministic.
 type hioEstimator struct {
 	c, d      int
 	tree      *hierarchy.Tree
 	levels    int // levels per attribute (h+1)
 	oracles   []*fo.OLH
 	reports   [][]fo.Report
-	memo      map[hioKey]float64
 	maxCombos int
+
+	mu   sync.Mutex
+	memo map[hioKey]float64
 }
 
 // Fit implements mech.Mechanism as a thin wrapper over the protocol path.
@@ -257,10 +264,14 @@ func (e *hioEstimator) Answer(q query.Query) (float64, error) {
 			idStride *= uint64(e.tree.CountAt(node.Level))
 		}
 		key := hioKey{level: li, id: id}
+		e.mu.Lock()
 		f, ok := e.memo[key]
+		e.mu.Unlock()
 		if !ok {
 			f = e.oracles[li].EstimateOne(e.reports[li], id)
+			e.mu.Lock()
 			e.memo[key] = f
+			e.mu.Unlock()
 		}
 		ans += f
 		// Advance the odometer.
@@ -277,4 +288,9 @@ func (e *hioEstimator) Answer(q query.Query) (float64, error) {
 		}
 	}
 	return ans, nil
+}
+
+// AnswerBatch implements mech.BatchEstimator.
+func (e *hioEstimator) AnswerBatch(qs []query.Query) ([]float64, error) {
+	return mech.AnswerQueries(e, qs)
 }

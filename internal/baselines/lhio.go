@@ -428,3 +428,9 @@ func (e *lhioEstimator) Answer(q query.Query) (float64, error) {
 	f, _, err := mwem.AnswerRange(qs, e.pair2D, e.wu)
 	return f, err
 }
+
+// AnswerBatch implements mech.BatchEstimator (the level tables are frozen at
+// Finalize, so concurrent Answer calls are pure reads).
+func (e *lhioEstimator) AnswerBatch(qs []query.Query) ([]float64, error) {
+	return mech.AnswerQueries(e, qs)
+}

@@ -223,12 +223,11 @@ func (c *hdgCollector) Finalize() (mech.Estimator, error) {
 	if wu.Tol <= 0 {
 		wu.Tol = 1 / float64(max(pr.p.N, 1))
 	}
-	return &hdgEstimator{
-		c: cc, d: d, G1: pr.g1, G2: pr.g2,
-		grids1: grids1,
-		grids2: grids2,
-		wu:     wu,
-		traces: pr.opts.CollectTraces,
-		prefix: make([]*mathx.Prefix2D, len(pr.pairs)),
-	}, nil
+	est := newHDGEstimator(cc, d, pr.g1, pr.g2, grids1, grids2, wu, pr.opts.CollectTraces)
+	if pr.opts.EagerMatrices {
+		if err := est.PrecomputeMatrices(); err != nil {
+			return nil, err
+		}
+	}
+	return est, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand/v2"
+	"sync"
 
 	"privmdr/internal/consistency"
 	"privmdr/internal/dataset"
@@ -32,24 +33,53 @@ func (h *HDG) Name() string {
 	return "HDG"
 }
 
-// hdgEstimator answers queries from the post-processed hybrid grids.
+// hdgEstimator answers queries from the post-processed hybrid grids. Once
+// finalized it is effectively immutable: the grids are sealed, response
+// matrices are built exactly once behind sync.Once, and the optional trace
+// collection is mutex-guarded — so Answer and AnswerBatch are safe for
+// concurrent use.
 type hdgEstimator struct {
 	c, d   int
 	G1, G2 int
-	grids1 []*grid.Grid1D // per attribute
-	grids2 []*grid.Grid2D // per pair (mech.PairIndex order)
+	grids1 []*grid.Grid1D // per attribute, sealed
+	grids2 []*grid.Grid2D // per pair (mech.PairIndex order), sealed
 	wu     mwem.Options
 	traces bool
 
-	// prefix[pi] holds the prefix sums of pair pi's response matrix; nil
-	// until the pair is first queried (matrices are built lazily and the raw
-	// matrix is discarded once summed).
-	prefix []*mathx.Prefix2D
+	// prefix[pi] holds the prefix sums of pair pi's response matrix, built
+	// at most once by matOnce[pi] (the raw matrix is discarded once summed);
+	// matErr[pi] records a build failure. Reads are safe after the
+	// corresponding Once completes.
+	prefix  []*mathx.Prefix2D
+	matOnce []sync.Once
+	matErr  []error
 
-	// Alg1Traces collects one convergence trace per built response matrix
-	// and LastAlg2Trace the most recent Algorithm 2 trace, when enabled.
+	// mu guards the convergence traces below. It is only ever taken when
+	// traces is set, keeping trace bookkeeping off the Answer hot path.
+	mu            sync.Mutex
 	Alg1Traces    [][]float64
 	LastAlg2Trace []float64
+}
+
+// newHDGEstimator seals the grids and wires the concurrency plumbing shared
+// by the collector and snapshot constructors.
+func newHDGEstimator(c, d, g1, g2 int, grids1 []*grid.Grid1D, grids2 []*grid.Grid2D, wu mwem.Options, traces bool) *hdgEstimator {
+	for _, g := range grids1 {
+		g.Seal()
+	}
+	for _, g := range grids2 {
+		g.Seal()
+	}
+	return &hdgEstimator{
+		c: c, d: d, G1: g1, G2: g2,
+		grids1:  grids1,
+		grids2:  grids2,
+		wu:      wu,
+		traces:  traces,
+		prefix:  make([]*mathx.Prefix2D, len(grids2)),
+		matOnce: make([]sync.Once, len(grids2)),
+		matErr:  make([]error, len(grids2)),
+	}
 }
 
 // Fit implements mech.Mechanism as a thin wrapper over the protocol path:
@@ -91,12 +121,20 @@ func postProcessHybrid(d int, grids1 []*grid.Grid1D, grids2 []*grid.Grid2D, roun
 	return pipeline.Run(rounds)
 }
 
-// responseMatrix lazily builds (and memoizes the prefix sums of) the pair's
-// response matrix via Algorithm 1, fusing {G(j), G(k), G(j,k)}.
+// responseMatrix returns the prefix sums of the pair's response matrix,
+// building them at most once (Algorithm 1, fusing {G(j), G(k), G(j,k)}).
+// Safe for concurrent use: the first caller builds, everyone else waits.
 func (e *hdgEstimator) responseMatrix(pi int, a, b int) (*mathx.Prefix2D, error) {
-	if e.prefix[pi] != nil {
-		return e.prefix[pi], nil
+	e.matOnce[pi].Do(func() { e.buildResponseMatrix(pi, a, b) })
+	if err := e.matErr[pi]; err != nil {
+		return nil, err
 	}
+	return e.prefix[pi], nil
+}
+
+// buildResponseMatrix runs Algorithm 1 for pair pi and memoizes the prefix
+// sums of the result. Called exactly once per pair via matOnce.
+func (e *hdgEstimator) buildResponseMatrix(pi int, a, b int) {
 	c := e.c
 	var cells []mwem.CellConstraint
 	ga, gb, gab := e.grids1[a], e.grids1[b], e.grids2[pi]
@@ -114,48 +152,68 @@ func (e *hdgEstimator) responseMatrix(pi int, a, b int) (*mathx.Prefix2D, error)
 	}
 	m, trace, err := mwem.BuildResponseMatrix(c, cells, e.wu)
 	if err != nil {
-		return nil, err
+		e.matErr[pi] = err
+		return
 	}
 	if e.traces {
+		e.mu.Lock()
 		e.Alg1Traces = append(e.Alg1Traces, trace)
+		e.mu.Unlock()
 	}
 	p, err := mathx.NewPrefix2D(m, c, c)
 	if err != nil {
-		return nil, err
+		e.matErr[pi] = err
+		return
 	}
 	e.prefix[pi] = p
-	return p, nil
 }
 
-// pair2D answers a 2-D query on pair (a, b): complete cells contribute their
-// grid frequency, partial cells the response-matrix mass of the overlap.
+// PrecomputeMatrices builds every pair's response matrix up front instead of
+// on first use — the warm-up a long-lived query server performs before
+// taking traffic (Options.EagerMatrices runs it at Finalize).
+func (e *hdgEstimator) PrecomputeMatrices() error {
+	for pi, pair := range mech.AllPairs(e.d) {
+		if _, err := e.responseMatrix(pi, pair[0], pair[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pair2D answers a 2-D query on pair (a, b): completely covered cells
+// contribute their grid frequency (one O(1) block sum on the sealed grid);
+// the partially covered boundary cells tile the query rectangle minus the
+// complete block, so their response-matrix mass is a single
+// inclusion–exclusion of prefix sums.
 func (e *hdgEstimator) pair2D(a, b int, pa, pb query.Pred) (float64, error) {
 	pi, err := mech.PairIndex(e.d, a, b)
 	if err != nil {
 		return 0, err
 	}
 	g := e.grids2[pi]
+	w := g.CellWidth()
+	cr0, cr1, cc0, cc1, ok := g.CompleteBlock(pa.Lo, pa.Hi, pb.Lo, pb.Hi)
 	ans := 0.0
-	var pf *mathx.Prefix2D
-	for i := range g.Freq {
-		class, ir0, ir1, ic0, ic1 := g.Classify(i, pa.Lo, pa.Hi, pb.Lo, pb.Hi)
-		switch class {
-		case grid.Complete:
-			ans += g.Freq[i]
-		case grid.Partial:
-			if pf == nil {
-				pf, err = e.responseMatrix(pi, a, b)
-				if err != nil {
-					return 0, err
-				}
-			}
-			ans += pf.RangeSum(ir0, ir1, ic0, ic1)
+	if ok {
+		ans = g.BlockSum(cr0, cr1, cc0, cc1)
+		if cr0*w == pa.Lo && (cr1+1)*w-1 == pa.Hi && cc0*w == pb.Lo && (cc1+1)*w-1 == pb.Hi {
+			// Cell-aligned query: every touched cell is complete and the
+			// response matrix is not needed.
+			return ans, nil
 		}
 	}
-	return ans, nil
+	pf, err := e.responseMatrix(pi, a, b)
+	if err != nil {
+		return 0, err
+	}
+	partial := pf.RangeSum(pa.Lo, pa.Hi, pb.Lo, pb.Hi)
+	if ok {
+		partial -= pf.RangeSum(cr0*w, (cr1+1)*w-1, cc0*w, (cc1+1)*w-1)
+	}
+	return ans + partial, nil
 }
 
-// Answer implements mech.Estimator.
+// Answer implements mech.Estimator. Safe for concurrent use.
 func (e *hdgEstimator) Answer(q query.Query) (float64, error) {
 	if err := q.Validate(e.d, e.c); err != nil {
 		return 0, err
@@ -171,9 +229,16 @@ func (e *hdgEstimator) Answer(q query.Query) (float64, error) {
 		return 0, err
 	}
 	if e.traces && trace != nil {
+		e.mu.Lock()
 		e.LastAlg2Trace = trace
+		e.mu.Unlock()
 	}
 	return f, nil
+}
+
+// AnswerBatch implements mech.BatchEstimator.
+func (e *hdgEstimator) AnswerBatch(qs []query.Query) ([]float64, error) {
+	return mech.AnswerQueries(e, qs)
 }
 
 // Granularity returns the granularities the fit used.

@@ -73,14 +73,11 @@ func FromSnapshot(s *Snapshot) (mech.Estimator, error) {
 	if len(s.Grids1) != s.D || len(s.Grids2) != s.D*(s.D-1)/2 {
 		return nil, fmt.Errorf("core: snapshot has %d 1-D and %d 2-D grids for d=%d", len(s.Grids1), len(s.Grids2), s.D)
 	}
-	est := &hdgEstimator{
-		c: s.C, d: s.D, G1: s.G1, G2: s.G2,
-		wu:     mwem.Options{MaxIters: s.WUMaxIters, Tol: s.WUTol, Method: mwem.Method(s.WUMethod)},
-		prefix: make([]*mathx.Prefix2D, len(s.Grids2)),
+	wu := mwem.Options{MaxIters: s.WUMaxIters, Tol: s.WUTol, Method: mwem.Method(s.WUMethod)}
+	if wu.Tol <= 0 {
+		wu.Tol = 1e-6
 	}
-	if est.wu.Tol <= 0 {
-		est.wu.Tol = 1e-6
-	}
+	var grids1 []*grid.Grid1D
 	for a, freq := range s.Grids1 {
 		g, err := grid.NewGrid1D(s.C, s.G1)
 		if err != nil {
@@ -90,8 +87,9 @@ func FromSnapshot(s *Snapshot) (mech.Estimator, error) {
 			return nil, fmt.Errorf("core: snapshot 1-D grid %d has %d cells, want %d", a, len(freq), s.G1)
 		}
 		copy(g.Freq, freq)
-		est.grids1 = append(est.grids1, g)
+		grids1 = append(grids1, g)
 	}
+	var grids2 []*grid.Grid2D
 	for pi, freq := range s.Grids2 {
 		g, err := grid.NewGrid2D(s.C, s.G2)
 		if err != nil {
@@ -101,9 +99,9 @@ func FromSnapshot(s *Snapshot) (mech.Estimator, error) {
 			return nil, fmt.Errorf("core: snapshot 2-D grid %d has %d cells, want %d", pi, len(freq), s.G2*s.G2)
 		}
 		copy(g.Freq, freq)
-		est.grids2 = append(est.grids2, g)
+		grids2 = append(grids2, g)
 	}
-	return est, nil
+	return newHDGEstimator(s.C, s.D, s.G1, s.G2, grids1, grids2, wu, false), nil
 }
 
 // SaveEstimator writes a fitted HDG estimator as JSON. Only HDG estimators

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"privmdr/internal/consistency"
 	"privmdr/internal/dataset"
@@ -39,6 +40,10 @@ type Options struct {
 	// CollectTraces keeps Algorithm 1/2 convergence traces on the estimator
 	// (Figures 17–18).
 	CollectTraces bool
+	// EagerMatrices builds every HDG response matrix at Finalize instead of
+	// lazily on first use — the warm-up a query server wants so the first
+	// query is as fast as the millionth. Ignored by TDG.
+	EagerMatrices bool
 }
 
 func (o Options) withDefaults() Options {
@@ -73,16 +78,20 @@ func (t *TDG) Name() string {
 	return "TDG"
 }
 
-// tdgEstimator answers queries from the post-processed pair grids.
+// tdgEstimator answers queries from the post-processed pair grids. The
+// grids are sealed at Finalize and never mutated afterwards, so Answer and
+// AnswerBatch are safe for concurrent use.
 type tdgEstimator struct {
 	c, d  int
 	g2    int
-	grids []*grid.Grid2D // indexed by mech.PairIndex
+	grids []*grid.Grid2D // indexed by mech.PairIndex, sealed
 	wu    mwem.Options
 
 	// LastAlg2Trace holds the most recent Algorithm 2 convergence trace when
-	// traces are collected.
+	// traces are collected; mu guards it and is only taken when traces is
+	// set, keeping the bookkeeping off the Answer hot path.
 	traces        bool
+	mu            sync.Mutex
 	LastAlg2Trace []float64
 }
 
@@ -204,6 +213,9 @@ func (c *tdgCollector) Finalize() (mech.Estimator, error) {
 	if wu.Tol <= 0 {
 		wu.Tol = 1 / float64(pr.p.N)
 	}
+	for _, g := range grids {
+		g.Seal()
+	}
 	return &tdgEstimator{
 		c: pr.p.C, d: pr.p.D, g2: pr.g2,
 		grids:  grids,
@@ -251,7 +263,7 @@ func (e *tdgEstimator) pair2D(a, b int, pa, pb query.Pred) (float64, error) {
 	return e.grids[pi].AnswerUniform(pa.Lo, pa.Hi, pb.Lo, pb.Hi), nil
 }
 
-// Answer implements mech.Estimator.
+// Answer implements mech.Estimator. Safe for concurrent use.
 func (e *tdgEstimator) Answer(q query.Query) (float64, error) {
 	if err := q.Validate(e.d, e.c); err != nil {
 		return 0, err
@@ -272,9 +284,16 @@ func (e *tdgEstimator) Answer(q query.Query) (float64, error) {
 		return 0, err
 	}
 	if e.traces && trace != nil {
+		e.mu.Lock()
 		e.LastAlg2Trace = trace
+		e.mu.Unlock()
 	}
 	return f, nil
+}
+
+// AnswerBatch implements mech.BatchEstimator.
+func (e *tdgEstimator) AnswerBatch(qs []query.Query) ([]float64, error) {
+	return mech.AnswerQueries(e, qs)
 }
 
 // Granularity returns the 2-D granularity the fit used (for harness

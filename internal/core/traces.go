@@ -13,14 +13,26 @@ type TraceSource interface {
 }
 
 // Alg1ConvergenceTraces implements TraceSource.
-func (e *hdgEstimator) Alg1ConvergenceTraces() [][]float64 { return e.Alg1Traces }
+func (e *hdgEstimator) Alg1ConvergenceTraces() [][]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Alg1Traces
+}
 
 // LastAlg2ConvergenceTrace implements TraceSource.
-func (e *hdgEstimator) LastAlg2ConvergenceTrace() []float64 { return e.LastAlg2Trace }
+func (e *hdgEstimator) LastAlg2ConvergenceTrace() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.LastAlg2Trace
+}
 
 // Alg1ConvergenceTraces implements TraceSource (TDG builds no response
 // matrices, so it is always empty).
 func (e *tdgEstimator) Alg1ConvergenceTraces() [][]float64 { return nil }
 
 // LastAlg2ConvergenceTrace implements TraceSource.
-func (e *tdgEstimator) LastAlg2ConvergenceTrace() []float64 { return e.LastAlg2Trace }
+func (e *tdgEstimator) LastAlg2ConvergenceTrace() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.LastAlg2Trace
+}

@@ -5,10 +5,17 @@
 // cell geometry, the classification of cells against a range query
 // (complete / partial / disjoint), and the uniformity-assumption answering
 // rule used by TDG.
+//
+// Answering is span-based: only the cells a query touches are visited, and a
+// grid that has been Sealed answers from precomputed prefix sums — O(1)
+// interior mass plus the handful of boundary cells located by index
+// arithmetic — instead of scanning every cell.
 package grid
 
 import (
 	"fmt"
+
+	"privmdr/internal/mathx"
 )
 
 // Grid1D partitions the domain [0, C) into G equal cells of width C/G.
@@ -16,6 +23,10 @@ import (
 type Grid1D struct {
 	C, G int
 	Freq []float64
+
+	// prefix holds Prefix1D(Freq) once the grid is Sealed; nil while the
+	// frequencies are still being post-processed.
+	prefix []float64
 }
 
 // NewGrid1D builds an empty 1-D grid; g must divide c.
@@ -25,6 +36,12 @@ func NewGrid1D(c, g int) (*Grid1D, error) {
 	}
 	return &Grid1D{C: c, G: g, Freq: make([]float64, g)}, nil
 }
+
+// Seal freezes the grid for answering: it precomputes the prefix sums that
+// make range answers O(1). Call it once all mutation of Freq (estimation,
+// consistency post-processing) is done; mutating Freq afterwards requires a
+// new Seal. A sealed grid is safe for concurrent AnswerUniform calls.
+func (g *Grid1D) Seal() { g.prefix = mathx.Prefix1D(g.Freq) }
 
 // CellWidth returns the number of domain values per cell.
 func (g *Grid1D) CellWidth() int { return g.C / g.G }
@@ -38,24 +55,46 @@ func (g *Grid1D) CellInterval(i int) (lo, hi int) {
 	return i * w, (i+1)*w - 1
 }
 
+// rangeSum returns the sum of Freq over the inclusive cell span [i0, i1],
+// from prefix sums when sealed.
+func (g *Grid1D) rangeSum(i0, i1 int) float64 {
+	if g.prefix != nil {
+		return g.prefix[i1+1] - g.prefix[i0]
+	}
+	s := 0.0
+	for i := i0; i <= i1; i++ {
+		s += g.Freq[i]
+	}
+	return s
+}
+
 // AnswerUniform answers the 1-D range [lo,hi] from cell frequencies,
 // pro-rating partially covered cells by their overlap fraction (the
-// uniformity assumption).
+// uniformity assumption). Only the touched cell span [CellOf(lo),
+// CellOf(hi)] is considered; on a sealed grid the interior is one prefix
+// subtraction.
 func (g *Grid1D) AnswerUniform(lo, hi int) float64 {
 	w := g.CellWidth()
-	ans := 0.0
-	for i := 0; i < g.G; i++ {
-		cLo, cHi := i*w, (i+1)*w-1
-		oLo, oHi := max(lo, cLo), min(hi, cHi)
-		if oLo > oHi {
-			continue
-		}
-		overlap := oHi - oLo + 1
+	iLo, iHi := lo/w, hi/w
+	if iLo == iHi {
+		overlap := hi - lo + 1
 		if overlap == w {
-			ans += g.Freq[i]
-		} else {
-			ans += g.Freq[i] * float64(overlap) / float64(w)
+			return g.Freq[iLo]
 		}
+		return g.Freq[iLo] * float64(overlap) / float64(w)
+	}
+	ans := 0.0
+	full0, full1 := iLo, iHi // inclusive span of completely covered cells
+	if head := (iLo+1)*w - lo; head != w {
+		ans += g.Freq[iLo] * float64(head) / float64(w)
+		full0 = iLo + 1
+	}
+	if tail := hi - iHi*w + 1; tail != w {
+		ans += g.Freq[iHi] * float64(tail) / float64(w)
+		full1 = iHi - 1
+	}
+	if full0 <= full1 {
+		ans += g.rangeSum(full0, full1)
 	}
 	return ans
 }
@@ -65,6 +104,9 @@ func (g *Grid1D) AnswerUniform(lo, hi int) float64 {
 type Grid2D struct {
 	C, G int
 	Freq []float64 // length G*G, row-major
+
+	// prefix holds the 2-D prefix sums of Freq once the grid is Sealed.
+	prefix *mathx.Prefix2D
 }
 
 // NewGrid2D builds an empty 2-D grid; g must divide c.
@@ -73,6 +115,19 @@ func NewGrid2D(c, g int) (*Grid2D, error) {
 		return nil, fmt.Errorf("grid: granularity %d does not divide domain %d", g, c)
 	}
 	return &Grid2D{C: c, G: g, Freq: make([]float64, g*g)}, nil
+}
+
+// Seal freezes the grid for answering: it precomputes 2-D prefix sums so a
+// range answer costs O(1) interior mass plus O(perimeter) boundary cells.
+// Call it once all mutation of Freq is done; a sealed grid is safe for
+// concurrent AnswerUniform/BlockSum calls.
+func (g *Grid2D) Seal() {
+	p, err := mathx.NewPrefix2D(g.Freq, g.G, g.G)
+	if err != nil {
+		// Unreachable: Freq always has exactly G*G entries by construction.
+		panic(fmt.Sprintf("grid: sealing %d×%d grid: %v", g.G, g.G, err))
+	}
+	g.prefix = p
 }
 
 // CellWidth returns the number of domain values per cell side.
@@ -119,22 +174,95 @@ func (g *Grid2D) Classify(i, qr0, qr1, qc0, qc1 int) (Overlap, int, int, int, in
 	return Partial, ir0, ir1, ic0, ic1
 }
 
+// axisSeg is a run of consecutive cells on one axis sharing the same overlap
+// fraction with the query interval.
+type axisSeg struct {
+	lo, hi int
+	frac   float64
+}
+
+// axisSegments splits the touched cell span of [q0, q1] (cell width w) into
+// at most three constant-fraction segments: a partial head cell, the fully
+// covered interior, and a partial tail cell.
+func axisSegments(q0, q1, w int) (segs [3]axisSeg, n int) {
+	i0, i1 := q0/w, q1/w
+	if i0 == i1 {
+		segs[0] = axisSeg{i0, i1, float64(q1-q0+1) / float64(w)}
+		return segs, 1
+	}
+	full0, full1 := i0, i1
+	var head, tail axisSeg
+	if h := (i0+1)*w - q0; h != w {
+		head = axisSeg{i0, i0, float64(h) / float64(w)}
+		full0 = i0 + 1
+	}
+	if t := q1 - i1*w + 1; t != w {
+		tail = axisSeg{i1, i1, float64(t) / float64(w)}
+		full1 = i1 - 1
+	}
+	if head.frac > 0 {
+		segs[n] = head
+		n++
+	}
+	if full0 <= full1 {
+		segs[n] = axisSeg{full0, full1, 1}
+		n++
+	}
+	if tail.frac > 0 {
+		segs[n] = tail
+		n++
+	}
+	return segs, n
+}
+
+// BlockSum returns the sum of Freq over the inclusive cell block
+// [r0,r1]×[c0,c1] — O(1) on a sealed grid.
+func (g *Grid2D) BlockSum(r0, r1, c0, c1 int) float64 {
+	if r0 > r1 || c0 > c1 {
+		return 0
+	}
+	if g.prefix != nil {
+		return g.prefix.RangeSum(r0, r1, c0, c1)
+	}
+	s := 0.0
+	for r := r0; r <= r1; r++ {
+		row := g.Freq[r*g.G : r*g.G+g.G]
+		for c := c0; c <= c1; c++ {
+			s += row[c]
+		}
+	}
+	return s
+}
+
+// CompleteBlock returns the inclusive cell-index rectangle of the cells that
+// lie entirely inside the query rectangle [qr0,qr1]×[qc0,qc1]; ok is false
+// when no cell is completely covered. Every touched cell outside the block
+// is partially covered.
+func (g *Grid2D) CompleteBlock(qr0, qr1, qc0, qc1 int) (r0, r1, c0, c1 int, ok bool) {
+	w := g.CellWidth()
+	r0 = (qr0 + w - 1) / w
+	r1 = (qr1+1)/w - 1
+	c0 = (qc0 + w - 1) / w
+	c1 = (qc1+1)/w - 1
+	return r0, r1, c0, c1, r0 <= r1 && c0 <= c1
+}
+
 // AnswerUniform answers the 2-D range query [qr0,qr1]×[qc0,qc1] from cell
 // frequencies under the uniformity assumption (TDG's Phase 3 rule): complete
 // cells contribute their whole frequency; partial cells contribute
-// proportionally to the overlapped area.
+// proportionally to the overlapped area. The overlap area of a cell is the
+// product of its per-axis overlaps, so the answer decomposes into at most
+// nine constant-fraction blocks — each an O(1) prefix lookup on a sealed
+// grid.
 func (g *Grid2D) AnswerUniform(qr0, qr1, qc0, qc1 int) float64 {
 	w := g.CellWidth()
-	area := float64(w * w)
+	rsegs, rn := axisSegments(qr0, qr1, w)
+	csegs, cn := axisSegments(qc0, qc1, w)
 	ans := 0.0
-	for i := range g.Freq {
-		class, ir0, ir1, ic0, ic1 := g.Classify(i, qr0, qr1, qc0, qc1)
-		switch class {
-		case Complete:
-			ans += g.Freq[i]
-		case Partial:
-			frac := float64((ir1-ir0+1)*(ic1-ic0+1)) / area
-			ans += g.Freq[i] * frac
+	for i := 0; i < rn; i++ {
+		for j := 0; j < cn; j++ {
+			f := rsegs[i].frac * csegs[j].frac
+			ans += f * g.BlockSum(rsegs[i].lo, rsegs[i].hi, csegs[j].lo, csegs[j].hi)
 		}
 	}
 	return ans

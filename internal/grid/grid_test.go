@@ -214,3 +214,187 @@ func TestGrid2DGranularityOne(t *testing.T) {
 		t.Errorf("quarter query on 1×1 grid = %g, want 0.25", got)
 	}
 }
+
+// --- golden equivalence with the seed's per-cell scans ---
+
+// seedAnswerUniform1D is the seed implementation of Grid1D.AnswerUniform:
+// classify every cell of the grid against the range. Kept as the golden
+// reference for the span/prefix-sum rewrite.
+func seedAnswerUniform1D(g *Grid1D, lo, hi int) float64 {
+	w := g.CellWidth()
+	ans := 0.0
+	for i := 0; i < g.G; i++ {
+		cLo, cHi := i*w, (i+1)*w-1
+		oLo, oHi := max(lo, cLo), min(hi, cHi)
+		if oLo > oHi {
+			continue
+		}
+		overlap := oHi - oLo + 1
+		if overlap == w {
+			ans += g.Freq[i]
+		} else {
+			ans += g.Freq[i] * float64(overlap) / float64(w)
+		}
+	}
+	return ans
+}
+
+// seedAnswerUniform2D is the seed implementation of Grid2D.AnswerUniform:
+// Classify every cell, pro-rate partials by overlap area.
+func seedAnswerUniform2D(g *Grid2D, qr0, qr1, qc0, qc1 int) float64 {
+	w := g.CellWidth()
+	area := float64(w * w)
+	ans := 0.0
+	for i := range g.Freq {
+		class, ir0, ir1, ic0, ic1 := g.Classify(i, qr0, qr1, qc0, qc1)
+		switch class {
+		case Complete:
+			ans += g.Freq[i]
+		case Partial:
+			frac := float64((ir1-ir0+1)*(ic1-ic0+1)) / area
+			ans += g.Freq[i] * frac
+		}
+	}
+	return ans
+}
+
+func TestGrid1DAnswerUniformGolden(t *testing.T) {
+	rng := ldprand.New(11)
+	for _, shape := range [][2]int{{64, 64}, {64, 16}, {64, 4}, {32, 1}, {16, 16}} {
+		c, gran := shape[0], shape[1]
+		g, err := NewGrid1D(c, gran)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range g.Freq {
+			g.Freq[i] = rng.Float64()*0.4 - 0.1 // include negatives, as pre-NormSub grids do
+		}
+		for _, sealed := range []bool{false, true} {
+			if sealed {
+				g.Seal()
+			}
+			for trial := 0; trial < 300; trial++ {
+				lo := rng.IntN(c)
+				hi := lo + rng.IntN(c-lo)
+				want := seedAnswerUniform1D(g, lo, hi)
+				if got := g.AnswerUniform(lo, hi); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("c=%d g=%d sealed=%v AnswerUniform(%d,%d) = %g, seed scan %g", c, gran, sealed, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGrid2DAnswerUniformGolden(t *testing.T) {
+	rng := ldprand.New(12)
+	for _, shape := range [][2]int{{64, 64}, {64, 8}, {64, 2}, {32, 1}, {16, 4}} {
+		c, gran := shape[0], shape[1]
+		g, err := NewGrid2D(c, gran)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range g.Freq {
+			g.Freq[i] = rng.Float64()*0.1 - 0.02
+		}
+		for _, sealed := range []bool{false, true} {
+			if sealed {
+				g.Seal()
+			}
+			for trial := 0; trial < 300; trial++ {
+				r0 := rng.IntN(c)
+				r1 := r0 + rng.IntN(c-r0)
+				c0 := rng.IntN(c)
+				c1 := c0 + rng.IntN(c-c0)
+				want := seedAnswerUniform2D(g, r0, r1, c0, c1)
+				if got := g.AnswerUniform(r0, r1, c0, c1); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("c=%d g=%d sealed=%v AnswerUniform(%d,%d,%d,%d) = %g, seed scan %g",
+						c, gran, sealed, r0, r1, c0, c1, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGrid2DCompleteBlock(t *testing.T) {
+	g, _ := NewGrid2D(32, 8) // cells 4×4
+	rng := ldprand.New(13)
+	for trial := 0; trial < 500; trial++ {
+		qr0 := rng.IntN(32)
+		qr1 := qr0 + rng.IntN(32-qr0)
+		qc0 := rng.IntN(32)
+		qc1 := qc0 + rng.IntN(32-qc0)
+		r0, r1, c0, c1, ok := g.CompleteBlock(qr0, qr1, qc0, qc1)
+		for i := range g.Freq {
+			class, _, _, _, _ := g.Classify(i, qr0, qr1, qc0, qc1)
+			row, col := i/g.G, i%g.G
+			inBlock := ok && row >= r0 && row <= r1 && col >= c0 && col <= c1
+			if (class == Complete) != inBlock {
+				t.Fatalf("query (%d,%d,%d,%d) cell %d: classify %v, block membership %v", qr0, qr1, qc0, qc1, i, class, inBlock)
+			}
+		}
+	}
+}
+
+func TestGridSealDoesNotChangeAnswers(t *testing.T) {
+	rng := ldprand.New(14)
+	g2, _ := NewGrid2D(64, 16)
+	for i := range g2.Freq {
+		g2.Freq[i] = rng.Float64()
+	}
+	type q struct{ r0, r1, c0, c1 int }
+	var qs []q
+	var unsealed []float64
+	for trial := 0; trial < 200; trial++ {
+		r0 := rng.IntN(64)
+		r1 := r0 + rng.IntN(64-r0)
+		c0 := rng.IntN(64)
+		c1 := c0 + rng.IntN(64-c0)
+		qs = append(qs, q{r0, r1, c0, c1})
+		unsealed = append(unsealed, g2.AnswerUniform(r0, r1, c0, c1))
+	}
+	g2.Seal()
+	for i, query := range qs {
+		got := g2.AnswerUniform(query.r0, query.r1, query.c0, query.c1)
+		if math.Abs(got-unsealed[i]) > 1e-9 {
+			t.Fatalf("query %+v: sealed %g vs unsealed %g", query, got, unsealed[i])
+		}
+	}
+}
+
+// BenchmarkGrid2DAnswerUniform contrasts the sealed prefix-sum path with the
+// seed's full-grid scan on a production-sized grid.
+func BenchmarkGrid2DAnswerUniform(b *testing.B) {
+	g, _ := NewGrid2D(1024, 64)
+	rng := ldprand.New(15)
+	for i := range g.Freq {
+		g.Freq[i] = rng.Float64()
+	}
+	type q struct{ r0, r1, c0, c1 int }
+	qs := make([]q, 256)
+	for i := range qs {
+		r0 := rng.IntN(1024)
+		r1 := r0 + rng.IntN(1024-r0)
+		c0 := rng.IntN(1024)
+		c1 := c0 + rng.IntN(1024-c0)
+		qs[i] = q{r0, r1, c0, c1}
+	}
+	b.Run("seed-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := qs[i%len(qs)]
+			seedAnswerUniform2D(g, k.r0, k.r1, k.c0, k.c1)
+		}
+	})
+	b.Run("unsealed-span", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := qs[i%len(qs)]
+			g.AnswerUniform(k.r0, k.r1, k.c0, k.c1)
+		}
+	})
+	g.Seal()
+	b.Run("sealed-prefix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := qs[i%len(qs)]
+			g.AnswerUniform(k.r0, k.r1, k.c0, k.c1)
+		}
+	})
+}

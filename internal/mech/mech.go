@@ -6,23 +6,90 @@ package mech
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"privmdr/internal/dataset"
 	"privmdr/internal/query"
 )
 
 // Estimator answers arbitrary multi-dimensional range queries from the
-// state a mechanism aggregated under LDP. Implementations are safe for
-// concurrent reads only if documented; the harness answers sequentially.
+// state a mechanism aggregated under LDP. Every estimator finalized by this
+// module is immutable after Finalize and safe for concurrent Answer calls.
 type Estimator interface {
 	Answer(q query.Query) (float64, error)
 }
 
-// EstimatorFunc adapts a function to the Estimator interface.
+// BatchEstimator is an Estimator that also answers whole workloads. Every
+// mechanism in this module implements it: AnswerBatch runs the queries on a
+// bounded worker pool and returns exactly the answers sequential Answer
+// calls would produce, in workload order.
+type BatchEstimator interface {
+	Estimator
+	AnswerBatch(qs []query.Query) ([]float64, error)
+}
+
+// EstimatorFunc adapts a function to the BatchEstimator interface. The
+// function must be safe for concurrent calls (all estimator closures in this
+// module are pure reads).
 type EstimatorFunc func(q query.Query) (float64, error)
 
 // Answer implements Estimator.
 func (f EstimatorFunc) Answer(q query.Query) (float64, error) { return f(q) }
+
+// AnswerBatch implements BatchEstimator.
+func (f EstimatorFunc) AnswerBatch(qs []query.Query) ([]float64, error) {
+	return AnswerQueries(f, qs)
+}
+
+// AnswerQueries answers a workload on a bounded worker pool (at most
+// GOMAXPROCS goroutines) and is the shared implementation behind every
+// AnswerBatch. Queries are answered independently and written to their own
+// output slot, so the result is identical to sequential Answer calls; on
+// failure the error of the lowest-indexed failing query is returned, again
+// matching the sequential behavior. est must be safe for concurrent Answer —
+// every estimator finalized by this module is.
+func AnswerQueries(est Estimator, qs []query.Query) ([]float64, error) {
+	out := make([]float64, len(qs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			a, err := est.Answer(q)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = a
+		}
+		return out, nil
+	}
+	errs := make([]error, len(qs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				out[i], errs[i] = est.Answer(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
 
 // Mechanism is a full LDP pipeline. Protocol is the primary interface: it
 // exposes the mechanism's client/server split for real deployments. Fit is

@@ -15,10 +15,12 @@ import (
 )
 
 // Pred is one conjunct of a range query: attribute Attr restricted to the
-// inclusive interval [Lo, Hi] (0-based).
+// inclusive interval [Lo, Hi] (0-based). The JSON form is the wire format
+// of the HTTP query service.
 type Pred struct {
-	Attr   int
-	Lo, Hi int
+	Attr int `json:"attr"`
+	Lo   int `json:"lo"`
+	Hi   int `json:"hi"`
 }
 
 // Query is a conjunction of predicates over distinct attributes. Its answer
@@ -26,20 +28,22 @@ type Pred struct {
 type Query []Pred
 
 // Validate checks the query against a d-attribute, domain-c schema:
-// distinct in-range attributes and non-empty in-range intervals.
+// distinct in-range attributes and non-empty in-range intervals. It is on
+// the per-query answering hot path, so duplicate detection is a λ² scan
+// (λ ≤ d, small) rather than a map allocation.
 func (q Query) Validate(d, c int) error {
 	if len(q) == 0 {
 		return fmt.Errorf("query: empty query")
 	}
-	seen := make(map[int]bool, len(q))
-	for _, p := range q {
+	for i, p := range q {
 		if p.Attr < 0 || p.Attr >= d {
 			return fmt.Errorf("query: attribute %d outside [0,%d)", p.Attr, d)
 		}
-		if seen[p.Attr] {
-			return fmt.Errorf("query: attribute %d appears twice", p.Attr)
+		for j := 0; j < i; j++ {
+			if q[j].Attr == p.Attr {
+				return fmt.Errorf("query: attribute %d appears twice", p.Attr)
+			}
 		}
-		seen[p.Attr] = true
 		if p.Lo < 0 || p.Hi >= c || p.Lo > p.Hi {
 			return fmt.Errorf("query: predicate on attribute %d has invalid interval [%d,%d] for domain %d", p.Attr, p.Lo, p.Hi, c)
 		}
@@ -60,8 +64,21 @@ func (q Query) Volume(c int) float64 {
 	return v
 }
 
-// Sorted returns a copy of the query with predicates ordered by attribute.
+// Sorted returns the query with predicates ordered by attribute. When the
+// predicates are already ordered — every workload generator emits them that
+// way — q itself is returned without copying; otherwise a sorted copy is
+// made, so the receiver is never mutated. Treat the result as read-only.
 func (q Query) Sorted() Query {
+	sorted := true
+	for i := 1; i < len(q); i++ {
+		if q[i].Attr < q[i-1].Attr {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return q
+	}
 	out := make(Query, len(q))
 	copy(out, q)
 	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })

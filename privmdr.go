@@ -55,6 +55,20 @@
 //	    {Attr: 3, Lo: 0, Hi: 31},
 //	})
 //
+// # Query serving
+//
+// A finalized estimator is immutable and safe for concurrent use: Answer
+// may be called from any number of goroutines, and AnswerBatch evaluates a
+// whole workload on a bounded worker pool with answers identical to (and in
+// the same order as) sequential Answer calls:
+//
+//	ans, _ := privmdr.AnswerBatch(est, workload)
+//
+// QueryServer wraps a deployment in a persistent HTTP service — ingest
+// report shards (POST /reports), finalize once, then serve POST /query
+// batches until shutdown. See the "Serving" section of PROTOCOL.md and
+// examples/queryserver for a load-driving client.
+//
 // See PROTOCOL.md for the deployment topology (who knows Params, what
 // crosses the wire), examples/ for full programs, and EXPERIMENTS.md for
 // the reproduction of every figure and table in the paper.
@@ -87,8 +101,13 @@ type (
 	Pred = query.Pred
 	// Query is a conjunction of predicates over distinct attributes.
 	Query = query.Query
-	// Estimator answers range queries from aggregated LDP reports.
+	// Estimator answers range queries from aggregated LDP reports. Every
+	// estimator this package finalizes is immutable and safe for concurrent
+	// Answer calls.
 	Estimator = mech.Estimator
+	// BatchEstimator is an Estimator that also answers whole workloads in
+	// parallel; every mechanism in this package implements it.
+	BatchEstimator = mech.BatchEstimator
 	// Mechanism is a full LDP pipeline; its Protocol method exposes the
 	// client/aggregator split and Fit simulates a whole deployment.
 	Mechanism = mech.Mechanism
@@ -244,8 +263,16 @@ func TrueAnswers(ds *Dataset, qs []Query) []float64 {
 	return query.TrueAnswers(ds, qs)
 }
 
-// Answers evaluates a fitted estimator on a workload.
-func Answers(est Estimator, qs []Query) ([]float64, error) {
+// AnswerBatch evaluates a workload on a bounded worker pool (at most
+// GOMAXPROCS goroutines) and returns the answers in workload order —
+// identical to sequential Answer calls, including which error is reported
+// on failure. Estimators from this package parallelize; an unknown
+// third-party Estimator that does not implement BatchEstimator is answered
+// sequentially, since nothing is known about its concurrency safety.
+func AnswerBatch(est Estimator, qs []Query) ([]float64, error) {
+	if be, ok := est.(BatchEstimator); ok {
+		return be.AnswerBatch(qs)
+	}
 	out := make([]float64, len(qs))
 	for i, q := range qs {
 		a, err := est.Answer(q)
@@ -255,6 +282,12 @@ func Answers(est Estimator, qs []Query) ([]float64, error) {
 		out[i] = a
 	}
 	return out, nil
+}
+
+// Answers evaluates a fitted estimator on a workload. It is AnswerBatch —
+// kept as the familiar name the experiment harness and examples use.
+func Answers(est Estimator, qs []Query) ([]float64, error) {
+	return AnswerBatch(est, qs)
 }
 
 // MAE is the paper's utility metric: the mean absolute error between

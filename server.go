@@ -1,0 +1,278 @@
+package privmdr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// QueryServer is the persistent HTTP face of one deployment: it ingests
+// ε-LDP report shards, finalizes the collector exactly once, and then
+// answers query batches until shutdown — the serving topology the paper's
+// model implies, since a finalized estimator answers arbitrary queries at no
+// further privacy cost.
+//
+// Lifecycle: the server starts in the ingestion phase, accepting POST
+// /reports frames. The first well-formed POST /query (or an explicit POST
+// /finalize) moves it — once, atomically — to the serving phase; report
+// submissions after that point are rejected with 409 Conflict, and
+// malformed query batches are rejected without ending ingestion. Handlers are safe for
+// arbitrary concurrency: ingestion rides the collector's own locking, and
+// query batches run on AnswerBatch's bounded worker pool against the
+// immutable estimator.
+//
+// Endpoints:
+//
+//	GET  /healthz   — {"mechanism", "finalized", "received"}
+//	GET  /params    — the public deployment parameters (ServerParams)
+//	POST /reports   — binary report frame (EncodeReports); 409 after finalize
+//	POST /finalize  — finalize now; idempotent
+//	POST /query     — QueryRequest JSON → QueryResponse JSON
+type QueryServer struct {
+	proto Protocol
+	mux   *http.ServeMux
+
+	// maxBody caps request bodies (reports frames and query batches).
+	maxBody int64
+
+	mu   sync.Mutex
+	coll Collector // nil once finalized
+	est  Estimator // non-nil once finalized
+	err  error     // sticky finalize failure
+	n    int       // reports accepted at finalize time
+}
+
+// QueryRequest is the POST /query body: a batch of range queries, each a
+// conjunction of {"attr","lo","hi"} predicates.
+type QueryRequest struct {
+	Queries []Query `json:"queries"`
+}
+
+// QueryResponse is the POST /query reply: one answer per query, in request
+// order.
+type QueryResponse struct {
+	Answers []float64 `json:"answers"`
+}
+
+// ServerStatus is the GET /healthz reply.
+type ServerStatus struct {
+	Mechanism string `json:"mechanism"`
+	Finalized bool   `json:"finalized"`
+	Received  int    `json:"received"`
+}
+
+// ServerParams is the GET /params reply: everything a client needs to join
+// the deployment (all public).
+type ServerParams struct {
+	Mechanism string `json:"mechanism"`
+	Params
+}
+
+// maxRequestBody is the default request-size cap: large enough for
+// million-report shards (≤ 13 bytes per report) yet bounded.
+const maxRequestBody = 64 << 20
+
+// NewQueryServer wraps a protocol in a fresh HTTP query server (one
+// collector, not yet finalized). The returned server is an http.Handler —
+// mount it on any mux or listener — and also a Collector, so shards can be
+// preloaded in-process before the listener starts.
+func NewQueryServer(proto Protocol) (*QueryServer, error) {
+	coll, err := proto.NewCollector()
+	if err != nil {
+		return nil, err
+	}
+	s := &QueryServer{proto: proto, coll: coll, maxBody: maxRequestBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /params", s.handleParams)
+	mux.HandleFunc("POST /reports", s.handleReports)
+	mux.HandleFunc("POST /finalize", s.handleFinalize)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *QueryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Submit ingests one report directly — the in-process side of the Collector
+// interface QueryServer implements, used to preload reports before the
+// listener starts.
+func (s *QueryServer) Submit(r Report) error {
+	coll, done := s.collector()
+	if done {
+		return fmt.Errorf("privmdr: server already finalized")
+	}
+	return coll.Submit(r)
+}
+
+// SubmitBatch ingests a report batch directly — the programmatic equivalent
+// of POST /reports.
+func (s *QueryServer) SubmitBatch(rs []Report) error {
+	coll, done := s.collector()
+	if done {
+		return fmt.Errorf("privmdr: server already finalized")
+	}
+	return coll.SubmitBatch(rs)
+}
+
+// Finalize transitions the server to the serving phase, exactly once; later
+// calls return the same estimator (or the same sticky error). The first
+// POST /query triggers it implicitly.
+func (s *QueryServer) Finalize() (Estimator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.est != nil || s.err != nil {
+		return s.est, s.err
+	}
+	est, err := s.coll.Finalize()
+	// Count after draining, not before: a submission racing the finalize
+	// may still slip in between, and whatever the drain saw is what the
+	// estimator was built from.
+	s.n = s.coll.Received()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	// Warm up estimators with deferred one-time work (HDG's response
+	// matrices) so the first query is as fast as the millionth — on a
+	// long-lived server the build cost is paid here, once, off the query
+	// path. A build failure would surface on every query anyway, so it is
+	// sticky like any other finalize failure.
+	if warm, ok := est.(interface{ PrecomputeMatrices() error }); ok {
+		if err := warm.PrecomputeMatrices(); err != nil {
+			s.err = err
+			return nil, err
+		}
+	}
+	s.est = est
+	s.coll = nil
+	return est, nil
+}
+
+// Received reports how many reports have been accepted so far.
+func (s *QueryServer) Received() int {
+	s.mu.Lock()
+	coll, n := s.coll, s.n
+	s.mu.Unlock()
+	if coll == nil {
+		return n
+	}
+	return coll.Received()
+}
+
+// collector returns the live collector, or done=true once finalized.
+// Submissions run outside the server lock — the collector has its own —
+// so ingestion from many shards proceeds concurrently.
+func (s *QueryServer) collector() (Collector, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coll, s.coll == nil
+}
+
+func (s *QueryServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	finalized := s.est != nil
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ServerStatus{
+		Mechanism: s.proto.Name(),
+		Finalized: finalized,
+		Received:  s.Received(),
+	})
+}
+
+func (s *QueryServer) handleParams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ServerParams{Mechanism: s.proto.Name(), Params: s.proto.Params()})
+}
+
+func (s *QueryServer) handleReports(w http.ResponseWriter, r *http.Request) {
+	// Reject late shards before paying for the body read and decode.
+	coll, done := s.collector()
+	if done {
+		writeError(w, http.StatusConflict, fmt.Errorf("server already finalized; reports are no longer accepted"))
+		return
+	}
+	frame, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeError(w, bodyErrStatus(err), fmt.Errorf("reading frame: %w", err))
+		return
+	}
+	batch, err := DecodeReports(frame)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := coll.SubmitBatch(batch); err != nil {
+		// A finalize can win the race between collector() and SubmitBatch;
+		// the collector then rejects the batch atomically.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(batch), "received": s.Received()})
+}
+
+func (s *QueryServer) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.Finalize(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"finalized": true, "received": s.Received()})
+}
+
+func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, bodyErrStatus(err), fmt.Errorf("decoding query batch: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("query batch is empty"))
+		return
+	}
+	// Validate against the public schema before finalizing: a malformed
+	// batch must not end the ingestion phase.
+	p := s.proto.Params()
+	for i, q := range req.Queries {
+		if err := q.Validate(p.D, p.C); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+	}
+	est, err := s.Finalize()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	answers, err := AnswerBatch(est, req.Queries)
+	if err != nil {
+		// The batch already passed validation, so whatever failed is the
+		// server's problem, not the client's.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Answers: answers})
+}
+
+// bodyErrStatus distinguishes "you sent too much" from "you sent garbage",
+// so clients know whether to split the payload or fix the encoding.
+func bodyErrStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

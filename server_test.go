@@ -1,0 +1,289 @@
+package privmdr_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"privmdr"
+)
+
+// serverFixture builds a small HDG deployment: the public params, every
+// user's report (split into shards), and the reference estimator a direct
+// Simulate of the same protocol produces.
+type serverFixture struct {
+	params privmdr.Params
+	proto  privmdr.Protocol
+	shards [][]byte
+	ref    privmdr.Estimator
+	qs     []privmdr.Query
+}
+
+func newServerFixture(t *testing.T) *serverFixture {
+	t.Helper()
+	params := privmdr.Params{N: 4000, D: 3, C: 16, Eps: 1.0, Seed: 31}
+	ds, err := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: params.N, D: params.D, C: params.C, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := privmdr.ProtocolByName("HDG", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	frames := make([][]byte, 0, shards)
+	record := make([]int, params.D)
+	for s := 0; s < shards; s++ {
+		lo, hi := s*params.N/shards, (s+1)*params.N/shards
+		reports := make([]privmdr.Report, 0, hi-lo)
+		for u := lo; u < hi; u++ {
+			a, err := proto.Assignment(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < params.D; i++ {
+				record[i] = ds.Value(i, u)
+			}
+			rep, err := proto.ClientReport(a, record, privmdr.ClientRand(params, u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, rep)
+		}
+		frame, err := privmdr.EncodeReports(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+	}
+	ref, err := privmdr.Simulate(proto, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := privmdr.RandomWorkload(30, 2, params.D, params.C, 0.5, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := privmdr.RandomWorkload(10, 1, params.D, params.C, 0.5, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &serverFixture{params: params, proto: proto, shards: frames, ref: ref, qs: append(qs, oneD...)}
+}
+
+func (f *serverFixture) start(t *testing.T) *httptest.Server {
+	t.Helper()
+	qsrv, err := privmdr.NewQueryServer(f.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(qsrv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postBody POSTs and returns (status, body).
+func postBody(t *testing.T, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, payload
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryServerLifecycle walks the whole serving lifecycle over HTTP:
+// shard ingestion, finalize-once, query batches identical to the direct
+// protocol path, and 409 for late reports.
+func TestQueryServerLifecycle(t *testing.T) {
+	f := newServerFixture(t)
+	ts := f.start(t)
+
+	var status privmdr.ServerStatus
+	getJSON(t, ts.URL+"/healthz", &status)
+	if status.Mechanism != "HDG" || status.Finalized || status.Received != 0 {
+		t.Fatalf("fresh server status = %+v", status)
+	}
+	var sp privmdr.ServerParams
+	getJSON(t, ts.URL+"/params", &sp)
+	if sp.Mechanism != "HDG" || sp.Params != f.params {
+		t.Fatalf("params = %+v, want %+v", sp, f.params)
+	}
+
+	// Concurrent shard ingestion.
+	var wg sync.WaitGroup
+	for _, frame := range f.shards {
+		wg.Add(1)
+		go func(frame []byte) {
+			defer wg.Done()
+			code, body := postBody(t, ts.URL+"/reports", "application/octet-stream", frame)
+			if code != http.StatusOK {
+				t.Errorf("POST /reports: %d %s", code, body)
+			}
+		}(frame)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	getJSON(t, ts.URL+"/healthz", &status)
+	if status.Received != f.params.N || status.Finalized {
+		t.Fatalf("post-ingest status = %+v, want %d reports, not finalized", status, f.params.N)
+	}
+
+	// First query finalizes implicitly and must match the direct path
+	// exactly — same protocol, same multiset of reports.
+	want, err := privmdr.AnswerBatch(f.ref, f.qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(privmdr.QueryRequest{Queries: f.qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, payload := postBody(t, ts.URL+"/query", "application/json", body)
+	if code != http.StatusOK {
+		t.Fatalf("POST /query: %d %s", code, payload)
+	}
+	var qr privmdr.QueryResponse
+	if err := json.Unmarshal(payload, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Answers) != len(f.qs) {
+		t.Fatalf("got %d answers for %d queries", len(qr.Answers), len(f.qs))
+	}
+	for i := range want {
+		if qr.Answers[i] != want[i] {
+			t.Fatalf("query %d: server %g, direct path %g", i, qr.Answers[i], want[i])
+		}
+	}
+
+	// Serving phase: late reports rejected, finalize idempotent, health
+	// reflects the frozen state.
+	code, _ = postBody(t, ts.URL+"/reports", "application/octet-stream", f.shards[0])
+	if code != http.StatusConflict {
+		t.Fatalf("POST /reports after finalize: %d, want 409", code)
+	}
+	code, _ = postBody(t, ts.URL+"/finalize", "application/json", nil)
+	if code != http.StatusOK {
+		t.Fatalf("POST /finalize after finalize: %d, want 200 (idempotent)", code)
+	}
+	getJSON(t, ts.URL+"/healthz", &status)
+	if !status.Finalized || status.Received != f.params.N {
+		t.Fatalf("serving status = %+v", status)
+	}
+}
+
+// TestQueryServerConcurrentQueries checks a flood of parallel /query
+// batches — including the racing implicit finalize — all see identical
+// answers.
+func TestQueryServerConcurrentQueries(t *testing.T) {
+	f := newServerFixture(t)
+	ts := f.start(t)
+	for _, frame := range f.shards {
+		if code, body := postBody(t, ts.URL+"/reports", "application/octet-stream", frame); code != http.StatusOK {
+			t.Fatalf("POST /reports: %d %s", code, body)
+		}
+	}
+	body, err := json.Marshal(privmdr.QueryRequest{Queries: f.qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	answers := make([][]float64, clients)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			code, payload := postBody(t, ts.URL+"/query", "application/json", body)
+			if code != http.StatusOK {
+				t.Errorf("client %d: %d %s", w, code, payload)
+				return
+			}
+			var qr privmdr.QueryResponse
+			if err := json.Unmarshal(payload, &qr); err != nil {
+				t.Error(err)
+				return
+			}
+			answers[w] = qr.Answers
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for w := 1; w < clients; w++ {
+		for i := range f.qs {
+			if answers[w][i] != answers[0][i] {
+				t.Fatalf("client %d query %d: %g, client 0 saw %g", w, i, answers[w][i], answers[0][i])
+			}
+		}
+	}
+}
+
+// TestQueryServerRejectsBadInput covers the 400 paths.
+func TestQueryServerRejectsBadInput(t *testing.T) {
+	f := newServerFixture(t)
+	ts := f.start(t)
+	cases := []struct {
+		name, path, body string
+	}{
+		{"malformed JSON", "/query", `{"queries": [`},
+		{"empty batch", "/query", `{"queries": []}`},
+		{"invalid attribute", "/query", `{"queries": [[{"attr": 99, "lo": 0, "hi": 1}]]}`},
+		{"empty interval", "/query", `{"queries": [[{"attr": 0, "lo": 5, "hi": 2}]]}`},
+		{"garbage report frame", "/reports", "not a report frame"},
+	}
+	for _, tc := range cases {
+		code, payload := postBody(t, ts.URL+tc.path, "application/json", []byte(tc.body))
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, code, payload)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(payload, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error reply %q not a JSON error", tc.name, payload)
+		}
+	}
+	// None of the malformed batches may have ended the ingestion phase.
+	var status privmdr.ServerStatus
+	getJSON(t, ts.URL+"/healthz", &status)
+	if status.Finalized {
+		t.Error("malformed input finalized the server")
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: %d, want 405", resp.StatusCode)
+	}
+}
