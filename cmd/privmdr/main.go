@@ -21,16 +21,20 @@
 package main
 
 import (
+	"context"
 	cryptorand "crypto/rand"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"privmdr"
@@ -71,6 +75,8 @@ func main() {
 		err = cmdClient(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -97,7 +103,12 @@ protocol subcommands (drive the two deployment sides separately):
   client    produce the ε-LDP report shard for a range of users (wire format)
   serve     ingest report shards, finalize, and answer queries — or, with
             -http, stay up as a persistent HTTP query server (POST /reports,
-            POST /finalize, POST /query; see PROTOCOL.md "Serving")
+            POST /finalize, POST /query; see PROTOCOL.md "Serving"). With
+            -snapshot the server warm-restarts from the state file if it
+            exists and persists its state there on shutdown
+  merge     combine exported collector states (from GET /state or serve
+            -snapshot) into one state file; the merged state finalizes
+            bit-identically to a single collector that saw every report
 
 examples:
   privmdr gen -data normal -n 100000 -d 6 -c 64 -out data.csv
@@ -107,7 +118,9 @@ examples:
   privmdr params -mech HDG -n 100000 -d 6 -c 64 -eps 1.0 -seed 7 -out params.json
   privmdr client -params params.json -in data.csv -users 0:50000 -out shard0.bin
   privmdr serve -params params.json -reports shard0.bin,shard1.bin -queries "0:16-47"
-  privmdr serve -params params.json -reports shard0.bin,shard1.bin -http :8080`)
+  privmdr serve -params params.json -reports shard0.bin,shard1.bin -http :8080
+  privmdr serve -params params.json -http :8080 -snapshot state.bin
+  privmdr merge -out merged.state shard0.state shard1.state`)
 }
 
 // paramsFile is the on-disk form of a deployment's public parameters: the
@@ -248,6 +261,7 @@ func cmdServe(args []string) error {
 	save := fs.String("save", "", "also persist the finalized estimator as JSON (HDG only)")
 	httpAddr := fs.String("http", "", "listen address (e.g. :8080): stay up as a persistent HTTP query server instead of answering -queries and exiting")
 	finalizeNow := fs.Bool("finalize", false, "with -http: finalize right after ingesting -reports instead of on the first query")
+	snapshot := fs.String("snapshot", "", "with -http: state file for warm restarts — loaded at startup if present, written on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -258,10 +272,13 @@ func cmdServe(args []string) error {
 		if *queries != "" || *save != "" {
 			return fmt.Errorf("serve: -queries and -save apply to the batch mode only; POST /query to the HTTP server instead")
 		}
-		return serveHTTP(*httpAddr, *paramsPath, *reportsArg, *finalizeNow)
+		return serveHTTP(*httpAddr, *paramsPath, *reportsArg, *snapshot, *finalizeNow)
 	}
 	if *finalizeNow {
 		return fmt.Errorf("serve: -finalize applies to the HTTP mode only (batch mode always finalizes)")
+	}
+	if *snapshot != "" {
+		return fmt.Errorf("serve: -snapshot applies to the HTTP mode only")
 	}
 	if *paramsPath == "" || *reportsArg == "" || *queries == "" {
 		return fmt.Errorf("serve: -params, -reports, and -queries are required (or pass -http to run the persistent server)")
@@ -334,8 +351,11 @@ func ingestShards(coll privmdr.Collector, reportsArg string) error {
 // the command line, then serve ingestion and query traffic until killed.
 // The lifecycle is finalize-once — the first POST /query (or POST
 // /finalize, or -finalize here) freezes the estimator, after which report
-// submissions are rejected.
-func serveHTTP(addr, paramsPath, reportsArg string, finalizeNow bool) error {
+// submissions are rejected. With a snapshot path, the server warm-restarts
+// from the state file if one exists and persists its state there on
+// SIGINT/SIGTERM, so a crash-restart cycle loses at most the reports that
+// arrived after the last snapshot.
+func serveHTTP(addr, paramsPath, reportsArg, snapshotPath string, finalizeNow bool) error {
 	pf, proto, err := loadParams(paramsPath)
 	if err != nil {
 		return err
@@ -344,8 +364,31 @@ func serveHTTP(addr, paramsPath, reportsArg string, finalizeNow bool) error {
 	if err != nil {
 		return err
 	}
+	restored := false
+	if snapshotPath != "" {
+		switch _, err := os.Stat(snapshotPath); {
+		case err == nil:
+			if err := srv.LoadSnapshot(snapshotPath); err != nil {
+				return err
+			}
+			restored = true
+			fmt.Printf("warm restart: %d reports restored from %s\n", srv.Received(), snapshotPath)
+		case !os.IsNotExist(err):
+			return err
+		}
+	}
 	if reportsArg != "" {
-		if err := ingestShards(srv, reportsArg); err != nil {
+		// After a warm restart a non-empty snapshot already contains every
+		// report the previous run accepted — including any -reports
+		// preload, since the snapshot is taken at shutdown. Re-ingesting
+		// the same shard files would double-count their users (reports are
+		// anonymous, so the collector cannot deduplicate), so the preload
+		// is skipped; new shards still arrive over POST /reports. A
+		// zero-report snapshot provably contains no shard, so the preload
+		// proceeds.
+		if restored && srv.Received() > 0 {
+			fmt.Printf("snapshot restored; skipping -reports preload of %s to avoid double-counting\n", reportsArg)
+		} else if err := ingestShards(srv, reportsArg); err != nil {
 			return err
 		}
 	}
@@ -363,7 +406,102 @@ func serveHTTP(addr, paramsPath, reportsArg string, finalizeNow bool) error {
 		// goroutines forever; bodies are already capped by the handler.
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return server.ListenAndServe()
+	if snapshotPath == "" {
+		return server.ListenAndServe()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		// Drain in-flight requests first: a POST /reports acknowledged with
+		// 200 during the graceful shutdown must be in the snapshot, and the
+		// collector stays live through Shutdown (only Finalize closes it).
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr := server.Shutdown(ctx)
+		if shutdownErr != nil {
+			// The drain timed out: a handler may still be mid-Submit, so the
+			// snapshot below can miss reports that are acknowledged after it
+			// is taken. Say so rather than imply a clean cut.
+			fmt.Fprintf(os.Stderr, "privmdr: shutdown did not drain cleanly (%v); snapshot may miss in-flight reports\n", shutdownErr)
+		}
+		fmt.Printf("\n%v: snapshotting to %s\n", s, snapshotPath)
+		switch err := srv.SaveSnapshot(snapshotPath); {
+		case err == nil:
+			fmt.Printf("snapshot saved (%d reports)\n", srv.Received())
+		case errors.Is(err, privmdr.ErrCollectorFinalized):
+			// A finalized server has no collector state left; the estimator
+			// is the durable artifact (privmdr serve -save).
+			fmt.Println("server already finalized; snapshot skipped")
+		default:
+			fmt.Fprintln(os.Stderr, "privmdr: snapshot failed:", err)
+		}
+		return shutdownErr
+	}
+}
+
+// cmdMerge combines exported collector states into one. The blobs are
+// self-describing — the first one names the mechanism and Params, every
+// further one must match — so no params file is needed.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "output merged state file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inputs := fs.Args()
+	if *out == "" || len(inputs) == 0 {
+		return fmt.Errorf("merge: usage: privmdr merge -out merged.state shard0.state shard1.state ...")
+	}
+	var coll privmdr.StatefulCollector
+	for _, path := range inputs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		st, err := privmdr.DecodeState(data)
+		if err != nil {
+			return fmt.Errorf("state %s: %w", path, err)
+		}
+		if coll == nil {
+			proto, err := privmdr.ProtocolByName(st.Mech, st.Params)
+			if err != nil {
+				return fmt.Errorf("state %s: %w", path, err)
+			}
+			c, err := proto.NewCollector()
+			if err != nil {
+				return err
+			}
+			sc, ok := c.(privmdr.StatefulCollector)
+			if !ok {
+				return fmt.Errorf("merge: %s collector does not merge state", st.Mech)
+			}
+			coll = sc
+			fmt.Printf("%s  n=%d d=%d c=%d eps=%g seed=%d\n",
+				st.Mech, st.Params.N, st.Params.D, st.Params.C, st.Params.Eps, st.Params.Seed)
+		}
+		if err := coll.Merge(st); err != nil {
+			return fmt.Errorf("state %s: %w", path, err)
+		}
+		fmt.Printf("  + %s (%d reports)\n", path, st.Received())
+	}
+	merged, err := coll.State()
+	if err != nil {
+		return err
+	}
+	data, err := privmdr.EncodeState(merged)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d reports (%d bytes) to %s\n", merged.Received(), len(data), *out)
+	return nil
 }
 
 // parseUserRange parses "lo:hi" (hi exclusive), rejecting ranges that fall

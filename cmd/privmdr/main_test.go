@@ -1,9 +1,12 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"privmdr"
 )
 
 func TestParseQueries(t *testing.T) {
@@ -121,5 +124,131 @@ func TestServeHTTPFlagValidation(t *testing.T) {
 	}
 	if err := cmdServe([]string{"-http", "127.0.0.1:0", "-params", "unused.json", "-save", "est.json"}); err == nil {
 		t.Error("serve -http with -save should fail")
+	}
+}
+
+func TestMergeSubcommand(t *testing.T) {
+	// Two shard collectors aggregate disjoint halves of a deployment and
+	// snapshot their states; `privmdr merge` must combine them into a state
+	// that finalizes to the same answers as a single collector over all
+	// reports.
+	dir := t.TempDir()
+	params := privmdr.Params{N: 3000, D: 3, C: 16, Eps: 1.5, Seed: 12}
+	ds, err := privmdr.GenerateDataset("uniform", privmdr.GenOptions{N: params.N, D: params.D, C: params.C, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := privmdr.ProtocolByName("TDG", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make([]privmdr.Report, params.N)
+	record := make([]int, params.D)
+	for u := 0; u < params.N; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		reports[u], err = proto.ClientReport(a, record, privmdr.ClientRand(params, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stateFiles := make([]string, 2)
+	for s := range stateFiles {
+		coll, err := proto.NewCollector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := s*params.N/2, (s+1)*params.N/2
+		if err := coll.SubmitBatch(reports[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		st, err := coll.(privmdr.StatefulCollector).State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := privmdr.EncodeState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stateFiles[s] = filepath.Join(dir, fmt.Sprintf("shard%d.state", s))
+		if err := os.WriteFile(stateFiles[s], blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.state")
+	if err := cmdMerge([]string{"-out", merged, stateFiles[1], stateFiles[0]}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := privmdr.DecodeState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received() != params.N || st.Mech != "TDG" || st.Params != params {
+		t.Fatalf("merged state = %s %+v with %d reports, want TDG %+v with %d",
+			st.Mech, st.Params, st.Received(), params, params.N)
+	}
+
+	// The merged state answers exactly like a monolithic collector.
+	fromMerged, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromMerged.(privmdr.StatefulCollector).Merge(st); err != nil {
+		t.Fatal(err)
+	}
+	mergedEst, err := fromMerged.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mono.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	monoEst, err := mono.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := privmdr.RandomWorkload(20, 2, params.D, params.C, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := privmdr.Answers(mergedEst, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := privmdr.Answers(monoEst, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: merged-state answer %v, monolithic %v", i, got[i], want[i])
+		}
+	}
+
+	// Usage and mismatch errors.
+	if err := cmdMerge([]string{"-out", merged}); err == nil {
+		t.Error("merge with no inputs should fail")
+	}
+	if err := cmdMerge([]string{stateFiles[0]}); err == nil {
+		t.Error("merge without -out should fail")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.state"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMerge([]string{"-out", merged, filepath.Join(dir, "bad.state")}); err == nil {
+		t.Error("merge of a malformed state should fail")
 	}
 }

@@ -1,0 +1,5 @@
+package privmdr
+
+// BodyErrStatus exposes the HTTP status mapping to the external test
+// package, so the 400-vs-409-vs-413 contract is pinned table-driven.
+var BodyErrStatus = bodyErrStatus

@@ -112,7 +112,7 @@ func (pr *calmProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.
 
 // NewCollector implements mech.Protocol.
 func (pr *calmProtocol) NewCollector() (mech.Collector, error) {
-	return &calmCollector{Ingest: mech.NewIngest(len(pr.pairs), mech.OracleCheck(pr.oracle)), pr: pr}, nil
+	return &calmCollector{Ingest: mech.NewCollectorIngest(pr, mech.OracleCheck(pr.oracle)), pr: pr}, nil
 }
 
 // calmCollector is the aggregator side of a CALM deployment.

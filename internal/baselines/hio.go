@@ -172,7 +172,7 @@ func (pr *hioProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.R
 // NewCollector implements mech.Protocol.
 func (pr *hioProtocol) NewCollector() (mech.Collector, error) {
 	check := func(r mech.Report) error { return pr.oracles[r.Group].CheckReport(r.FO()) }
-	return &hioCollector{Ingest: mech.NewIngest(len(pr.oracles), check), pr: pr}, nil
+	return &hioCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
 }
 
 // hioCollector is the aggregator side of an HIO deployment.

@@ -173,7 +173,7 @@ func (pr *lhioProtocol) NewCollector() (mech.Collector, error) {
 		}
 		return oracle.CheckReport(r.FO())
 	}
-	return &lhioCollector{Ingest: mech.NewIngest(pr.NumGroups(), check), pr: pr}, nil
+	return &lhioCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
 }
 
 // lhioCollector is the aggregator side of an LHIO deployment.

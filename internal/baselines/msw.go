@@ -102,7 +102,7 @@ func (pr *mswProtocol) NewCollector() (mech.Collector, error) {
 		}
 		return nil
 	}
-	return &mswCollector{Ingest: mech.NewIngest(pr.p.D, check), pr: pr}, nil
+	return &mswCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
 }
 
 // mswCollector is the aggregator side of an MSW deployment.

@@ -81,7 +81,7 @@ func (pr *uniProtocol) NewCollector() (mech.Collector, error) {
 		}
 		return nil
 	}
-	return &uniCollector{Ingest: mech.NewIngest(1, check), pr: pr}, nil
+	return &uniCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
 }
 
 // uniCollector discards its reports: the uniform guess needs none of them.

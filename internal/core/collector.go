@@ -178,7 +178,7 @@ func (pr *hdgProtocol) NewCollector() (mech.Collector, error) {
 		}
 		return pr.o2.CheckReport(r.FO())
 	}
-	return &hdgCollector{Ingest: mech.NewIngest(pr.NumGroups(), check), pr: pr}, nil
+	return &hdgCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
 }
 
 // hdgCollector is the aggregator side of an HDG deployment.

@@ -179,7 +179,7 @@ func (pr *tdgProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.R
 
 // NewCollector implements mech.Protocol.
 func (pr *tdgProtocol) NewCollector() (mech.Collector, error) {
-	return &tdgCollector{Ingest: mech.NewIngest(len(pr.pairs), mech.OracleCheck(pr.o2)), pr: pr}, nil
+	return &tdgCollector{Ingest: mech.NewCollectorIngest(pr, mech.OracleCheck(pr.o2)), pr: pr}, nil
 }
 
 // tdgCollector is the aggregator side of a TDG deployment.

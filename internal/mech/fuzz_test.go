@@ -1,0 +1,106 @@
+package mech
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The report and state codecs are the aggregator's only untrusted input
+// surface — every byte arrives from clients or foreign shards. The fuzz
+// contract for all three targets: decoding arbitrary bytes must never
+// panic or over-allocate, and any payload that decodes successfully must
+// round-trip — the codecs are canonical, so re-encoding a decoded value
+// reproduces the accepted bytes exactly.
+
+func FuzzReportBinary(f *testing.F) {
+	for _, r := range []Report{
+		{},
+		{Group: 1, Value: 2},
+		{Group: 300, Seed: 1 << 63, Value: 1 << 40},
+	} {
+		seed, err := r.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{reportVersion})
+	f.Add([]byte{0xff, 0x01, 0x02, 0x03})
+	f.Add([]byte{reportVersion, 0x80, 0x00, 0x00, 0x00}) // overlong varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Report
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded report %+v does not re-encode: %v", r, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %+v -> %x", data, r, out)
+		}
+	})
+}
+
+func FuzzReportJSON(f *testing.F) {
+	f.Add([]byte(`{"g":3,"s":12345,"v":2}`))
+	f.Add([]byte(`{"g":0,"v":0}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"g":1e309}`))
+	f.Add([]byte(`{"g":-1,"v":-7}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			return
+		}
+		out, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("decoded report %+v does not re-marshal: %v", r, err)
+		}
+		var back Report
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-marshaled report %s does not parse: %v", out, err)
+		}
+		if back != r {
+			t.Fatalf("JSON round trip changed the report: %+v -> %+v", r, back)
+		}
+	})
+}
+
+func FuzzCollectorState(f *testing.F) {
+	empty := CollectorState{Version: StateVersion, Mech: "Uni", Params: Params{N: 1, D: 1, C: 2, Eps: 1}, Groups: [][]Report{{}}}
+	full := CollectorState{
+		Version: StateVersion,
+		Mech:    "HDG",
+		Params:  Params{N: 10, D: 3, C: 8, Eps: 0.5, Seed: 42},
+		Groups:  [][]Report{{{Group: 0, Seed: 7, Value: 1}}, {}, {{Group: 2, Value: 3}, {Group: 2, Value: 0}}},
+	}
+	for _, st := range []CollectorState{empty, full} {
+		seed, err := st.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PMCS"))
+	f.Add([]byte("PMCS\x01\x03Uni"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var st CollectorState
+		if err := st.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := st.Validate(); err != nil {
+			t.Fatalf("decoded state fails Validate: %v", err)
+		}
+		out, err := st.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded state does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}

@@ -8,9 +8,14 @@ import (
 // Ingest is the concurrency-safe report store every collector embeds. It
 // validates and files reports by group under a mutex; because estimation
 // downstream only ever counts reports, the order in which concurrent
-// submitters interleave never changes the finalized estimator.
+// submitters interleave never changes the finalized estimator. Built with
+// NewCollectorIngest it also carries the deployment identity, which makes
+// it the shared StatefulCollector implementation: State and Merge below
+// are what every mechanism's collector exports.
 type Ingest struct {
-	check func(Report) error
+	check    func(Report) error
+	mechName string
+	params   Params
 
 	mu      sync.Mutex
 	byGroup [][]Report
@@ -23,6 +28,17 @@ type Ingest struct {
 // before it is accepted; the group-range check is built in.
 func NewIngest(groups int, check func(Report) error) *Ingest {
 	return &Ingest{check: check, byGroup: make([][]Report, groups)}
+}
+
+// NewCollectorIngest is NewIngest bound to a protocol: the store covers
+// pr.NumGroups() groups and its exported CollectorState carries the
+// deployment identity (pr.Name(), pr.Params()), which is what Merge checks
+// before accepting a foreign shard's state.
+func NewCollectorIngest(pr Protocol, check func(Report) error) *Ingest {
+	in := NewIngest(pr.NumGroups(), check)
+	in.mechName = pr.Name()
+	in.params = pr.Params()
+	return in
 }
 
 // vet validates a report without taking the lock.
@@ -46,7 +62,7 @@ func (in *Ingest) Submit(r Report) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.done {
-		return fmt.Errorf("mech: collector already finalized")
+		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	in.byGroup[r.Group] = append(in.byGroup[r.Group], r)
 	in.n++
@@ -65,7 +81,7 @@ func (in *Ingest) SubmitBatch(rs []Report) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.done {
-		return fmt.Errorf("mech: collector already finalized")
+		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	for _, r := range rs {
 		in.byGroup[r.Group] = append(in.byGroup[r.Group], r)
@@ -88,8 +104,71 @@ func (in *Ingest) Drain() ([][]Report, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.done {
-		return nil, fmt.Errorf("mech: collector already finalized")
+		return nil, fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	in.done = true
 	return in.byGroup, nil
+}
+
+// State implements StatefulCollector: a deep snapshot of the reports
+// accepted so far, stamped with the deployment identity. Ingestion may
+// continue afterwards — the snapshot is unaffected.
+func (in *Ingest) State() (CollectorState, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.done {
+		return CollectorState{}, fmt.Errorf("mech: %w", ErrFinalized)
+	}
+	groups := make([][]Report, len(in.byGroup))
+	for g, rs := range in.byGroup {
+		groups[g] = make([]Report, len(rs))
+		copy(groups[g], rs)
+	}
+	return CollectorState{Version: StateVersion, Mech: in.mechName, Params: in.params, Groups: groups}, nil
+}
+
+// Merge implements StatefulCollector: fold an exported state into this
+// store. The state is vetted in full before anything is accepted — like
+// SubmitBatch, a merge is atomic — and every report passes the same check
+// Submit applies, so a corrupted snapshot cannot smuggle in payloads a
+// live client could not send.
+func (in *Ingest) Merge(st CollectorState) error {
+	if st.Version != StateVersion {
+		return fmt.Errorf("mech: unsupported collector state version %d", st.Version)
+	}
+	if st.Mech != in.mechName || st.Params != in.params {
+		return fmt.Errorf("mech: state of %s deployment %+v cannot merge into %s deployment %+v: %w",
+			st.Mech, st.Params, in.mechName, in.params, ErrStateMismatch)
+	}
+	if len(st.Groups) != len(in.byGroup) {
+		return fmt.Errorf("mech: state has %d groups, collector has %d: %w",
+			len(st.Groups), len(in.byGroup), ErrStateMismatch)
+	}
+	total := 0
+	for g, rs := range st.Groups {
+		for i, r := range rs {
+			// One pass per report: the structural invariants (JSON states
+			// arrive with no codec vetting; r.Group == g also implies the
+			// group-range check) plus the same payload check Submit applies.
+			if r.Group != g || r.Value < 0 {
+				return fmt.Errorf("mech: state group %d report %d invalid (group %d, value %d)", g, i, r.Group, r.Value)
+			}
+			if in.check != nil {
+				if err := in.check(r); err != nil {
+					return fmt.Errorf("mech: state group %d report %d: %w", g, i, err)
+				}
+			}
+		}
+		total += len(rs)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.done {
+		return fmt.Errorf("mech: %w", ErrFinalized)
+	}
+	for g, rs := range st.Groups {
+		in.byGroup[g] = append(in.byGroup[g], rs...)
+	}
+	in.n += total
+	return nil
 }

@@ -1,0 +1,265 @@
+package mech
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file defines the mergeable collector state every mechanism exports:
+// the sufficient statistic of an aggregation in progress. Because estimation
+// depends only on the multiset of accepted reports (aggregation is pure
+// counting until deterministic post-processing), the per-group report
+// multisets ARE that statistic — exporting them from N sharded collectors
+// and merging in any order finalizes to a bit-identical estimator as one
+// collector ingesting everything. Raw reports, not per-cell sums, are the
+// state because HIO-style mechanisms estimate lazily over interval domains
+// far too large to materialize; for everything else the reports are the
+// compact form anyway (4–13 bytes each on the wire).
+
+// ErrFinalized reports an operation against a collector whose ingestion has
+// already been closed by Finalize. Servers map it to 409 Conflict.
+var ErrFinalized = errors.New("collector already finalized")
+
+// ErrStateMismatch reports a Merge whose state belongs to a different
+// deployment: wrong mechanism, different public Params (including the
+// assignment seed), or an incompatible group layout. Servers map it to
+// 409 Conflict, distinguishing it from a malformed payload (400).
+var ErrStateMismatch = errors.New("collector state mismatch")
+
+// StateVersion is the current CollectorState wire-format version, carried in
+// both the binary and the JSON encodings.
+const StateVersion = 1
+
+// CollectorState is a versioned, self-describing snapshot of a collector's
+// aggregation state: the public deployment identity (mechanism name +
+// Params) and the per-group report multisets received so far. It is the
+// unit of sharded aggregation — export with StatefulCollector.State, ship
+// or persist it, and combine with StatefulCollector.Merge. Reports in
+// Groups[g] all carry Group == g; both codecs enforce this.
+type CollectorState struct {
+	Version int        `json:"version"`
+	Mech    string     `json:"mech"`
+	Params  Params     `json:"params"`
+	Groups  [][]Report `json:"groups"`
+}
+
+// StatefulCollector is a Collector whose aggregation state can be exported
+// and merged — the mergeable-sketch property that makes sharded ingestion
+// and warm restarts possible. Every collector in this module implements it.
+//
+// The invariant: for any partition of a deployment's reports across N
+// collectors of the same protocol, merging the N states into any one of
+// them (or a fresh collector) in any order and finalizing yields an
+// estimator bit-identical to a single collector that ingested all reports.
+type StatefulCollector interface {
+	Collector
+	// State snapshots the reports accepted so far. It fails with
+	// ErrFinalized once ingestion is closed.
+	State() (CollectorState, error)
+	// Merge folds another collector's exported state into this one. The
+	// state must come from the same deployment — same mechanism, identical
+	// Params (seed included), same group count — or Merge fails with
+	// ErrStateMismatch; a structurally invalid state fails with an ordinary
+	// error, and ErrFinalized is returned once ingestion is closed.
+	Merge(CollectorState) error
+}
+
+// Received is the total number of reports carried by the state.
+func (st CollectorState) Received() int {
+	n := 0
+	for _, g := range st.Groups {
+		n += len(g)
+	}
+	return n
+}
+
+// maxStateMechName bounds the mechanism-name field in the wire format, so a
+// hostile length prefix cannot drive a large allocation.
+const maxStateMechName = 64
+
+// maxStateGroups bounds the group count a state may carry. Group slice
+// headers cost ~24 bytes each while an empty group costs one wire byte, so
+// without a cap a small payload could claim tens of millions of empty
+// groups and amplify itself ~24x in memory before Merge ever checks the
+// layout. 2²¹ (~2M) groups is far above any protocol in this module (HIO's
+// levels^d group count is bounded by its user count) while capping the
+// decoder's worst-case slice-header allocation at ~50 MB.
+const maxStateGroups = 1 << 21
+
+// Validate checks the state's structural invariants — supported version,
+// bounded mechanism name, and every report tagged with its group index.
+// It vets structure only; deployment identity is Merge's job.
+func (st CollectorState) Validate() error {
+	if st.Version != StateVersion {
+		return fmt.Errorf("mech: unsupported collector state version %d", st.Version)
+	}
+	if len(st.Mech) == 0 || len(st.Mech) > maxStateMechName {
+		return fmt.Errorf("mech: collector state mechanism name length %d outside [1,%d]", len(st.Mech), maxStateMechName)
+	}
+	if len(st.Groups) > maxStateGroups {
+		return fmt.Errorf("mech: collector state carries %d groups, limit %d", len(st.Groups), maxStateGroups)
+	}
+	for g, rs := range st.Groups {
+		for i, r := range rs {
+			if r.Group != g {
+				return fmt.Errorf("mech: state group %d report %d tagged with group %d", g, i, r.Group)
+			}
+			if r.Value < 0 {
+				return fmt.Errorf("mech: state group %d report %d has negative value %d", g, i, r.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// stateMagic leads every binary collector state, making snapshots on disk
+// self-identifying.
+var stateMagic = [4]byte{'P', 'M', 'C', 'S'}
+
+// AppendBinary appends the state's binary encoding to dst:
+//
+//	4 bytes  magic "PMCS"
+//	1 byte   version
+//	uvarint  mechanism-name length, then the name bytes
+//	uvarint  N, D, C
+//	8 bytes  little-endian IEEE-754 bits of Eps
+//	8 bytes  little-endian Seed
+//	uvarint  group count
+//	per group: uvarint report count, then each report's binary encoding
+//
+// All varints are minimal, so every state has exactly one wire form.
+func (st CollectorState) AppendBinary(dst []byte) ([]byte, error) {
+	if err := st.Validate(); err != nil {
+		return dst, err
+	}
+	if st.Params.N < 0 || st.Params.D < 0 || st.Params.C < 0 {
+		return dst, fmt.Errorf("mech: cannot encode state with negative params %+v", st.Params)
+	}
+	dst = append(dst, stateMagic[:]...)
+	dst = append(dst, byte(st.Version))
+	dst = binary.AppendUvarint(dst, uint64(len(st.Mech)))
+	dst = append(dst, st.Mech...)
+	dst = binary.AppendUvarint(dst, uint64(st.Params.N))
+	dst = binary.AppendUvarint(dst, uint64(st.Params.D))
+	dst = binary.AppendUvarint(dst, uint64(st.Params.C))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.Params.Eps))
+	dst = binary.LittleEndian.AppendUint64(dst, st.Params.Seed)
+	dst = binary.AppendUvarint(dst, uint64(len(st.Groups)))
+	var err error
+	for _, rs := range st.Groups {
+		dst = binary.AppendUvarint(dst, uint64(len(rs)))
+		for _, r := range rs {
+			dst, err = r.AppendBinary(dst)
+			if err != nil {
+				return dst, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (st CollectorState) MarshalBinary() ([]byte, error) {
+	return st.AppendBinary(make([]byte, 0, 64+st.Received()*8))
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It rejects unknown
+// magic/version bytes, truncated or overlong varints, implausible counts,
+// reports tagged with the wrong group, and trailing bytes — arbitrary input
+// never panics and never drives an unbounded allocation.
+func (st *CollectorState) UnmarshalBinary(data []byte) error {
+	if len(data) < len(stateMagic)+1 {
+		return fmt.Errorf("mech: collector state truncated at header")
+	}
+	if [4]byte(data[:4]) != stateMagic {
+		return fmt.Errorf("mech: collector state magic %q unknown", data[:4])
+	}
+	if data[4] != StateVersion {
+		return fmt.Errorf("mech: unsupported collector state version %d", data[4])
+	}
+	out := CollectorState{Version: StateVersion}
+	data = data[5:]
+	nameLen, n, err := uvarintStrict(data, "state name length")
+	if err != nil {
+		return err
+	}
+	data = data[n:]
+	if nameLen == 0 || nameLen > maxStateMechName {
+		return fmt.Errorf("mech: collector state mechanism name length %d outside [1,%d]", nameLen, maxStateMechName)
+	}
+	if uint64(len(data)) < nameLen {
+		return fmt.Errorf("mech: collector state truncated in mechanism name")
+	}
+	out.Mech = string(data[:nameLen])
+	data = data[nameLen:]
+
+	const maxInt = int(^uint(0) >> 1)
+	for _, f := range []struct {
+		what string
+		dst  *int
+	}{{"params n", &out.Params.N}, {"params d", &out.Params.D}, {"params c", &out.Params.C}} {
+		v, n, err := uvarintStrict(data, f.what)
+		if err != nil {
+			return err
+		}
+		if v > uint64(maxInt) {
+			return fmt.Errorf("mech: collector state %s overflows int", f.what)
+		}
+		*f.dst = int(v)
+		data = data[n:]
+	}
+	if len(data) < 16 {
+		return fmt.Errorf("mech: collector state truncated in params")
+	}
+	out.Params.Eps = math.Float64frombits(binary.LittleEndian.Uint64(data))
+	out.Params.Seed = binary.LittleEndian.Uint64(data[8:])
+	data = data[16:]
+
+	groups, n, err := uvarintStrict(data, "state group count")
+	if err != nil {
+		return err
+	}
+	data = data[n:]
+	// Every group costs at least the one-byte report count that follows, so
+	// a huge claimed count with a short payload is rejected before
+	// allocating — and even byte-backed counts stop at maxStateGroups,
+	// bounding the slice-header amplification a payload can buy.
+	if groups > uint64(len(data)) {
+		return fmt.Errorf("mech: state claims %d groups but only %d bytes follow", groups, len(data))
+	}
+	if groups > maxStateGroups {
+		return fmt.Errorf("mech: state claims %d groups, limit %d", groups, maxStateGroups)
+	}
+	out.Groups = make([][]Report, groups)
+	for g := range out.Groups {
+		count, n, err := uvarintStrict(data, "state report count")
+		if err != nil {
+			return fmt.Errorf("mech: state group %d: %w", g, err)
+		}
+		data = data[n:]
+		// Each report is at least 4 bytes on the wire.
+		if count > uint64(len(data))/4 {
+			return fmt.Errorf("mech: state group %d claims %d reports but only %d bytes follow", g, count, len(data))
+		}
+		rs := make([]Report, 0, count)
+		for i := uint64(0); i < count; i++ {
+			rep, used, err := decodeReport(data)
+			if err != nil {
+				return fmt.Errorf("mech: state group %d report %d: %w", g, i, err)
+			}
+			if rep.Group != g {
+				return fmt.Errorf("mech: state group %d report %d tagged with group %d", g, i, rep.Group)
+			}
+			data = data[used:]
+			rs = append(rs, rep)
+		}
+		out.Groups[g] = rs
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("mech: %d trailing bytes after collector state", len(data))
+	}
+	*st = out
+	return nil
+}

@@ -1,0 +1,296 @@
+package mech
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// fakeProtocol is a minimal Protocol for exercising the Ingest-level state
+// machinery without dragging in a concrete mechanism.
+type fakeProtocol struct {
+	name   string
+	p      Params
+	groups int
+}
+
+func (f *fakeProtocol) Name() string   { return f.name }
+func (f *fakeProtocol) Params() Params { return f.p }
+func (f *fakeProtocol) NumGroups() int { return f.groups }
+func (f *fakeProtocol) NewCollector() (Collector, error) {
+	return nil, fmt.Errorf("fakeProtocol has no collector")
+}
+func (f *fakeProtocol) Assignment(user int) (Assignment, error) {
+	return Assignment{Group: user % f.groups}, nil
+}
+func (f *fakeProtocol) ClientReport(a Assignment, record []int, rng *rand.Rand) (Report, error) {
+	return Report{Group: a.Group}, nil
+}
+
+func testProtocol() *fakeProtocol {
+	return &fakeProtocol{name: "Fake", p: Params{N: 100, D: 3, C: 8, Eps: 1.25, Seed: 77}, groups: 3}
+}
+
+func sampleState(t *testing.T) CollectorState {
+	t.Helper()
+	in := NewCollectorIngest(testProtocol(), nil)
+	for _, r := range []Report{
+		{Group: 0, Seed: 12345, Value: 2},
+		{Group: 0, Value: 1},
+		{Group: 2, Seed: 1 << 60, Value: 1 << 40},
+	} {
+		if err := in.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := in.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCollectorStateBinaryRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	if st.Received() != 3 {
+		t.Fatalf("Received = %d, want 3", st.Received())
+	}
+	data, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CollectorState
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, st)
+	}
+	// The encoding is canonical: re-encoding the decoded state reproduces
+	// the input bytes exactly.
+	again, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("re-encoding decoded state changed the bytes")
+	}
+}
+
+func TestCollectorStateJSONRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CollectorState
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("JSON round trip mismatch:\n got %+v\nwant %+v", back, st)
+	}
+	if back.Version != StateVersion {
+		t.Errorf("JSON dropped the version field: %d", back.Version)
+	}
+}
+
+func TestCollectorStateDecodeRejectsMalformed(t *testing.T) {
+	good, err := sampleState(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte("PMC")},
+		{"bad magic", append([]byte("XXXX"), good[4:]...)},
+		{"bad version", append([]byte("PMCS\x02"), good[5:]...)},
+		{"truncated mid-name", good[:7]},
+		{"truncated params", good[:12]},
+		{"truncated reports", good[:len(good)-2]},
+		{"trailing bytes", append(append([]byte{}, good...), 0)},
+		{"huge name length", append([]byte("PMCS\x01\xff\x01"), good[6:]...)},
+		{"zero name length", append([]byte("PMCS\x01\x00"), good[6:]...)},
+	}
+	for _, tc := range cases {
+		var st CollectorState
+		if err := st.UnmarshalBinary(tc.data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// A group-count or report-count far beyond the payload must be rejected
+	// before allocation, and a report tagged with the wrong group rejected.
+	var st CollectorState
+	if err := st.UnmarshalBinary(good); err != nil {
+		t.Fatal(err)
+	}
+	st.Groups[1] = append(st.Groups[1], Report{Group: 0})
+	if _, err := st.MarshalBinary(); err == nil {
+		t.Error("mis-tagged report encoded")
+	}
+}
+
+func TestCollectorStateDecodeGroupCap(t *testing.T) {
+	// A payload that backs every claimed group with a real zero byte would
+	// still amplify ~24x into slice headers; the decoder stops at
+	// maxStateGroups no matter how many bytes follow.
+	head, err := CollectorState{
+		Version: StateVersion, Mech: "X", Params: Params{N: 1, D: 1, C: 2, Eps: 1},
+	}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	head = head[:len(head)-1] // strip the zero group count
+	const groups = maxStateGroups + 1
+	data := binary.AppendUvarint(head, uint64(groups))
+	data = append(data, make([]byte, groups)...) // one empty group each
+	var st CollectorState
+	if err := st.UnmarshalBinary(data); err == nil {
+		t.Fatal("state with too many groups decoded")
+	}
+	over := CollectorState{
+		Version: StateVersion, Mech: "X", Params: Params{N: 1, D: 1, C: 2, Eps: 1},
+		Groups: make([][]Report, groups),
+	}
+	if err := over.Validate(); err == nil {
+		t.Fatal("state with too many groups validated")
+	}
+}
+
+func TestIngestStateSnapshotIsolated(t *testing.T) {
+	in := NewCollectorIngest(testProtocol(), nil)
+	if err := in.Submit(Report{Group: 1, Value: 4}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := in.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ingestion after the snapshot must not leak into it.
+	if err := in.Submit(Report{Group: 1, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Received() != 1 || len(st.Groups[1]) != 1 {
+		t.Fatalf("snapshot mutated: %+v", st)
+	}
+	if in.Received() != 2 {
+		t.Fatalf("Received = %d, want 2", in.Received())
+	}
+}
+
+func TestIngestMergePreconditions(t *testing.T) {
+	pr := testProtocol()
+	mk := func() *Ingest { return NewCollectorIngest(pr, nil) }
+	base, err := mk().State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Version, mechanism, params, and group-layout mismatches.
+	wrongVersion := base
+	wrongVersion.Version = 99
+	if err := mk().Merge(wrongVersion); err == nil {
+		t.Error("wrong version merged")
+	}
+	wrongMech := base
+	wrongMech.Mech = "Other"
+	if err := mk().Merge(wrongMech); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("wrong mech: got %v, want ErrStateMismatch", err)
+	}
+	wrongSeed := base
+	wrongSeed.Params.Seed++
+	if err := mk().Merge(wrongSeed); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("wrong seed: got %v, want ErrStateMismatch", err)
+	}
+	wrongGroups := base
+	wrongGroups.Groups = wrongGroups.Groups[:2]
+	if err := mk().Merge(wrongGroups); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("wrong group count: got %v, want ErrStateMismatch", err)
+	}
+
+	// The per-report check applies to merged reports exactly as to
+	// submitted ones, and the merge is atomic: nothing lands on failure.
+	checked := NewCollectorIngest(pr, func(r Report) error {
+		if r.Value > 10 {
+			return fmt.Errorf("value too large")
+		}
+		return nil
+	})
+	bad := base
+	bad.Groups = [][]Report{{{Group: 0, Value: 3}}, {{Group: 1, Value: 99}}, {}}
+	if err := checked.Merge(bad); err == nil {
+		t.Error("failing report check merged")
+	}
+	if checked.Received() != 0 {
+		t.Errorf("partial merge: %d reports landed", checked.Received())
+	}
+
+	// Finalized collectors refuse both State and Merge.
+	done := mk()
+	if _, err := done.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := done.State(); !errors.Is(err, ErrFinalized) {
+		t.Errorf("State after drain: got %v, want ErrFinalized", err)
+	}
+	if err := done.Merge(base); !errors.Is(err, ErrFinalized) {
+		t.Errorf("Merge after drain: got %v, want ErrFinalized", err)
+	}
+}
+
+func TestIngestMergeOrderIrrelevant(t *testing.T) {
+	pr := testProtocol()
+	// Three shards with distinct payloads.
+	shardReports := [][]Report{
+		{{Group: 0, Value: 1}, {Group: 1, Value: 2}},
+		{{Group: 1, Value: 3}},
+		{{Group: 2, Value: 4}, {Group: 0, Value: 5}, {Group: 0, Value: 6}},
+	}
+	states := make([]CollectorState, len(shardReports))
+	for i, rs := range shardReports {
+		in := NewCollectorIngest(pr, nil)
+		if err := in.SubmitBatch(rs); err != nil {
+			t.Fatal(err)
+		}
+		st, err := in.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[i] = st
+	}
+	counts := func(order []int) [][]Report {
+		in := NewCollectorIngest(pr, nil)
+		for _, i := range order {
+			if err := in.Merge(states[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		byGroup, err := in.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return byGroup
+	}
+	a := counts([]int{0, 1, 2})
+	b := counts([]int{2, 0, 1})
+	for g := range a {
+		if len(a[g]) != len(b[g]) {
+			t.Fatalf("group %d: %d vs %d reports across merge orders", g, len(a[g]), len(b[g]))
+		}
+	}
+	total := 0
+	for _, rs := range a {
+		total += len(rs)
+	}
+	if total != 6 {
+		t.Fatalf("merged %d reports, want 6", total)
+	}
+}

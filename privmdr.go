@@ -69,6 +69,15 @@
 // batches until shutdown. See the "Serving" section of PROTOCOL.md and
 // examples/queryserver for a load-driving client.
 //
+// # Sharded aggregation
+//
+// Every collector is a StatefulCollector: its aggregation state can be
+// exported (State, GET /state), persisted (EncodeState, QueryServer
+// snapshots), and merged (Merge, POST /state) — and N sharded collectors
+// merged in any order finalize to answers bit-identical to one collector
+// that ingested every report. See PROTOCOL.md "Sharding & persistence"
+// and examples/sharded for the multi-shard topology.
+//
 // See PROTOCOL.md for the deployment topology (who knows Params, what
 // crosses the wire), examples/ for full programs, and EXPERIMENTS.md for
 // the reproduction of every figure and table in the paper.
@@ -137,6 +146,25 @@ type (
 	// Collector is the aggregator side: concurrency-safe Submit and
 	// SubmitBatch ingestion, then a single Finalize.
 	Collector = mech.Collector
+	// StatefulCollector is a Collector whose aggregation state can be
+	// exported and merged — the mergeable-sketch property behind sharded
+	// ingestion and warm restarts. Every collector in this package
+	// implements it.
+	StatefulCollector = mech.StatefulCollector
+	// CollectorState is a versioned, self-describing snapshot of a
+	// collector's aggregation state: deployment identity plus the per-group
+	// report multisets. See PROTOCOL.md "Sharding & persistence".
+	CollectorState = mech.CollectorState
+)
+
+// Sentinel errors for the sharded-aggregation API, matched with errors.Is.
+var (
+	// ErrCollectorFinalized reports an ingest, state export, or merge
+	// against a collector whose ingestion Finalize has already closed.
+	ErrCollectorFinalized = mech.ErrFinalized
+	// ErrStateMismatch reports a merge of state from a different
+	// deployment (wrong mechanism, different Params, incompatible groups).
+	ErrStateMismatch = mech.ErrStateMismatch
 )
 
 // NewHDG returns the paper's best mechanism: Hybrid-Dimensional Grids.
@@ -238,6 +266,21 @@ func EncodeReports(rs []Report) ([]byte, error) { return mech.EncodeReports(rs) 
 // DecodeReports unpacks a frame written by EncodeReports, rejecting
 // malformed payloads.
 func DecodeReports(data []byte) ([]Report, error) { return mech.DecodeReports(data) }
+
+// EncodeState serializes an exported collector state to the compact binary
+// snapshot format (the bytes GET /state serves and privmdr serve -snapshot
+// writes). States also marshal to JSON via encoding/json.
+func EncodeState(st CollectorState) ([]byte, error) { return st.MarshalBinary() }
+
+// DecodeState parses a binary collector state written by EncodeState,
+// rejecting malformed payloads without panicking on arbitrary input.
+func DecodeState(data []byte) (CollectorState, error) {
+	var st CollectorState
+	if err := st.UnmarshalBinary(data); err != nil {
+		return CollectorState{}, err
+	}
+	return st, nil
+}
 
 // GenerateDataset draws a synthetic dataset by generator name: "ipums",
 // "bfive", "normal", "laplace", "loan", "acs", or "uniform" (see DESIGN.md

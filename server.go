@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"strings"
 	"sync"
 )
 
@@ -29,8 +31,20 @@ import (
 //	GET  /healthz   — {"mechanism", "finalized", "received"}
 //	GET  /params    — the public deployment parameters (ServerParams)
 //	POST /reports   — binary report frame (EncodeReports); 409 after finalize
+//	GET  /state     — exported collector state, binary (?format=json for JSON);
+//	                  409 after finalize
+//	POST /state     — merge another shard's exported state (binary, or JSON
+//	                  with Content-Type: application/json); 400 for malformed
+//	                  payloads, 409 for deployment mismatch or after finalize
 //	POST /finalize  — finalize now; idempotent
 //	POST /query     — QueryRequest JSON → QueryResponse JSON
+//
+// GET /state + POST /state are the sharded-aggregation fabric: run one
+// QueryServer per ingestion shard, then have a coordinator (or one of the
+// shards) pull every other shard's state and merge before finalizing — the
+// merged server answers bit-identically to one server that ingested every
+// report. SaveSnapshot/LoadSnapshot persist the same state to disk for
+// warm restarts (privmdr serve -http -snapshot state.bin).
 type QueryServer struct {
 	proto Protocol
 	mux   *http.ServeMux
@@ -75,6 +89,10 @@ type ServerParams struct {
 // million-report shards (≤ 13 bytes per report) yet bounded.
 const maxRequestBody = 64 << 20
 
+// maxJSONStateBody caps POST /state bodies sent as JSON (the debugging
+// transport); binary states may use the full maxRequestBody.
+const maxJSONStateBody = 8 << 20
+
 // NewQueryServer wraps a protocol in a fresh HTTP query server (one
 // collector, not yet finalized). The returned server is an http.Handler —
 // mount it on any mux or listener — and also a Collector, so shards can be
@@ -89,6 +107,8 @@ func NewQueryServer(proto Protocol) (*QueryServer, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /params", s.handleParams)
 	mux.HandleFunc("POST /reports", s.handleReports)
+	mux.HandleFunc("GET /state", s.handleStateGet)
+	mux.HandleFunc("POST /state", s.handleStateMerge)
 	mux.HandleFunc("POST /finalize", s.handleFinalize)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux = mux
@@ -117,6 +137,70 @@ func (s *QueryServer) SubmitBatch(rs []Report) error {
 		return fmt.Errorf("privmdr: server already finalized")
 	}
 	return coll.SubmitBatch(rs)
+}
+
+// State exports the collector's aggregation state — the programmatic side
+// of GET /state. It fails with ErrCollectorFinalized once serving began.
+func (s *QueryServer) State() (CollectorState, error) {
+	coll, done := s.collector()
+	if done {
+		return CollectorState{}, fmt.Errorf("privmdr: %w", ErrCollectorFinalized)
+	}
+	sc, ok := coll.(StatefulCollector)
+	if !ok {
+		return CollectorState{}, fmt.Errorf("privmdr: %s collector does not export state", s.proto.Name())
+	}
+	return sc.State()
+}
+
+// Merge folds another shard's exported state into this server's collector —
+// the programmatic side of POST /state. Deployment mismatches fail with
+// ErrStateMismatch, late merges with ErrCollectorFinalized.
+func (s *QueryServer) Merge(st CollectorState) error {
+	coll, done := s.collector()
+	if done {
+		return fmt.Errorf("privmdr: %w", ErrCollectorFinalized)
+	}
+	sc, ok := coll.(StatefulCollector)
+	if !ok {
+		return fmt.Errorf("privmdr: %s collector does not merge state", s.proto.Name())
+	}
+	return sc.Merge(st)
+}
+
+// SaveSnapshot persists the current collector state to path (written via a
+// temp file + rename, so a crash mid-write never corrupts the previous
+// snapshot). The snapshot is sanitized ε-LDP reports — storing it adds no
+// privacy cost.
+func (s *QueryServer) SaveSnapshot(path string) error {
+	st, err := s.State()
+	if err != nil {
+		return err
+	}
+	data, err := st.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot (or GET /state) and
+// merges it into the collector — the warm-restart path: a restarted server
+// that loads its last snapshot resumes with every report the snapshot saw.
+func (s *QueryServer) LoadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var st CollectorState
+	if err := st.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("privmdr: snapshot %s: %w", path, err)
+	}
+	return s.Merge(st)
 }
 
 // Finalize transitions the server to the serving phase, exactly once; later
@@ -206,12 +290,67 @@ func (s *QueryServer) handleReports(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := coll.SubmitBatch(batch); err != nil {
-		// A finalize can win the race between collector() and SubmitBatch;
-		// the collector then rejects the batch atomically.
-		writeError(w, http.StatusConflict, err)
+		// A finalize can win the race between collector() and SubmitBatch
+		// (409 via ErrCollectorFinalized); anything else is a report that
+		// decoded but fails the protocol's validation — a bad payload (400).
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(batch), "received": s.Received()})
+}
+
+func (s *QueryServer) handleStateGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.State()
+	if err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	if strings.EqualFold(r.URL.Query().Get("format"), "json") {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	data, err := st.MarshalBinary()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *QueryServer) handleStateMerge(w http.ResponseWriter, r *http.Request) {
+	// JSON is the debugging transport: a JSON body costs as little as ~3
+	// bytes per empty group versus ~24 bytes of slice header once parsed,
+	// and json.Unmarshal allocates before the state's group cap can run —
+	// so JSON states get a much smaller body budget to bound that
+	// amplification. Large states travel as binary, whose decoder enforces
+	// its caps before allocating.
+	maxBody := s.maxBody
+	isJSON := strings.Contains(r.Header.Get("Content-Type"), "application/json")
+	if isJSON && maxBody > maxJSONStateBody {
+		maxBody = maxJSONStateBody
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeError(w, bodyErrStatus(err), fmt.Errorf("reading state: %w", err))
+		return
+	}
+	var st CollectorState
+	if isJSON {
+		if err := json.Unmarshal(body, &st); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding state JSON: %w", err))
+			return
+		}
+	} else if err := st.UnmarshalBinary(body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Merge(st); err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"merged": st.Received(), "received": s.Received()})
 }
 
 func (s *QueryServer) handleFinalize(w http.ResponseWriter, r *http.Request) {
@@ -257,12 +396,18 @@ func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, QueryResponse{Answers: answers})
 }
 
-// bodyErrStatus distinguishes "you sent too much" from "you sent garbage",
-// so clients know whether to split the payload or fix the encoding.
+// bodyErrStatus maps a request-handling error to its HTTP status: 413 for
+// oversized bodies, 409 for requests that were well-formed but conflict
+// with the server's lifecycle or deployment (state/params mismatch, already
+// finalized), and 400 for everything malformed — so a client can tell
+// "fix your payload" apart from "fix your deployment or timing".
 func bodyErrStatus(err error) int {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
 		return http.StatusRequestEntityTooLarge
+	}
+	if errors.Is(err, ErrStateMismatch) || errors.Is(err, ErrCollectorFinalized) {
+		return http.StatusConflict
 	}
 	return http.StatusBadRequest
 }

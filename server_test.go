@@ -3,9 +3,12 @@ package privmdr_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -285,5 +288,219 @@ func TestQueryServerRejectsBadInput(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /query: %d, want 405", resp.StatusCode)
+	}
+}
+
+// getState pulls a shard's exported collector state over HTTP.
+func getState(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /state: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("GET /state Content-Type = %q", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestQueryServerShardedAggregation runs the two-shard topology end to end
+// over HTTP: each QueryServer ingests a disjoint half of the reports, shard
+// A pulls shard B's exported state from GET /state, merges it with POST
+// /state, finalizes, and must answer bit-identically to the monolithic
+// reference. The tail covers the snapshot/warm-restart cycle: shard A's
+// pre-finalize state restores into a fresh server that answers identically.
+func TestQueryServerShardedAggregation(t *testing.T) {
+	f := newServerFixture(t)
+	shardA, err := privmdr.NewQueryServer(f.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(shardA)
+	t.Cleanup(tsA.Close)
+	tsB := f.start(t)
+
+	// Disjoint ingestion: shard A gets the first frame, B the rest.
+	if code, body := postBody(t, tsA.URL+"/reports", "application/octet-stream", f.shards[0]); code != http.StatusOK {
+		t.Fatalf("shard A POST /reports: %d %s", code, body)
+	}
+	for _, frame := range f.shards[1:] {
+		if code, body := postBody(t, tsB.URL+"/reports", "application/octet-stream", frame); code != http.StatusOK {
+			t.Fatalf("shard B POST /reports: %d %s", code, body)
+		}
+	}
+
+	// A pulls B's state and merges it. The JSON view must agree.
+	blob := getState(t, tsB.URL)
+	st, err := privmdr.DecodeState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaJSON privmdr.CollectorState
+	getJSON(t, tsB.URL+"/state?format=json", &viaJSON)
+	if viaJSON.Received() != st.Received() || viaJSON.Mech != st.Mech {
+		t.Fatalf("JSON state (%s, %d) disagrees with binary (%s, %d)",
+			viaJSON.Mech, viaJSON.Received(), st.Mech, st.Received())
+	}
+	if code, body := postBody(t, tsA.URL+"/state", "application/octet-stream", blob); code != http.StatusOK {
+		t.Fatalf("shard A POST /state: %d %s", code, body)
+	}
+	var status privmdr.ServerStatus
+	getJSON(t, tsA.URL+"/healthz", &status)
+	if status.Received != f.params.N {
+		t.Fatalf("merged shard A holds %d reports, want %d", status.Received, f.params.N)
+	}
+
+	// Snapshot A's merged state before finalizing, for the restart below.
+	snap := filepath.Join(t.TempDir(), "state.bin")
+	if err := shardA.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged shard answers bit-identically to the monolithic reference.
+	want, err := privmdr.AnswerBatch(f.ref, f.qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(privmdr.QueryRequest{Queries: f.qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryAnswers := func(url string) []float64 {
+		code, payload := postBody(t, url+"/query", "application/json", body)
+		if code != http.StatusOK {
+			t.Fatalf("POST /query: %d %s", code, payload)
+		}
+		var qr privmdr.QueryResponse
+		if err := json.Unmarshal(payload, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return qr.Answers
+	}
+	got := queryAnswers(tsA.URL)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: sharded server %g, monolithic %g", i, got[i], want[i])
+		}
+	}
+
+	// Finalized shards no longer export or accept state.
+	resp, err := http.Get(tsA.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("GET /state after finalize: %d, want 409", resp.StatusCode)
+	}
+	if code, _ := postBody(t, tsA.URL+"/state", "application/octet-stream", blob); code != http.StatusConflict {
+		t.Fatalf("POST /state after finalize: %d, want 409", code)
+	}
+
+	// Warm restart: a fresh server restored from the snapshot answers
+	// exactly like the server that wrote it.
+	restarted, err := privmdr.NewQueryServer(f.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.LoadSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restarted.Received() != f.params.N {
+		t.Fatalf("restored server holds %d reports, want %d", restarted.Received(), f.params.N)
+	}
+	tsR := httptest.NewServer(restarted)
+	t.Cleanup(tsR.Close)
+	restored := queryAnswers(tsR.URL)
+	for i := range want {
+		if restored[i] != want[i] {
+			t.Fatalf("query %d after warm restart: %g, want %g", i, restored[i], want[i])
+		}
+	}
+}
+
+// TestQueryServerStateMergeStatuses pins the POST /state status contract:
+// 400 for payloads that cannot be decoded, 409 for well-formed states that
+// conflict with this deployment.
+func TestQueryServerStateMergeStatuses(t *testing.T) {
+	f := newServerFixture(t)
+	ts := f.start(t)
+
+	// A state from a different deployment (same mechanism, different seed).
+	otherParams := f.params
+	otherParams.Seed++
+	otherProto, err := privmdr.ProtocolByName("HDG", otherParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherColl, err := otherProto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherState, err := otherColl.(privmdr.StatefulCollector).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBlob, err := privmdr.EncodeState(otherState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherJSON, err := json.Marshal(otherState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, contentType string
+		body              []byte
+		want              int
+	}{
+		{"garbage binary", "application/octet-stream", []byte("not a state"), http.StatusBadRequest},
+		{"truncated binary", "application/octet-stream", []byte("PMCS\x01"), http.StatusBadRequest},
+		{"garbage JSON", "application/json", []byte(`{"version":`), http.StatusBadRequest},
+		{"wrong JSON version", "application/json", []byte(`{"version":99,"mech":"HDG"}`), http.StatusBadRequest},
+		{"foreign deployment binary", "application/octet-stream", otherBlob, http.StatusConflict},
+		{"foreign deployment JSON", "application/json", otherJSON, http.StatusConflict},
+	}
+	for _, tc := range cases {
+		if code, payload := postBody(t, ts.URL+"/state", tc.contentType, tc.body); code != tc.want {
+			t.Errorf("%s: status %d (%s), want %d", tc.name, code, payload, tc.want)
+		}
+	}
+	var status privmdr.ServerStatus
+	getJSON(t, ts.URL+"/healthz", &status)
+	if status.Finalized || status.Received != 0 {
+		t.Fatalf("rejected merges left status %+v", status)
+	}
+}
+
+// TestBodyErrStatus pins the error→status mapping table: oversized bodies
+// 413, lifecycle/deployment conflicts 409, everything malformed 400.
+func TestBodyErrStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"max bytes", &http.MaxBytesError{Limit: 1}, http.StatusRequestEntityTooLarge},
+		{"wrapped max bytes", fmt.Errorf("reading frame: %w", &http.MaxBytesError{Limit: 1}), http.StatusRequestEntityTooLarge},
+		{"state mismatch", privmdr.ErrStateMismatch, http.StatusConflict},
+		{"wrapped state mismatch", fmt.Errorf("mech: state of TDG: %w", privmdr.ErrStateMismatch), http.StatusConflict},
+		{"finalized", privmdr.ErrCollectorFinalized, http.StatusConflict},
+		{"wrapped finalized", fmt.Errorf("privmdr: %w", privmdr.ErrCollectorFinalized), http.StatusConflict},
+		{"plain decode error", errors.New("mech: truncated report group"), http.StatusBadRequest},
+		{"json syntax error", fmt.Errorf("decoding query batch: %w", errors.New("unexpected EOF")), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if got := privmdr.BodyErrStatus(tc.err); got != tc.want {
+			t.Errorf("%s: bodyErrStatus = %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,231 @@
+package privmdr_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"privmdr"
+)
+
+// makeReports runs the client side of a deployment for every user and
+// returns all n reports in user order.
+func makeReports(t *testing.T, proto privmdr.Protocol, ds *privmdr.Dataset) []privmdr.Report {
+	t.Helper()
+	p := proto.Params()
+	reports := make([]privmdr.Report, p.N)
+	record := make([]int, p.D)
+	for u := 0; u < p.N; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		reports[u], err = proto.ClientReport(a, record, privmdr.ClientRand(p, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reports
+}
+
+// TestShardedMergeMatchesSingleCollector is the merge-invariant regression
+// table: for every mechanism, the deployment's reports are partitioned
+// across 2–8 shard collectors that ingest concurrently, every shard's state
+// is exported (round-tripping through a wire codec), and the states are
+// merged in a shuffled order. The merged collector must finalize to answers
+// bit-identical to a single collector that ingested every report. Run with
+// -race this is also the concurrency test for the sharded path.
+func TestShardedMergeMatchesSingleCollector(t *testing.T) {
+	ds := protocolDataset(t)
+	qs, err := privmdr.RandomWorkload(20, 2, ds.D(), ds.C, 0.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := privmdr.RandomWorkload(5, 1, ds.D(), ds.C, 0.5, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = append(qs, oneD...)
+	const eps, seed = 1.0, 99
+	cases := []struct {
+		mech   privmdr.Mechanism
+		shards int
+	}{
+		{privmdr.NewUni(), 2},
+		{privmdr.NewMSW(), 3},
+		{privmdr.NewCALM(), 4},
+		{privmdr.NewHIO(), 5},
+		{privmdr.NewLHIO(), 6},
+		{privmdr.NewTDG(), 7},
+		{privmdr.NewHDG(), 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mech.Name(), func(t *testing.T) {
+			t.Parallel()
+			p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: eps, Seed: seed}
+			proto, err := tc.mech.Protocol(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := makeReports(t, proto, ds)
+
+			// Reference: one collector ingests everything.
+			single, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := single.SubmitBatch(reports); err != nil {
+				t.Fatal(err)
+			}
+			singleEst, err := single.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := privmdr.Answers(singleEst, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Shards ingest their report slices concurrently and export.
+			states := make([]privmdr.CollectorState, tc.shards)
+			var wg sync.WaitGroup
+			errs := make(chan error, tc.shards)
+			for s := 0; s < tc.shards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					coll, err := proto.NewCollector()
+					if err != nil {
+						errs <- err
+						return
+					}
+					lo, hi := s*len(reports)/tc.shards, (s+1)*len(reports)/tc.shards
+					if err := coll.SubmitBatch(reports[lo:hi]); err != nil {
+						errs <- err
+						return
+					}
+					st, err := coll.(privmdr.StatefulCollector).State()
+					if err != nil {
+						errs <- err
+						return
+					}
+					states[s] = st
+					errs <- nil
+				}(s)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Ship every state through a wire codec — even shards alternate
+			// binary, odd shards JSON — then merge in a shuffled order.
+			for s := range states {
+				if s%2 == 0 {
+					blob, err := privmdr.EncodeState(states[s])
+					if err != nil {
+						t.Fatal(err)
+					}
+					states[s], err = privmdr.DecodeState(blob)
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					blob, err := json.Marshal(states[s])
+					if err != nil {
+						t.Fatal(err)
+					}
+					var back privmdr.CollectorState
+					if err := json.Unmarshal(blob, &back); err != nil {
+						t.Fatal(err)
+					}
+					states[s] = back
+				}
+			}
+			merged, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			merger := merged.(privmdr.StatefulCollector)
+			order := rand.New(rand.NewPCG(uint64(tc.shards), 5)).Perm(tc.shards)
+			for _, s := range order {
+				if err := merger.Merge(states[s]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := merged.Received(); got != len(reports) {
+				t.Fatalf("merged collector received %d reports, want %d", got, len(reports))
+			}
+			mergedEst, err := merged.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := privmdr.Answers(mergedEst, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range qs {
+				if got[i] != want[i] {
+					t.Fatalf("query %d: sharded %v != single-collector %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRejectsForeignDeployment pins the public-API merge preconditions:
+// state from a different mechanism or different Params must be refused with
+// ErrStateMismatch, and a finalized collector refuses both State and Merge
+// with ErrCollectorFinalized.
+func TestMergeRejectsForeignDeployment(t *testing.T) {
+	p := privmdr.Params{N: 4000, D: 3, C: 16, Eps: 1.0, Seed: 5}
+	hdg, err := privmdr.NewHDG().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdg, err := privmdr.NewTDG().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newStateful := func(proto privmdr.Protocol) privmdr.StatefulCollector {
+		c, err := proto.NewCollector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.(privmdr.StatefulCollector)
+	}
+	hdgState, err := newStateful(hdg).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newStateful(tdg).Merge(hdgState); !errors.Is(err, privmdr.ErrStateMismatch) {
+		t.Errorf("TDG merging HDG state: got %v, want ErrStateMismatch", err)
+	}
+	otherSeed := p
+	otherSeed.Seed++
+	hdg2, err := privmdr.NewHDG().Protocol(otherSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newStateful(hdg2).Merge(hdgState); !errors.Is(err, privmdr.ErrStateMismatch) {
+		t.Errorf("merging a different assignment seed: got %v, want ErrStateMismatch", err)
+	}
+	fin := newStateful(hdg)
+	if _, err := fin.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fin.State(); !errors.Is(err, privmdr.ErrCollectorFinalized) {
+		t.Errorf("State after finalize: got %v, want ErrCollectorFinalized", err)
+	}
+	if err := fin.Merge(hdgState); !errors.Is(err, privmdr.ErrCollectorFinalized) {
+		t.Errorf("Merge after finalize: got %v, want ErrCollectorFinalized", err)
+	}
+}
