@@ -5,6 +5,7 @@
 package privmdr_test
 
 import (
+	"fmt"
 	"testing"
 
 	"privmdr"
@@ -256,5 +257,80 @@ func BenchmarkTrueAnswers(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		privmdr.TrueAnswers(ds, qs)
+	}
+}
+
+// --- streaming collector benchmarks (PR-4) ---
+
+// benchReports runs the client side of an HDG deployment once and returns
+// the reports plus their protocol.
+func benchReports(b *testing.B, n int) (privmdr.Protocol, []privmdr.Report) {
+	b.Helper()
+	ds := benchDataset(b, n)
+	p := privmdr.Params{N: n, D: 6, C: 64, Eps: 1.0, Seed: 17}
+	proto, err := privmdr.NewHDG().Protocol(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reports := make([]privmdr.Report, n)
+	record := make([]int, p.D)
+	for u := 0; u < n; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		reports[u], err = proto.ClientReport(a, record, privmdr.ClientRand(p, u))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return proto, reports
+}
+
+// BenchmarkCollectorIngest measures streaming ingestion: reports fold into
+// count vectors as they arrive, so bytes of collector state stay O(domain).
+func BenchmarkCollectorIngest(b *testing.B) {
+	proto, reports := benchReports(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coll, err := proto.NewCollector()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := coll.SubmitBatch(reports); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reports))*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkCollectorFinalize measures finalize latency at increasing n —
+// the headline streaming win: estimation reads O(domain) counts, so the
+// latency no longer grows with the user count.
+func BenchmarkCollectorFinalize(b *testing.B) {
+	for _, n := range []int{20_000, 80_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			proto, reports := benchReports(b, n)
+			colls := make([]privmdr.Collector, b.N)
+			for i := range colls {
+				coll, err := proto.NewCollector()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := coll.SubmitBatch(reports); err != nil {
+					b.Fatal(err)
+				}
+				colls[i] = coll
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := colls[i].Finalize(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -8,6 +8,7 @@
 //	privmdr-bench -exp fig1 -scale default
 //	privmdr-bench -exp all -scale smoke -csv out/
 //	privmdr-bench -exp fig3 -mechs HDG,TDG,CALM -n 50000 -reps 2
+//	privmdr-bench -perf BENCH_PR4.json -scale smoke
 //
 // Scales: smoke (CI-sized), default (laptop-sized, n = 10⁵), paper
 // (n = 10⁶, 10 repeats, |Q| = 200 — hours of compute).
@@ -35,8 +36,35 @@ func main() {
 		seed    = flag.Uint64("seed", 2020, "root random seed")
 		mechs   = flag.String("mechs", "", "comma-separated mechanism filter (e.g. HDG,TDG)")
 		csvDir  = flag.String("csv", "", "also write one CSV per panel into this directory")
+		perf    = flag.String("perf", "", "run the collector perf harness and write its JSON report to this path")
 	)
 	flag.Parse()
+
+	if *perf != "" {
+		cfg := bench.RunConfig{Scale: bench.Scale(*scale), Seed: *seed}
+		if *mechs != "" {
+			for _, m := range strings.Split(*mechs, ",") {
+				cfg.Mechs = append(cfg.Mechs, strings.TrimSpace(m))
+			}
+		}
+		report, err := bench.RunPerf(os.Stdout, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*perf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WritePerfJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *perf)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

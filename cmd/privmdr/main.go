@@ -487,7 +487,11 @@ func cmdMerge(args []string) error {
 		if err := coll.Merge(st); err != nil {
 			return fmt.Errorf("state %s: %w", path, err)
 		}
-		fmt.Printf("  + %s (%d reports)\n", path, st.Received())
+		shape := "reports"
+		if st.Version == 2 {
+			shape = "reports as counts"
+		}
+		fmt.Printf("  + %s (%d %s)\n", path, st.Received(), shape)
 	}
 	merged, err := coll.State()
 	if err != nil {

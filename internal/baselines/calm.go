@@ -110,20 +110,36 @@ func (pr *calmProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.
 	return mech.FromFO(a.Group, pr.oracle.Perturb(cell, rng)), nil
 }
 
-// NewCollector implements mech.Protocol.
+// NewCollector implements mech.Protocol. The collector streams through the
+// adaptive oracle's folder — GRR bucket counts, OLH support tallies, or
+// Hadamard signed row counts, whichever NewAuto picked for the c² domain.
 func (pr *calmProtocol) NewCollector() (mech.Collector, error) {
-	return &calmCollector{Ingest: mech.NewCollectorIngest(pr, mech.OracleCheck(pr.oracle)), pr: pr}, nil
+	folder, err := fo.NewFolder(pr.oracle)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]mech.GroupSpec, pr.NumGroups())
+	fold := func(r mech.Report, counts []int64) { folder.Fold(r.FO(), counts) }
+	for g := range specs {
+		specs[g] = mech.GroupSpec{Len: folder.StatLen(), Fold: fold}
+	}
+	ing, err := mech.NewCountIngest(pr, mech.OracleCheck(pr.oracle), specs)
+	if err != nil {
+		return nil, err
+	}
+	return &calmCollector{CountIngest: ing, pr: pr, folder: folder}, nil
 }
 
 // calmCollector is the aggregator side of a CALM deployment.
 type calmCollector struct {
-	*mech.Ingest
-	pr *calmProtocol
+	*mech.CountIngest
+	pr     *calmProtocol
+	folder *fo.Folder
 }
 
 // Finalize implements mech.Collector.
 func (c *calmCollector) Finalize() (mech.Estimator, error) {
-	byGroup, err := c.Drain()
+	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +153,7 @@ func (c *calmCollector) Finalize() (mech.Estimator, error) {
 		if err != nil {
 			return nil, err
 		}
-		copy(g.Freq, pr.oracle.EstimateAll(mech.FOReports(byGroup[pi])))
+		copy(g.Freq, c.folder.Estimate(byGroup[pi].Counts, int(byGroup[pi].N)))
 		marginals[pi] = g
 	}
 

@@ -91,7 +91,9 @@ func (pr *mswProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.R
 	return mech.Report{Group: a.Group, Value: pr.wave.Bucket(y)}, nil
 }
 
-// NewCollector implements mech.Protocol.
+// NewCollector implements mech.Protocol. The collector streams: a report
+// is one Square-Wave bucket, so the group statistic is the per-bucket
+// histogram EM reconstruction reads at finalize.
 func (pr *mswProtocol) NewCollector() (mech.Collector, error) {
 	check := func(r mech.Report) error {
 		if r.Value < 0 || r.Value >= pr.wave.B {
@@ -102,19 +104,29 @@ func (pr *mswProtocol) NewCollector() (mech.Collector, error) {
 		}
 		return nil
 	}
-	return &mswCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
+	specs := make([]mech.GroupSpec, pr.p.D)
+	fold := func(r mech.Report, counts []int64) { counts[r.Value]++ }
+	for g := range specs {
+		specs[g] = mech.GroupSpec{Len: pr.wave.B, Fold: fold}
+	}
+	ing, err := mech.NewCountIngest(pr, check, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &mswCollector{CountIngest: ing, pr: pr}, nil
 }
 
 // mswCollector is the aggregator side of an MSW deployment.
 type mswCollector struct {
-	*mech.Ingest
+	*mech.CountIngest
 	pr *mswProtocol
 }
 
-// Finalize implements mech.Collector: bucketize each attribute's reports,
-// run EM(S), and answer queries as products of 1-D range answers.
+// Finalize implements mech.Collector: run EM(S) over each attribute's
+// streamed bucket histogram and answer queries as products of 1-D range
+// answers.
 func (c *mswCollector) Finalize() (mech.Estimator, error) {
-	byGroup, err := c.Drain()
+	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
@@ -125,8 +137,8 @@ func (c *mswCollector) Finalize() (mech.Estimator, error) {
 	cdf := make([][]float64, d)
 	for a := 0; a < d; a++ {
 		buckets := make([]int, pr.wave.B)
-		for _, r := range byGroup[a] {
-			buckets[r.Value]++
+		for i, c := range byGroup[a].Counts {
+			buckets[i] = int(c)
 		}
 		dist, err := pr.wave.Reconstruct(buckets, sw.EMOptions{MaxIters: pr.opts.EMIters, Smooth: !pr.opts.NoSmooth})
 		if err != nil {

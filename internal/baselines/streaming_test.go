@@ -1,0 +1,226 @@
+package baselines
+
+import (
+	"testing"
+
+	"privmdr/internal/consistency"
+	"privmdr/internal/dataset"
+	"privmdr/internal/grid"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/mathx"
+	"privmdr/internal/mech"
+	"privmdr/internal/query"
+	"privmdr/internal/sw"
+)
+
+// Streaming golden tests: the collectors fold reports into count vectors at
+// ingest; the references below replay the seed's report-multiset finalize
+// over the same reports and the answers must match bit-for-bit.
+
+func clientReports(t *testing.T, pr mech.Protocol, ds *dataset.Dataset) (all []mech.Report, byGroup [][]mech.Report) {
+	t.Helper()
+	p := pr.Params()
+	byGroup = make([][]mech.Report, pr.NumGroups())
+	record := make([]int, p.D)
+	for u := 0; u < p.N; u++ {
+		a, err := pr.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		rep, err := pr.ClientReport(a, record, mech.ClientRand(p, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rep)
+		byGroup[rep.Group] = append(byGroup[rep.Group], rep)
+	}
+	return all, byGroup
+}
+
+func submitAll(t *testing.T, pr mech.Protocol, reports []mech.Report) mech.Estimator {
+	t.Helper()
+	coll, err := pr.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	est, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func assertSameAnswers(t *testing.T, got, want mech.Estimator, qs []query.Query) {
+	t.Helper()
+	for i, q := range qs {
+		g, err := got.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := want.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != w {
+			t.Fatalf("query %d: streaming answer %v != report-multiset answer %v", i, g, w)
+		}
+	}
+}
+
+// seedFinalizeMSW is the seed's mswCollector.Finalize over explicit report
+// multisets, preserved verbatim as the golden reference.
+func seedFinalizeMSW(t *testing.T, pr *mswProtocol, byGroup [][]mech.Report) mech.Estimator {
+	t.Helper()
+	d, cc := pr.p.D, pr.p.C
+	cdf := make([][]float64, d)
+	for a := 0; a < d; a++ {
+		buckets := make([]int, pr.wave.B)
+		for _, r := range byGroup[a] {
+			buckets[r.Value]++
+		}
+		dist, err := pr.wave.Reconstruct(buckets, sw.EMOptions{MaxIters: pr.opts.EMIters, Smooth: !pr.opts.NoSmooth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdf[a] = mathx.Prefix1D(dist)
+	}
+	return mech.EstimatorFunc(func(q query.Query) (float64, error) {
+		if err := q.Validate(d, cc); err != nil {
+			return 0, err
+		}
+		ans := 1.0
+		for _, p := range q {
+			ans *= cdf[p.Attr][p.Hi+1] - cdf[p.Attr][p.Lo]
+		}
+		return ans, nil
+	})
+}
+
+// seedFinalizeCALM is the seed's calmCollector.Finalize preserved verbatim.
+func seedFinalizeCALM(t *testing.T, pr *calmProtocol, byGroup [][]mech.Report) mech.Estimator {
+	t.Helper()
+	d, n, cc := pr.p.D, pr.p.N, pr.p.C
+	pairs := pr.pairs
+	marginals := make([]*grid.Grid2D, len(pairs))
+	for pi := range pairs {
+		g, err := grid.NewGrid2D(cc, cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(g.Freq, pr.oracle.EstimateAll(mech.FOReports(byGroup[pi])))
+		marginals[pi] = g
+	}
+	rounds := pr.opts.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	pipeline := &consistency.Pipeline{
+		Attrs: d,
+		NormSubAll: func() {
+			for _, g := range marginals {
+				consistency.NormSub(g.Freq, 1)
+			}
+		},
+		AttrViews: func(a int) []consistency.View {
+			var views []consistency.View
+			for pi, pair := range pairs {
+				switch a {
+				case pair[0]:
+					views = append(views, consistency.GridRowView(marginals[pi]))
+				case pair[1]:
+					views = append(views, consistency.GridColView(marginals[pi]))
+				}
+			}
+			return views
+		},
+	}
+	if err := pipeline.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	prefix := make([]*mathx.Prefix2D, len(pairs))
+	for pi, g := range marginals {
+		p, err := mathx.NewPrefix2D(g.Freq, cc, cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix[pi] = p
+	}
+	wu := pr.opts.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(n)
+	}
+	return &calmEstimator{c: cc, d: d, prefix: prefix, wu: wu}
+}
+
+func streamingWorkload(t *testing.T, d, c int) []query.Query {
+	t.Helper()
+	qs, err := query.RandomWorkload(ldprand.New(27), 25, 2, d, c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := query.RandomWorkload(ldprand.New(28), 5, 1, d, c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(qs, one...)
+}
+
+func TestMSWStreamingMatchesReportPath(t *testing.T) {
+	ds := correlatedDS(t, 9000, 3, 16)
+	p := mech.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 71}
+	prI, err := NewMSW().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := prI.(*mswProtocol)
+	reports, byGroup := clientReports(t, pr, ds)
+	streamed := submitAll(t, pr, reports)
+	reference := seedFinalizeMSW(t, pr, byGroup)
+	assertSameAnswers(t, streamed, reference, streamingWorkload(t, ds.D(), ds.C))
+}
+
+// TestCALMStreamingMatchesReportPath covers both adaptive-oracle regimes:
+// c = 16 gives an OLH folder (c² = 256 ≤ the Hadamard threshold), while
+// c = 128 crosses it (c² = 2¹⁴) and exercises the Hadamard signed counts.
+func TestCALMStreamingMatchesReportPath(t *testing.T) {
+	for _, c := range []int{16, 128} {
+		ds := correlatedDS(t, 9000, 3, c)
+		p := mech.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 72}
+		prI, err := NewCALM().Protocol(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := prI.(*calmProtocol)
+		reports, byGroup := clientReports(t, pr, ds)
+		streamed := submitAll(t, pr, reports)
+		reference := seedFinalizeCALM(t, pr, byGroup)
+		assertSameAnswers(t, streamed, reference, streamingWorkload(t, ds.D(), ds.C))
+	}
+}
+
+func TestUniStreamingMatchesReportPath(t *testing.T) {
+	ds := uniformDS(t, 500, 3, 16)
+	p := mech.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 73}
+	pr, err := NewUni().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, _ := clientReports(t, pr, ds)
+	streamed := submitAll(t, pr, reports)
+	// Uni's answers are a pure function of the query — the reports only
+	// need to be accepted and counted.
+	q := query.Query{{Attr: 1, Lo: 0, Hi: 7}}
+	got, err := streamed.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("Uni streaming answer %v, want 0.5", got)
+	}
+}

@@ -73,7 +73,9 @@ func (pr *uniProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.R
 	return mech.Report{Group: 0}, nil
 }
 
-// NewCollector implements mech.Protocol.
+// NewCollector implements mech.Protocol. Uni's group statistic is empty —
+// its reports carry no information — so the streaming store only tracks the
+// report tally.
 func (pr *uniProtocol) NewCollector() (mech.Collector, error) {
 	check := func(r mech.Report) error {
 		if r.Seed != 0 || r.Value != 0 {
@@ -81,18 +83,22 @@ func (pr *uniProtocol) NewCollector() (mech.Collector, error) {
 		}
 		return nil
 	}
-	return &uniCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
+	ing, err := mech.NewCountIngest(pr, check, []mech.GroupSpec{{}})
+	if err != nil {
+		return nil, err
+	}
+	return &uniCollector{CountIngest: ing, pr: pr}, nil
 }
 
 // uniCollector discards its reports: the uniform guess needs none of them.
 type uniCollector struct {
-	*mech.Ingest
+	*mech.CountIngest
 	pr *uniProtocol
 }
 
 // Finalize implements mech.Collector.
 func (c *uniCollector) Finalize() (mech.Estimator, error) {
-	if _, err := c.Drain(); err != nil {
+	if _, err := c.DrainCounts(); err != nil {
 		return nil, err
 	}
 	d, cc := c.pr.p.D, c.pr.p.C

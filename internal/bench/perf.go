@@ -1,0 +1,199 @@
+// Collector performance runner: the PR-4 tracking harness behind
+// `privmdr-bench -perf`. It measures the streaming aggregation path —
+// ingest throughput, finalize latency versus n, resident collector heap,
+// snapshot size — and, for contrast, the same deployment aggregated into
+// the seed's O(n) report store, emitting one JSON report (BENCH_PR4.json in
+// CI) so the perf trajectory is tracked from this PR on.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"privmdr/internal/dataset"
+	"privmdr/internal/mech"
+)
+
+// PerfPoint is one (mechanism, n) measurement.
+type PerfPoint struct {
+	Mech string `json:"mech"`
+	N    int    `json:"n"`
+
+	// Streaming collector (the product path).
+	IngestReportsPerSec float64 `json:"ingest_reports_per_sec"`
+	FinalizeMillis      float64 `json:"finalize_ms"`
+	CollectorHeapBytes  uint64  `json:"collector_heap_bytes"`
+	SnapshotBytes       int     `json:"snapshot_bytes"`
+
+	// Report-store baseline (the seed path): the same reports filed into a
+	// mech.Ingest, which is what every collector embedded before streaming.
+	ReportStoreHeapBytes  uint64  `json:"report_store_heap_bytes"`
+	ReportSnapshotBytes   int     `json:"report_snapshot_bytes"`
+	HeapRatioStoreVsCount float64 `json:"heap_ratio_store_vs_count"`
+}
+
+// PerfReport is the BENCH_PR4.json payload.
+type PerfReport struct {
+	Version int         `json:"version"`
+	Scale   string      `json:"scale"`
+	Points  []PerfPoint `json:"points"`
+}
+
+// perfNs picks the user counts per scale. The paper scale reaches n = 10⁶,
+// where the acceptance bar — finalize flat in n, ≥10× heap reduction —
+// is asserted; smoke keeps CI fast.
+func perfNs(scale Scale) []int {
+	switch scale {
+	case Smoke:
+		return []int{20_000, 60_000}
+	case Paper:
+		return []int{100_000, 300_000, 1_000_000}
+	default:
+		return []int{50_000, 150_000, 400_000}
+	}
+}
+
+// heapDelta measures the live-heap growth of building state via build,
+// keeping the built value alive until after measurement.
+func heapDelta(build func() any) (any, uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	v := build()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc < before.HeapAlloc {
+		return v, 0
+	}
+	return v, after.HeapAlloc - before.HeapAlloc
+}
+
+// RunPerf measures the collector paths for the given mechanisms (paper
+// names; nil → HDG and TDG) and writes the JSON report to w.
+func RunPerf(w io.Writer, cfg RunConfig) (*PerfReport, error) {
+	mechs := cfg.Mechs
+	if len(mechs) == 0 {
+		mechs = []string{"HDG", "TDG"}
+	}
+	report := &PerfReport{Version: 1, Scale: string(cfg.scale())}
+	for _, name := range mechs {
+		for _, n := range perfNs(cfg.scale()) {
+			pt, err := perfPoint(name, n, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			report.Points = append(report.Points, *pt)
+			fmt.Fprintf(w, "%-5s n=%-9d ingest %8.0f reports/s  finalize %7.1f ms  heap %8d B (store %9d B, %5.1fx)  snapshot %6d B (v1 %9d B)\n",
+				pt.Mech, pt.N, pt.IngestReportsPerSec, pt.FinalizeMillis,
+				pt.CollectorHeapBytes, pt.ReportStoreHeapBytes, pt.HeapRatioStoreVsCount,
+				pt.SnapshotBytes, pt.ReportSnapshotBytes)
+		}
+	}
+	return report, nil
+}
+
+// WritePerfJSON renders the report as indented JSON.
+func (r *PerfReport) WritePerfJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func perfPoint(name string, n int, seed uint64) (*PerfPoint, error) {
+	m, err := newMech(name)
+	if err != nil {
+		return nil, err
+	}
+	const d, c = 3, 64
+	ds, err := dataset.Normal(dataset.GenOptions{N: n, D: d, C: c, Seed: seed + uint64(n), Rho: 0.7})
+	if err != nil {
+		return nil, err
+	}
+	p := mech.Params{N: n, D: d, C: c, Eps: paperEps, Seed: seed + 1}
+	proto, err := m.Protocol(p)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]mech.Report, n)
+	record := make([]int, d)
+	for u := 0; u < n; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			return nil, err
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		reports[u], err = proto.ClientReport(a, record, mech.ClientRand(p, u))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pt := &PerfPoint{Mech: m.Name(), N: n}
+
+	// Streaming collector: heap, ingest throughput, snapshot, finalize.
+	var coll mech.Collector
+	built, heap := heapDelta(func() any {
+		coll, err = proto.NewCollector()
+		if err != nil {
+			return nil
+		}
+		start := time.Now()
+		if err = coll.SubmitBatch(reports); err != nil {
+			return nil
+		}
+		pt.IngestReportsPerSec = float64(n) / time.Since(start).Seconds()
+		return coll
+	})
+	if err != nil {
+		return nil, err
+	}
+	pt.CollectorHeapBytes = heap
+	sc := built.(mech.StatefulCollector)
+	st, err := sc.State()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := st.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	pt.SnapshotBytes = len(blob)
+	start := time.Now()
+	if _, err := coll.Finalize(); err != nil {
+		return nil, err
+	}
+	pt.FinalizeMillis = float64(time.Since(start).Microseconds()) / 1e3
+
+	// Report-store baseline: identical reports in the seed's O(n) store.
+	stored, storeHeap := heapDelta(func() any {
+		in := mech.NewCollectorIngest(proto, nil)
+		if err = in.SubmitBatch(reports); err != nil {
+			return nil
+		}
+		return in
+	})
+	if err != nil {
+		return nil, err
+	}
+	pt.ReportStoreHeapBytes = storeHeap
+	v1, err := stored.(*mech.Ingest).State()
+	if err != nil {
+		return nil, err
+	}
+	v1Blob, err := v1.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	pt.ReportSnapshotBytes = len(v1Blob)
+	if pt.CollectorHeapBytes > 0 {
+		pt.HeapRatioStoreVsCount = float64(pt.ReportStoreHeapBytes) / float64(pt.CollectorHeapBytes)
+	}
+	runtime.KeepAlive(stored)
+	runtime.KeepAlive(built)
+	return pt, nil
+}

@@ -170,7 +170,10 @@ func (pr *hdgProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.R
 	return mech.FromFO(a.Group, oracle.Perturb(cell, rng)), nil
 }
 
-// NewCollector implements mech.Protocol.
+// NewCollector implements mech.Protocol. The collector streams: each report
+// folds into its group's OLH support vector on arrival (see mech.CountIngest),
+// so memory stays O(groups × granularity) and Finalize reads count vectors
+// instead of rescanning O(n) reports.
 func (pr *hdgProtocol) NewCollector() (mech.Collector, error) {
 	check := func(r mech.Report) error {
 		if r.Group < pr.p.D {
@@ -178,19 +181,48 @@ func (pr *hdgProtocol) NewCollector() (mech.Collector, error) {
 		}
 		return pr.o2.CheckReport(r.FO())
 	}
-	return &hdgCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
+	f1, err := fo.NewFolder(pr.o1)
+	if err != nil {
+		return nil, err
+	}
+	f2, err := fo.NewFolder(pr.o2)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]mech.GroupSpec, pr.NumGroups())
+	for g := range specs {
+		f := f1
+		if g >= pr.p.D {
+			f = f2
+		}
+		specs[g] = mech.GroupSpec{Len: f.StatLen(), Fold: oracleFold(f)}
+	}
+	ing, err := mech.NewCountIngest(pr, check, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &hdgCollector{CountIngest: ing, pr: pr, f1: f1, f2: f2}, nil
+}
+
+// oracleFold adapts a frequency-oracle folder to the GroupSpec signature.
+func oracleFold(f *fo.Folder) func(mech.Report, []int64) {
+	return func(r mech.Report, counts []int64) { f.Fold(r.FO(), counts) }
 }
 
 // hdgCollector is the aggregator side of an HDG deployment.
 type hdgCollector struct {
-	*mech.Ingest
-	pr *hdgProtocol
+	*mech.CountIngest
+	pr     *hdgProtocol
+	f1, f2 *fo.Folder
 }
 
 // Finalize implements mech.Collector: estimate every grid from its group's
-// reports, post-process, and wrap the result in the query-time estimator.
+// folded statistic, post-process, and wrap the result in the query-time
+// estimator. The estimates are bit-identical to the former report-multiset
+// path (EstimateAll over the group's reports) because the folded counts are
+// the exact integers that scan would tally.
 func (c *hdgCollector) Finalize() (mech.Estimator, error) {
-	byGroup, err := c.Drain()
+	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +234,7 @@ func (c *hdgCollector) Finalize() (mech.Estimator, error) {
 		if err != nil {
 			return nil, err
 		}
-		copy(g.Freq, pr.o1.EstimateAll(mech.FOReports(byGroup[a])))
+		copy(g.Freq, c.f1.Estimate(byGroup[a].Counts, int(byGroup[a].N)))
 		grids1[a] = g
 	}
 	grids2 := make([]*grid.Grid2D, len(pr.pairs))
@@ -211,7 +243,7 @@ func (c *hdgCollector) Finalize() (mech.Estimator, error) {
 		if err != nil {
 			return nil, err
 		}
-		copy(g.Freq, pr.o2.EstimateAll(mech.FOReports(byGroup[d+pi])))
+		copy(g.Freq, c.f2.Estimate(byGroup[d+pi].Counts, int(byGroup[d+pi].N)))
 		grids2[pi] = g
 	}
 	if !pr.opts.SkipPostProcess {

@@ -274,7 +274,7 @@ func TestPostProcessImprovesHDG(t *testing.T) {
 	qs, _ := query.RandomWorkload(ldprand.New(13), 60, 2, 4, 32, 0.5)
 	truth := query.TrueAnswers(ds, qs)
 	maeOf := func(m mech.Mechanism) float64 {
-		est := fitOn(t, m, ds, 0.5, 14)
+		est := fitOn(t, m, ds, 0.5, 18)
 		answers := make([]float64, len(qs))
 		for i, q := range qs {
 			a, err := est.Answer(q)

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"privmdr/internal/dataset"
+	"privmdr/internal/grid"
+	"privmdr/internal/ldprand"
+	"privmdr/internal/mech"
+	"privmdr/internal/query"
+)
+
+// These are the streaming golden tests: the collectors now fold reports
+// into count vectors at ingest, and the reference below replays the seed's
+// report-multiset finalize — group the raw reports, EstimateAll per group,
+// then the identical post-processing — asserting the two paths produce
+// bit-identical answers.
+
+// clientReports runs the client side for every user and groups the reports.
+func clientReports(t *testing.T, pr mech.Protocol, ds *dataset.Dataset) (all []mech.Report, byGroup [][]mech.Report) {
+	t.Helper()
+	p := pr.Params()
+	byGroup = make([][]mech.Report, pr.NumGroups())
+	record := make([]int, p.D)
+	for u := 0; u < p.N; u++ {
+		a, err := pr.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		rep, err := pr.ClientReport(a, record, mech.ClientRand(p, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rep)
+		byGroup[rep.Group] = append(byGroup[rep.Group], rep)
+	}
+	return all, byGroup
+}
+
+// submitAll streams every report through a fresh collector and finalizes.
+func submitAll(t *testing.T, pr mech.Protocol, reports []mech.Report) mech.Estimator {
+	t.Helper()
+	coll, err := pr.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	est, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// assertSameAnswers compares two estimators bit-for-bit on a workload.
+func assertSameAnswers(t *testing.T, got, want mech.Estimator, qs []query.Query) {
+	t.Helper()
+	for i, q := range qs {
+		g, err := got.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := want.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != w {
+			t.Fatalf("query %d: streaming answer %v != report-multiset answer %v", i, g, w)
+		}
+	}
+}
+
+// seedFinalizeHDG is the seed's hdgCollector.Finalize over explicit report
+// multisets, preserved verbatim as the golden reference.
+func seedFinalizeHDG(t *testing.T, pr *hdgProtocol, byGroup [][]mech.Report) mech.Estimator {
+	t.Helper()
+	d, cc := pr.p.D, pr.p.C
+	grids1 := make([]*grid.Grid1D, d)
+	for a := 0; a < d; a++ {
+		g, err := grid.NewGrid1D(cc, pr.g1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(g.Freq, pr.o1.EstimateAll(mech.FOReports(byGroup[a])))
+		grids1[a] = g
+	}
+	grids2 := make([]*grid.Grid2D, len(pr.pairs))
+	for pi := range pr.pairs {
+		g, err := grid.NewGrid2D(cc, pr.g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(g.Freq, pr.o2.EstimateAll(mech.FOReports(byGroup[d+pi])))
+		grids2[pi] = g
+	}
+	if !pr.opts.SkipPostProcess {
+		if err := postProcessHybrid(d, grids1, grids2, pr.opts.Rounds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wu := pr.opts.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(max(pr.p.N, 1))
+	}
+	return newHDGEstimator(cc, d, pr.g1, pr.g2, grids1, grids2, wu, pr.opts.CollectTraces)
+}
+
+// seedFinalizeTDG is the seed's tdgCollector.Finalize preserved verbatim.
+func seedFinalizeTDG(t *testing.T, pr *tdgProtocol, byGroup [][]mech.Report) mech.Estimator {
+	t.Helper()
+	grids := make([]*grid.Grid2D, len(pr.pairs))
+	for pi := range pr.pairs {
+		g, err := grid.NewGrid2D(pr.p.C, pr.g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(g.Freq, pr.o2.EstimateAll(mech.FOReports(byGroup[pi])))
+		grids[pi] = g
+	}
+	if !pr.opts.SkipPostProcess {
+		if err := postProcess2D(pr.p.D, grids, pr.opts.Rounds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wu := pr.opts.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(pr.p.N)
+	}
+	for _, g := range grids {
+		g.Seal()
+	}
+	return &tdgEstimator{
+		c: pr.p.C, d: pr.p.D, g2: pr.g2,
+		grids:  grids,
+		wu:     wu,
+		traces: pr.opts.CollectTraces,
+	}
+}
+
+func streamingWorkload(t *testing.T, d, c int) []query.Query {
+	t.Helper()
+	qs, err := query.RandomWorkload(ldprand.New(23), 25, 2, d, c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := query.RandomWorkload(ldprand.New(24), 5, 1, d, c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(qs, one...)
+}
+
+func TestHDGStreamingMatchesReportPath(t *testing.T) {
+	ds := correlatedDS(t, 20000, 3, 32)
+	p := mech.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 61}
+	prI, err := NewHDG(Options{}).Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := prI.(*hdgProtocol)
+	reports, byGroup := clientReports(t, pr, ds)
+	streamed := submitAll(t, pr, reports)
+	reference := seedFinalizeHDG(t, pr, byGroup)
+	assertSameAnswers(t, streamed, reference, streamingWorkload(t, ds.D(), ds.C))
+}
+
+func TestTDGStreamingMatchesReportPath(t *testing.T) {
+	ds := correlatedDS(t, 20000, 3, 32)
+	p := mech.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 62}
+	prI, err := NewTDG(Options{}).Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := prI.(*tdgProtocol)
+	reports, byGroup := clientReports(t, pr, ds)
+	streamed := submitAll(t, pr, reports)
+	reference := seedFinalizeTDG(t, pr, byGroup)
+	assertSameAnswers(t, streamed, reference, streamingWorkload(t, ds.D(), ds.C))
+}

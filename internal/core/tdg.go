@@ -177,20 +177,36 @@ func (pr *tdgProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.R
 	return mech.FromFO(a.Group, pr.o2.Perturb(cell, rng)), nil
 }
 
-// NewCollector implements mech.Protocol.
+// NewCollector implements mech.Protocol. The collector streams each report
+// into its pair grid's OLH support vector (see mech.CountIngest), keeping
+// memory O(pairs × g₂²) regardless of the user count.
 func (pr *tdgProtocol) NewCollector() (mech.Collector, error) {
-	return &tdgCollector{Ingest: mech.NewCollectorIngest(pr, mech.OracleCheck(pr.o2)), pr: pr}, nil
+	f2, err := fo.NewFolder(pr.o2)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]mech.GroupSpec, pr.NumGroups())
+	fold := oracleFold(f2)
+	for g := range specs {
+		specs[g] = mech.GroupSpec{Len: f2.StatLen(), Fold: fold}
+	}
+	ing, err := mech.NewCountIngest(pr, mech.OracleCheck(pr.o2), specs)
+	if err != nil {
+		return nil, err
+	}
+	return &tdgCollector{CountIngest: ing, pr: pr, f2: f2}, nil
 }
 
 // tdgCollector is the aggregator side of a TDG deployment.
 type tdgCollector struct {
-	*mech.Ingest
+	*mech.CountIngest
 	pr *tdgProtocol
+	f2 *fo.Folder
 }
 
 // Finalize implements mech.Collector.
 func (c *tdgCollector) Finalize() (mech.Estimator, error) {
-	byGroup, err := c.Drain()
+	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +217,7 @@ func (c *tdgCollector) Finalize() (mech.Estimator, error) {
 		if err != nil {
 			return nil, err
 		}
-		copy(g.Freq, pr.o2.EstimateAll(mech.FOReports(byGroup[pi])))
+		copy(g.Freq, c.f2.Estimate(byGroup[pi].Counts, int(byGroup[pi].N)))
 		grids[pi] = g
 	}
 	if !pr.opts.SkipPostProcess {

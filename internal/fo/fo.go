@@ -11,6 +11,7 @@ package fo
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -122,6 +123,23 @@ func (g *GRR) EstimateAll(reports []Report) []float64 {
 	return est
 }
 
+// EstimateCounts converts a folded bucket-count statistic (see NewFolder)
+// into frequency estimates. For any report multiset folding to (counts, n)
+// the result is bit-identical to EstimateAll over those reports: the folded
+// counts are exact integers below 2⁵³, so float64(count) equals the
+// float-accumulated tally EstimateAll builds.
+func (g *GRR) EstimateCounts(counts []int64, n int) []float64 {
+	est := make([]float64, g.c)
+	if n == 0 {
+		return est
+	}
+	nf := float64(n)
+	for v := range est {
+		est[v] = (float64(counts[v])/nf - g.q) / (g.p - g.q)
+	}
+	return est
+}
+
 // Var implements Oracle (Equation 2).
 func (g *GRR) Var(n int) float64 {
 	if n <= 0 {
@@ -138,6 +156,7 @@ type OLH struct {
 	eps float64
 	c   int
 	g   int     // compressed domain size c'
+	gw  uint64  // g as the precomputed multiply-shift (Lemire) reducer word
 	p   float64 // e^ε/(e^ε+g−1)
 }
 
@@ -154,7 +173,7 @@ func NewOLH(eps float64, c int) (*OLH, error) {
 		g = 2
 	}
 	ee := math.Exp(eps)
-	return &OLH{eps: eps, c: c, g: g, p: ee / (ee + float64(g) - 1)}, nil
+	return &OLH{eps: eps, c: c, g: g, gw: uint64(g), p: ee / (ee + float64(g) - 1)}, nil
 }
 
 // Name implements Oracle.
@@ -167,10 +186,13 @@ func (o *OLH) Domain() int { return o.c }
 func (o *OLH) HashRange() int { return o.g }
 
 // Hash evaluates the seeded hash family member at value v. The family is a
-// splitmix64 finalizer over (seed, v), reduced to [0, g); for the domain
+// splitmix64 finalizer over (seed, v), reduced to [0, g) with a multiply-
+// shift (Lemire) reduction — the high 64 bits of x·g — which costs one
+// multiply where the old `x % g` cost a hardware divide; for the domain
 // sizes used here it behaves as a universal family.
 func (o *OLH) Hash(seed uint64, v uint64) int {
-	return int(ldprand.SplitMix64(seed^ldprand.SplitMix64(v+0x9e3779b97f4a7c15)) % uint64(o.g))
+	h, _ := bits.Mul64(ldprand.SplitMix64(seed^ldprand.SplitMix64(v+0x9e3779b97f4a7c15)), o.gw)
+	return int(h)
 }
 
 // Perturb implements Oracle.
@@ -228,12 +250,12 @@ func (o *OLH) Support(reports []Report) []float64 {
 }
 
 func (o *OLH) supportRange(reports []Report, counts []float64, lo, hi int) {
-	g := uint64(o.g)
+	g := o.gw
 	for v := lo; v < hi; v++ {
 		hv := ldprand.SplitMix64(uint64(v) + 0x9e3779b97f4a7c15)
 		n := 0
 		for _, r := range reports {
-			if int(ldprand.SplitMix64(r.Seed^hv)%g) == r.Value {
+			if h, _ := bits.Mul64(ldprand.SplitMix64(r.Seed^hv), g); int(h) == r.Value {
 				n++
 			}
 		}
@@ -253,6 +275,24 @@ func (o *OLH) EstimateAll(reports []Report) []float64 {
 	denom := o.p - qs
 	for v := range est {
 		est[v] = (counts[v]/n - qs) / denom
+	}
+	return est
+}
+
+// EstimateCounts converts a folded support statistic (see NewFolder) into
+// frequency estimates, bit-identical to EstimateAll over any report multiset
+// folding to (counts, n): Support's per-value tallies are the same exact
+// integers the folder accumulates.
+func (o *OLH) EstimateCounts(counts []int64, n int) []float64 {
+	est := make([]float64, o.c)
+	if n == 0 {
+		return est
+	}
+	nf := float64(n)
+	qs := 1 / float64(o.g)
+	denom := o.p - qs
+	for v := range est {
+		est[v] = (float64(counts[v])/nf - qs) / denom
 	}
 	return est
 }

@@ -101,6 +101,30 @@ func (h *Hadamard) EstimateAll(reports []Report) []float64 {
 	return est
 }
 
+// EstimateCounts converts folded per-row signed counts (see NewFolder) into
+// frequency estimates, bit-identical to EstimateAll over any report multiset
+// folding to (counts, n): the ±1 accumulation EstimateAll performs in
+// float64 is exact integer arithmetic below 2⁵³, so seeding the transform
+// from the integer tallies reproduces the same y vector.
+func (h *Hadamard) EstimateCounts(counts []int64, n int) []float64 {
+	y := make([]float64, h.k)
+	for i, c := range counts {
+		y[i] = float64(c)
+	}
+	fwht(y)
+	est := make([]float64, h.c)
+	if n == 0 {
+		return est
+	}
+	ee := math.Exp(h.eps)
+	scale := (ee + 1) / (ee - 1)
+	nf := float64(n)
+	for v := 0; v < h.c; v++ {
+		est[v] = y[v+1] * scale / nf
+	}
+	return est
+}
+
 // Var implements Oracle.
 func (h *Hadamard) Var(n int) float64 {
 	if n <= 0 {

@@ -1,0 +1,107 @@
+package fo
+
+import (
+	"fmt"
+	"math/bits"
+
+	"privmdr/internal/ldprand"
+)
+
+// This file is the streaming face of the frequency oracles: every counting
+// oracle's EstimateAll factors through a fixed-size integer sufficient
+// statistic, so an aggregator can fold each report into a count vector as it
+// arrives and discard the report — O(domain) memory instead of O(n), with a
+// finalize that reads the vector instead of rescanning every report.
+//
+//   - GRR: per-value bucket counts; folding is one increment.
+//   - OLH: the per-value support vector (how many reports hash-match each
+//     domain value). Folding one report costs Θ(c) hash evaluations — the
+//     same Θ(n·c) total work Support spends at finalize, but spread across
+//     the ingest path where submissions to different groups already run in
+//     parallel.
+//   - Hadamard: per-row signed counts; folding is one signed increment, and
+//     the single O(K log K) transform moves to finalize.
+//
+// In all three cases the statistic is a vector of exact integers, so merging
+// two shards' statistics is element-wise addition and the estimates computed
+// from a folded vector are bit-identical to EstimateAll over the same report
+// multiset (EstimateCounts on each oracle states the argument).
+
+// Folder folds one oracle's reports into its integer sufficient statistic.
+// Build one per oracle with NewFolder and share it across groups: Fold is
+// stateless (all state lives in the caller's count vector), so a Folder is
+// safe for concurrent use as long as concurrent calls target distinct count
+// vectors.
+type Folder struct {
+	statLen  int
+	fold     func(Report, []int64)
+	estimate func([]int64, int) []float64
+}
+
+// NewFolder returns the streaming statistic for a counting oracle. Every
+// oracle this package constructs (GRR, OLH, Hadamard — and therefore
+// anything NewAdaptive or NewAuto returns) supports it; a non-counting
+// oracle from outside the package is reported as an error so callers can
+// fall back to retaining reports.
+func NewFolder(o Oracle) (*Folder, error) {
+	switch o := o.(type) {
+	case *GRR:
+		return &Folder{
+			statLen: o.c,
+			fold: func(r Report, counts []int64) {
+				// Mirrors EstimateAll's guard: an out-of-range value
+				// contributes to n but to no bucket.
+				if r.Value >= 0 && r.Value < o.c {
+					counts[r.Value]++
+				}
+			},
+			estimate: o.EstimateCounts,
+		}, nil
+	case *OLH:
+		// Precompute the per-value inner hashes once: folding then costs one
+		// splitmix round plus one multiply per domain value, exactly the
+		// predicate supportRange evaluates at finalize.
+		hv := make([]uint64, o.c)
+		for v := range hv {
+			hv[v] = ldprand.SplitMix64(uint64(v) + 0x9e3779b97f4a7c15)
+		}
+		g := o.gw
+		return &Folder{
+			statLen: o.c,
+			fold: func(r Report, counts []int64) {
+				for v, h := range hv {
+					if hb, _ := bits.Mul64(ldprand.SplitMix64(r.Seed^h), g); int(hb) == r.Value {
+						counts[v]++
+					}
+				}
+			},
+			estimate: o.EstimateCounts,
+		}, nil
+	case *Hadamard:
+		k := uint64(o.k)
+		return &Folder{
+			statLen: o.k,
+			fold: func(r Report, counts []int64) {
+				// Mirrors EstimateAll's guard on the row index.
+				if r.Seed < k {
+					counts[r.Seed] += int64(1 - 2*r.Value)
+				}
+			},
+			estimate: o.EstimateCounts,
+		}, nil
+	}
+	return nil, fmt.Errorf("fo: oracle %s has no streaming sufficient statistic", o.Name())
+}
+
+// StatLen is the length of the count vector Fold expects.
+func (f *Folder) StatLen() int { return f.statLen }
+
+// Fold adds one report's contribution to counts (length StatLen). The
+// report must have passed the oracle's CheckReport — Fold trusts its fields
+// the same way EstimateAll trusts a collected report.
+func (f *Folder) Fold(r Report, counts []int64) { f.fold(r, counts) }
+
+// Estimate converts a folded statistic over n reports into frequency
+// estimates — bit-identical to EstimateAll over any report multiset that
+// folds to (counts, n).
+func (f *Folder) Estimate(counts []int64, n int) []float64 { return f.estimate(counts, n) }

@@ -1,0 +1,184 @@
+package fo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"privmdr/internal/ldprand"
+)
+
+// foldAll streams reports through a folder into a fresh statistic.
+func foldAll(f *Folder, reports []Report) []int64 {
+	counts := make([]int64, f.StatLen())
+	for _, r := range reports {
+		f.Fold(r, counts)
+	}
+	return counts
+}
+
+// perturbed draws n honest reports of o over a skewed distribution.
+func perturbed(o Oracle, n int, rng *rand.Rand) []Report {
+	c := o.Domain()
+	reports := make([]Report, n)
+	for i := range reports {
+		v := rng.IntN(c)
+		if i%3 == 0 {
+			v = 0 // skew so the statistic is not uniform
+		}
+		reports[i] = o.Perturb(v, rng)
+	}
+	return reports
+}
+
+// TestFolderMatchesEstimateAll is the streaming golden contract: for every
+// counting oracle, folding the reports one at a time and estimating from the
+// statistic is bit-identical to EstimateAll over the whole multiset. This is
+// the lemma the mechanism-level streaming collectors rest on.
+func TestFolderMatchesEstimateAll(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (Oracle, error)
+	}{
+		{"grr", func() (Oracle, error) { return NewGRR(1.0, 16) }},
+		{"olh", func() (Oracle, error) { return NewOLH(0.8, 64) }},
+		{"hadamard", func() (Oracle, error) { return NewHadamard(1.2, 100) }},
+		{"auto-large", func() (Oracle, error) { return NewAuto(1.0, 1<<14) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := NewFolder(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := perturbed(o, 5000, ldprand.New(7))
+			counts := foldAll(f, reports)
+			want := o.EstimateAll(reports)
+			got := f.Estimate(counts, len(reports))
+			if len(got) != len(want) {
+				t.Fatalf("estimate length %d, want %d", len(got), len(want))
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("value %d: folded estimate %v != EstimateAll %v", v, got[v], want[v])
+				}
+			}
+			// The statistic is mergeable: folding two halves separately and
+			// adding the vectors matches folding everything into one.
+			left := foldAll(f, reports[:len(reports)/2])
+			right := foldAll(f, reports[len(reports)/2:])
+			for i := range left {
+				if left[i]+right[i] != counts[i] {
+					t.Fatalf("slot %d: %d + %d != %d after split fold", i, left[i], right[i], counts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFolderEmpty pins the n = 0 convention: all-zero estimates, exactly
+// like EstimateAll over no reports.
+func TestFolderEmpty(t *testing.T) {
+	o, _ := NewOLH(1.0, 32)
+	f, err := NewFolder(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Estimate(make([]int64, f.StatLen()), 0)
+	for v, e := range got {
+		if e != 0 {
+			t.Fatalf("value %d: empty estimate %v, want 0", v, e)
+		}
+	}
+}
+
+// TestFolderRejectsForeignOracle pins the capability split: an oracle from
+// outside the package cannot stream and must keep its reports.
+func TestFolderRejectsForeignOracle(t *testing.T) {
+	if _, err := NewFolder(foreignOracle{}); err == nil {
+		t.Fatal("foreign oracle should have no folder")
+	}
+}
+
+type foreignOracle struct{}
+
+func (foreignOracle) Name() string                         { return "foreign" }
+func (foreignOracle) Domain() int                          { return 2 }
+func (foreignOracle) Perturb(v int, rng *rand.Rand) Report { return Report{} }
+func (foreignOracle) CheckReport(r Report) error           { return nil }
+func (foreignOracle) EstimateAll(reports []Report) []float64 {
+	return make([]float64, 2)
+}
+func (foreignOracle) Var(n int) float64 { return 0 }
+
+// hashModulo is the pre-Lemire OLH reduction, kept here as the benchmark
+// baseline for the multiply-shift rewrite.
+func hashModulo(seed, v, g uint64) int {
+	return int(ldprand.SplitMix64(seed^ldprand.SplitMix64(v+0x9e3779b97f4a7c15)) % g)
+}
+
+// BenchmarkOLHReduction compares the hot OLH inner loop — one hash
+// evaluation per (report, value) pair — under the old modulo reduction and
+// the Lemire multiply-shift that replaced it.
+func BenchmarkOLHReduction(b *testing.B) {
+	o, err := NewOLH(1.0, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := uint64(o.HashRange())
+	b.Run("modulo", func(b *testing.B) {
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			acc += hashModulo(uint64(i), uint64(i%1024), g)
+		}
+		sinkInt = acc
+	})
+	b.Run("lemire", func(b *testing.B) {
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			acc += o.Hash(uint64(i), uint64(i%1024))
+		}
+		sinkInt = acc
+	})
+}
+
+// BenchmarkOLHSupport measures the finalize-time support scan (which the
+// streaming path amortizes across ingest); the Lemire reduction speeds up
+// both paths identically since they share the predicate.
+func BenchmarkOLHSupport(b *testing.B) {
+	o, err := NewOLH(1.0, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reports := perturbed(o, 10000, ldprand.New(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloats = o.Support(reports)
+	}
+}
+
+// BenchmarkFolderFold measures the per-report streaming fold cost.
+func BenchmarkFolderFold(b *testing.B) {
+	o, err := NewOLH(1.0, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := NewFolder(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reports := perturbed(o, 1024, ldprand.New(12))
+	counts := make([]int64, f.StatLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Fold(reports[i%len(reports)], counts)
+	}
+}
+
+var (
+	sinkInt    int
+	sinkFloats []float64
+)

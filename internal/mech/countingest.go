@@ -1,0 +1,275 @@
+package mech
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// CountIngest is the streaming counterpart of Ingest: instead of filing raw
+// reports it folds each one into its group's sufficient statistic — a
+// fixed-size integer count vector — and drops the report. Collector memory
+// is therefore O(groups × domain) regardless of how many users report, and
+// Finalize reads the vectors instead of rescanning O(n) reports.
+//
+// Concurrency is lock-striped by group: submissions take a shared read lock
+// (only to fence against Drain/State/Merge) plus the target group's own
+// mutex, so reports for different groups fold in parallel. That matters for
+// OLH groups, whose fold costs Θ(domain) hash evaluations per report — the
+// Θ(n·c) work the old finalize-time Support scan paid in one stall is spread
+// across the ingest path instead.
+//
+// Counting mechanisms (HDG, TDG, Uni, MSW, CALM) embed CountIngest;
+// report-retaining ones (HIO, LHIO) keep Ingest because their interval
+// domains are too large to enumerate a count vector for. Both expose the
+// same StatefulCollector surface — CountIngest exports a v2 (count) state
+// and additionally accepts v1 (report) states by replaying each report
+// through its group's fold, so pre-streaming snapshots still warm-restart.
+type CountIngest struct {
+	check    func(Report) error
+	mechName string
+	params   Params
+	specs    []GroupSpec
+
+	// received counts accepted reports. Updated inside the locked sections
+	// (so Drain sees an exact total) but read atomically, keeping metrics
+	// polling off the ingestion locks entirely.
+	received atomic.Int64
+
+	// mu fences lifecycle operations against submissions: Submit/SubmitBatch
+	// hold it shared, Drain/State/Merge exclusively. done is guarded by mu.
+	mu     sync.RWMutex
+	done   bool
+	groups []countGroup
+}
+
+// countGroup is one group's statistic under its own stripe lock.
+type countGroup struct {
+	mu     sync.Mutex
+	n      int64
+	counts []int64
+}
+
+// GroupSpec describes how one group's reports fold into its count vector:
+// Len is the vector's length and Fold adds one (already vetted) report's
+// contribution. A Len of 0 with a nil Fold marks a group whose reports
+// carry no information beyond their arrival (Uni, LHIO's root level) — only
+// the group's report tally is tracked.
+type GroupSpec struct {
+	Len  int
+	Fold func(r Report, counts []int64)
+}
+
+// NewCountIngest prepares a streaming store for pr's groups. check, when
+// non-nil, vets each report's payload before it is folded (the group-range
+// check is built in); specs must describe every group of the protocol.
+func NewCountIngest(pr Protocol, check func(Report) error, specs []GroupSpec) (*CountIngest, error) {
+	if len(specs) != pr.NumGroups() {
+		return nil, fmt.Errorf("mech: %d group specs for %d groups", len(specs), pr.NumGroups())
+	}
+	ci := &CountIngest{
+		check:    check,
+		mechName: pr.Name(),
+		params:   pr.Params(),
+		specs:    specs,
+		groups:   make([]countGroup, len(specs)),
+	}
+	for g, spec := range specs {
+		if spec.Len < 0 || (spec.Len > 0 && spec.Fold == nil) {
+			return nil, fmt.Errorf("mech: group %d spec needs a fold for %d counts", g, spec.Len)
+		}
+		if spec.Len > 0 {
+			ci.groups[g].counts = make([]int64, spec.Len)
+		}
+	}
+	return ci, nil
+}
+
+// vet validates a report without taking any lock.
+func (ci *CountIngest) vet(r Report) error {
+	if r.Group < 0 || r.Group >= len(ci.groups) {
+		return fmt.Errorf("mech: report group %d outside [0,%d)", r.Group, len(ci.groups))
+	}
+	if ci.check != nil {
+		if err := ci.check(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fold adds one vetted report to its group. Callers hold ci.mu (shared or
+// exclusive); the group stripe serializes concurrent folds into one vector.
+func (ci *CountIngest) fold(r Report) {
+	grp := &ci.groups[r.Group]
+	grp.mu.Lock()
+	grp.n++
+	if f := ci.specs[r.Group].Fold; f != nil {
+		f(r, grp.counts)
+	}
+	grp.mu.Unlock()
+}
+
+// Submit ingests one report, folding it into its group's statistic.
+func (ci *CountIngest) Submit(r Report) error {
+	if err := ci.vet(r); err != nil {
+		return err
+	}
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	if ci.done {
+		return fmt.Errorf("mech: %w", ErrFinalized)
+	}
+	ci.fold(r)
+	ci.received.Add(1)
+	return nil
+}
+
+// SubmitBatch ingests a batch atomically: every report is vetted before the
+// first one folds, so a malformed report in a network frame cannot leave
+// the collector partially updated.
+func (ci *CountIngest) SubmitBatch(rs []Report) error {
+	for i, r := range rs {
+		if err := ci.vet(r); err != nil {
+			return fmt.Errorf("mech: batch report %d: %w", i, err)
+		}
+	}
+	ci.mu.RLock()
+	defer ci.mu.RUnlock()
+	if ci.done {
+		return fmt.Errorf("mech: %w", ErrFinalized)
+	}
+	for _, r := range rs {
+		ci.fold(r)
+	}
+	ci.received.Add(int64(len(rs)))
+	return nil
+}
+
+// Received reports how many reports have been accepted so far. It is a
+// lock-free atomic read, so metrics polling never blocks hot-path submits.
+func (ci *CountIngest) Received() int {
+	return int(ci.received.Load())
+}
+
+// DrainCounts closes ingestion and hands the per-group statistics to
+// Finalize. It fails on the second call, which is what makes double-
+// Finalize an error for every collector.
+func (ci *CountIngest) DrainCounts() ([]GroupCounts, error) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if ci.done {
+		return nil, fmt.Errorf("mech: %w", ErrFinalized)
+	}
+	ci.done = true
+	out := make([]GroupCounts, len(ci.groups))
+	for g := range ci.groups {
+		// Ownership transfers: ingestion is closed, so handing the live
+		// vectors over copies nothing.
+		out[g] = GroupCounts{N: ci.groups[g].n, Counts: ci.groups[g].counts}
+		ci.groups[g].counts = nil
+	}
+	return out, nil
+}
+
+// State implements StatefulCollector: a deep snapshot of the per-group
+// statistics, stamped with the deployment identity as a v2 (count) state.
+// Ingestion may continue afterwards — the snapshot is unaffected.
+func (ci *CountIngest) State() (CollectorState, error) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if ci.done {
+		return CollectorState{}, fmt.Errorf("mech: %w", ErrFinalized)
+	}
+	counts := make([]GroupCounts, len(ci.groups))
+	for g := range ci.groups {
+		gc := GroupCounts{N: ci.groups[g].n}
+		if len(ci.groups[g].counts) > 0 {
+			gc.Counts = make([]int64, len(ci.groups[g].counts))
+			copy(gc.Counts, ci.groups[g].counts)
+		}
+		counts[g] = gc
+	}
+	return CollectorState{Version: StateVersionCounts, Mech: ci.mechName, Params: ci.params, Counts: counts}, nil
+}
+
+// Merge implements StatefulCollector: fold an exported state into this
+// store. A v2 state of the same deployment merges as an element-wise vector
+// add; a v1 report state is accepted too — every report passes the same
+// check Submit applies and replays through its group's fold, which is the
+// warm-restart path for snapshots written by a report-retaining collector
+// of the same mechanism. Either way the state is vetted in full before
+// anything lands, so a merge is atomic like SubmitBatch.
+func (ci *CountIngest) Merge(st CollectorState) error {
+	// States may arrive from codec-free transports (JSON), so structural
+	// validation cannot be assumed.
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	if st.Mech != ci.mechName || st.Params != ci.params {
+		return fmt.Errorf("mech: state of %s deployment %+v cannot merge into %s deployment %+v: %w",
+			st.Mech, st.Params, ci.mechName, ci.params, ErrStateMismatch)
+	}
+	if st.Version == StateVersion {
+		return ci.mergeReports(st)
+	}
+	if len(st.Counts) != len(ci.groups) {
+		return fmt.Errorf("mech: state has %d groups, collector has %d: %w",
+			len(st.Counts), len(ci.groups), ErrStateMismatch)
+	}
+	total := int64(0)
+	for g, gc := range st.Counts {
+		if len(gc.Counts) != ci.specs[g].Len {
+			return fmt.Errorf("mech: state group %d carries %d counts, collector folds %d: %w",
+				g, len(gc.Counts), ci.specs[g].Len, ErrStateMismatch)
+		}
+		total += gc.N
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if ci.done {
+		return fmt.Errorf("mech: %w", ErrFinalized)
+	}
+	for g, gc := range st.Counts {
+		grp := &ci.groups[g]
+		grp.n += gc.N
+		for i, c := range gc.Counts {
+			grp.counts[i] += c
+		}
+	}
+	ci.received.Add(total)
+	return nil
+}
+
+// mergeReports replays a v1 report state through the folds.
+func (ci *CountIngest) mergeReports(st CollectorState) error {
+	if len(st.Groups) != len(ci.groups) {
+		return fmt.Errorf("mech: state has %d groups, collector has %d: %w",
+			len(st.Groups), len(ci.groups), ErrStateMismatch)
+	}
+	total := 0
+	for g, rs := range st.Groups {
+		for i, r := range rs {
+			// Validate covered the structural invariants (r.Group == g,
+			// r.Value >= 0); the payload check is Submit's.
+			if ci.check != nil {
+				if err := ci.check(r); err != nil {
+					return fmt.Errorf("mech: state group %d report %d: %w", g, i, err)
+				}
+			}
+		}
+		total += len(rs)
+	}
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	if ci.done {
+		return fmt.Errorf("mech: %w", ErrFinalized)
+	}
+	for _, rs := range st.Groups {
+		for _, r := range rs {
+			ci.fold(r)
+		}
+	}
+	ci.received.Add(int64(total))
+	return nil
+}

@@ -1,0 +1,308 @@
+package mech
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// countProtocol returns the shared fake protocol plus specs counting each
+// report's value into a 8-slot histogram per group.
+func countSpecs(groups int) []GroupSpec {
+	specs := make([]GroupSpec, groups)
+	fold := func(r Report, counts []int64) { counts[r.Value%8]++ }
+	for g := range specs {
+		specs[g] = GroupSpec{Len: 8, Fold: fold}
+	}
+	return specs
+}
+
+func newCountIngest(t *testing.T, check func(Report) error) *CountIngest {
+	t.Helper()
+	pr := testProtocol()
+	ci, err := NewCountIngest(pr, check, countSpecs(pr.NumGroups()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ci
+}
+
+func TestCountIngestValidation(t *testing.T) {
+	ci := newCountIngest(t, func(r Report) error {
+		if r.Value > 10 {
+			return fmt.Errorf("value too large")
+		}
+		return nil
+	})
+	if err := ci.Submit(Report{Group: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Submit(Report{Group: 3, Value: 1}); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if err := ci.Submit(Report{Group: -1, Value: 1}); err == nil {
+		t.Error("negative group accepted")
+	}
+	if err := ci.Submit(Report{Group: 0, Value: 11}); err == nil {
+		t.Error("failing check accepted")
+	}
+	// Batches are atomic: one bad report rejects the whole frame.
+	if err := ci.SubmitBatch([]Report{{Group: 1, Value: 2}, {Group: 1, Value: 99}}); err == nil {
+		t.Error("batch with failing report accepted")
+	}
+	if got := ci.Received(); got != 1 {
+		t.Errorf("Received = %d after rejected batch, want 1", got)
+	}
+	counts, err := ci.DrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0].N != 1 || counts[0].Counts[1] != 1 {
+		t.Errorf("group 0 statistic %+v, want one report in slot 1", counts[0])
+	}
+	if counts[1].N != 0 {
+		t.Errorf("rejected batch leaked %d reports into group 1", counts[1].N)
+	}
+	if _, err := ci.DrainCounts(); err == nil {
+		t.Error("second drain succeeded")
+	}
+	if err := ci.Submit(Report{Group: 0}); err == nil {
+		t.Error("submit after drain accepted")
+	}
+}
+
+func TestCountIngestSpecShape(t *testing.T) {
+	pr := testProtocol()
+	if _, err := NewCountIngest(pr, nil, countSpecs(pr.NumGroups()-1)); err == nil {
+		t.Error("spec count mismatch accepted")
+	}
+	bad := countSpecs(pr.NumGroups())
+	bad[0].Fold = nil
+	if _, err := NewCountIngest(pr, nil, bad); err == nil {
+		t.Error("positive-length spec without fold accepted")
+	}
+}
+
+func TestCountIngestConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 500
+	ci := newCountIngest(t, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := Report{Group: (w + i) % 3, Value: i % 8}
+				if i%2 == 0 {
+					_ = ci.Submit(r)
+				} else {
+					_ = ci.SubmitBatch([]Report{r})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ci.Received(); got != workers*perWorker {
+		t.Fatalf("Received = %d, want %d", got, workers*perWorker)
+	}
+	counts, err := ci.DrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n, slots int64
+	for _, gc := range counts {
+		n += gc.N
+		for _, c := range gc.Counts {
+			slots += c
+		}
+	}
+	if n != workers*perWorker || slots != workers*perWorker {
+		t.Fatalf("drained n=%d slot-sum=%d, want %d each", n, slots, workers*perWorker)
+	}
+}
+
+func TestCountIngestStateSnapshotIsolated(t *testing.T) {
+	ci := newCountIngest(t, nil)
+	if err := ci.Submit(Report{Group: 1, Value: 4}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ci.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != StateVersionCounts {
+		t.Fatalf("streaming state version %d, want %d", st.Version, StateVersionCounts)
+	}
+	if err := ci.Submit(Report{Group: 1, Value: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Received() != 1 || st.Counts[1].Counts[4] != 1 {
+		t.Fatalf("snapshot mutated by later ingestion: %+v", st.Counts)
+	}
+	if ci.Received() != 2 {
+		t.Fatalf("Received = %d, want 2", ci.Received())
+	}
+}
+
+func TestCountIngestMergePreconditions(t *testing.T) {
+	mk := func() *CountIngest { return newCountIngest(t, nil) }
+	base, err := mk().State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongVersion := base
+	wrongVersion.Version = 99
+	if err := mk().Merge(wrongVersion); err == nil {
+		t.Error("wrong version merged")
+	}
+	wrongMech := base
+	wrongMech.Mech = "Other"
+	if err := mk().Merge(wrongMech); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("wrong mech: got %v, want ErrStateMismatch", err)
+	}
+	wrongSeed := base
+	wrongSeed.Params.Seed++
+	if err := mk().Merge(wrongSeed); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("wrong seed: got %v, want ErrStateMismatch", err)
+	}
+	wrongGroups := base
+	wrongGroups.Counts = wrongGroups.Counts[:2]
+	if err := mk().Merge(wrongGroups); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("wrong group count: got %v, want ErrStateMismatch", err)
+	}
+	wrongLen := base
+	wrongLen.Counts = append([]GroupCounts{}, base.Counts...)
+	wrongLen.Counts[0] = GroupCounts{N: 0, Counts: make([]int64, 3)}
+	if err := mk().Merge(wrongLen); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("wrong count-vector length: got %v, want ErrStateMismatch", err)
+	}
+	negative := base
+	negative.Counts = append([]GroupCounts{}, base.Counts...)
+	negative.Counts[0] = GroupCounts{N: -1, Counts: make([]int64, 8)}
+	if err := mk().Merge(negative); err == nil {
+		t.Error("negative report tally merged")
+	}
+
+	// The v1 fold-in path vets reports with the same check Submit applies,
+	// and a failure is atomic.
+	checked := newCountIngest(t, func(r Report) error {
+		if r.Value > 5 {
+			return fmt.Errorf("value too large")
+		}
+		return nil
+	})
+	badV1 := CollectorState{
+		Version: StateVersion, Mech: base.Mech, Params: base.Params,
+		Groups: [][]Report{{{Group: 0, Value: 3}}, {{Group: 1, Value: 7}}, {}},
+	}
+	if err := checked.Merge(badV1); err == nil {
+		t.Error("v1 state with failing report merged")
+	}
+	if checked.Received() != 0 {
+		t.Errorf("partial v1 merge: %d reports landed", checked.Received())
+	}
+
+	// Finalized collectors refuse everything.
+	done := mk()
+	if _, err := done.DrainCounts(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := done.State(); !errors.Is(err, ErrFinalized) {
+		t.Errorf("State after drain: got %v, want ErrFinalized", err)
+	}
+	if err := done.Merge(base); !errors.Is(err, ErrFinalized) {
+		t.Errorf("Merge after drain: got %v, want ErrFinalized", err)
+	}
+}
+
+// TestCountIngestV1FoldEquivalence is the migration invariant at the store
+// level: submitting reports directly and merging the same reports as a v1
+// state drain to identical statistics.
+func TestCountIngestV1FoldEquivalence(t *testing.T) {
+	reports := []Report{
+		{Group: 0, Value: 2}, {Group: 0, Value: 2}, {Group: 1, Value: 7},
+		{Group: 2, Value: 0}, {Group: 0, Value: 5},
+	}
+	direct := newCountIngest(t, nil)
+	if err := direct.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+
+	grouped := make([][]Report, 3)
+	for _, r := range reports {
+		grouped[r.Group] = append(grouped[r.Group], r)
+	}
+	migrated := newCountIngest(t, nil)
+	v1 := CollectorState{Version: StateVersion, Mech: "Fake", Params: testProtocol().p, Groups: grouped}
+	if err := migrated.Merge(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := direct.DrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := migrated.DrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range a {
+		if a[g].N != b[g].N {
+			t.Fatalf("group %d: n %d vs %d", g, a[g].N, b[g].N)
+		}
+		for i := range a[g].Counts {
+			if a[g].Counts[i] != b[g].Counts[i] {
+				t.Fatalf("group %d slot %d: %d vs %d", g, i, a[g].Counts[i], b[g].Counts[i])
+			}
+		}
+	}
+}
+
+// TestCountIngestMergeOrderIrrelevant pins the vector-add merge: shards
+// merged in any order drain to the same statistic.
+func TestCountIngestMergeOrderIrrelevant(t *testing.T) {
+	shardReports := [][]Report{
+		{{Group: 0, Value: 1}, {Group: 1, Value: 2}},
+		{{Group: 1, Value: 3}},
+		{{Group: 2, Value: 4}, {Group: 0, Value: 5}, {Group: 0, Value: 6}},
+	}
+	states := make([]CollectorState, len(shardReports))
+	for i, rs := range shardReports {
+		ci := newCountIngest(t, nil)
+		if err := ci.SubmitBatch(rs); err != nil {
+			t.Fatal(err)
+		}
+		st, err := ci.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[i] = st
+	}
+	drain := func(order []int) []GroupCounts {
+		ci := newCountIngest(t, nil)
+		for _, i := range order {
+			if err := ci.Merge(states[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts, err := ci.DrainCounts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}
+	a := drain([]int{0, 1, 2})
+	b := drain([]int{2, 0, 1})
+	for g := range a {
+		if a[g].N != b[g].N {
+			t.Fatalf("group %d: n %d vs %d across merge orders", g, a[g].N, b[g].N)
+		}
+		for i := range a[g].Counts {
+			if a[g].Counts[i] != b[g].Counts[i] {
+				t.Fatalf("group %d slot %d differs across merge orders", g, i)
+			}
+		}
+	}
+}

@@ -69,6 +69,51 @@ func FuzzReportJSON(f *testing.F) {
 	})
 }
 
+// FuzzCollectorStateV2 seeds the state fuzzer with count-shaped (v2)
+// payloads: zigzag-packed vectors, negative counts, tally-only groups. The
+// contract is the same as FuzzCollectorState — arbitrary bytes never panic,
+// accepted payloads validate and round-trip canonically — and since the two
+// versions share one decoder, each corpus stresses the other's branches too.
+func FuzzCollectorStateV2(f *testing.F) {
+	seeds := []CollectorState{
+		{Version: StateVersionCounts, Mech: "Uni", Params: Params{N: 1, D: 1, C: 2, Eps: 1},
+			Counts: []GroupCounts{{N: 3}}},
+		{Version: StateVersionCounts, Mech: "HDG", Params: Params{N: 10, D: 3, C: 8, Eps: 0.5, Seed: 42},
+			Counts: []GroupCounts{{N: 4, Counts: []int64{1, 0, 3, 0}}, {N: 0, Counts: []int64{0, 0}}, {N: 2, Counts: []int64{-2, 5}}}},
+		{Version: StateVersionCounts, Mech: "CALM", Params: Params{N: 100, D: 2, C: 4, Eps: 2, Seed: 7},
+			Counts: []GroupCounts{{N: 100, Counts: []int64{-64, 1 << 40, 0, -1}}}},
+	}
+	for _, st := range seeds {
+		seed, err := st.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte("PMCS\x02"))
+	f.Add([]byte("PMCS\x02\x03Uni"))
+	f.Add([]byte("PMCS\x02\x03Uni\x01\x01\x02\x00\x00\x00\x00\x00\x00\xf0?\x00\x00\x00\x00\x00\x00\x00\x00\x01\x01\x02\x80\x00")) // overlong zigzag varint
+	f.Fuzz(fuzzCollectorState)
+}
+
+// fuzzCollectorState is the shared decode contract of both state fuzzers.
+func fuzzCollectorState(t *testing.T, data []byte) {
+	var st CollectorState
+	if err := st.UnmarshalBinary(data); err != nil {
+		return
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("decoded state fails Validate: %v", err)
+	}
+	out, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatalf("decoded state does not re-encode: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+	}
+}
+
 func FuzzCollectorState(f *testing.F) {
 	empty := CollectorState{Version: StateVersion, Mech: "Uni", Params: Params{N: 1, D: 1, C: 2, Eps: 1}, Groups: [][]Report{{}}}
 	full := CollectorState{
@@ -87,20 +132,5 @@ func FuzzCollectorState(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("PMCS"))
 	f.Add([]byte("PMCS\x01\x03Uni"))
-	f.Fuzz(func(t *testing.T, data []byte) {
-		var st CollectorState
-		if err := st.UnmarshalBinary(data); err != nil {
-			return
-		}
-		if err := st.Validate(); err != nil {
-			t.Fatalf("decoded state fails Validate: %v", err)
-		}
-		out, err := st.MarshalBinary()
-		if err != nil {
-			t.Fatalf("decoded state does not re-encode: %v", err)
-		}
-		if !bytes.Equal(out, data) {
-			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
-		}
-	})
+	f.Fuzz(fuzzCollectorState)
 }

@@ -3,23 +3,30 @@ package mech
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
-// Ingest is the concurrency-safe report store every collector embeds. It
-// validates and files reports by group under a mutex; because estimation
-// downstream only ever counts reports, the order in which concurrent
-// submitters interleave never changes the finalized estimator. Built with
-// NewCollectorIngest it also carries the deployment identity, which makes
-// it the shared StatefulCollector implementation: State and Merge below
-// are what every mechanism's collector exports.
+// Ingest is the concurrency-safe report store report-retaining collectors
+// (HIO, LHIO) embed. It validates and files reports by group under a mutex;
+// because estimation downstream only ever counts reports, the order in
+// which concurrent submitters interleave never changes the finalized
+// estimator. Built with NewCollectorIngest it also carries the deployment
+// identity, which makes it a shared StatefulCollector implementation: State
+// and Merge below are what a report-retaining mechanism's collector
+// exports. Counting mechanisms embed CountIngest instead, which folds each
+// report into its group's sufficient statistic and drops it.
 type Ingest struct {
 	check    func(Report) error
 	mechName string
 	params   Params
 
+	// received counts accepted reports. It is updated inside the locked
+	// sections (so Drain sees an exact total) but read atomically, keeping
+	// metrics polling off the ingestion lock entirely.
+	received atomic.Int64
+
 	mu      sync.Mutex
 	byGroup [][]Report
-	n       int
 	done    bool
 }
 
@@ -65,7 +72,7 @@ func (in *Ingest) Submit(r Report) error {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	in.byGroup[r.Group] = append(in.byGroup[r.Group], r)
-	in.n++
+	in.received.Add(1)
 	return nil
 }
 
@@ -86,15 +93,14 @@ func (in *Ingest) SubmitBatch(rs []Report) error {
 	for _, r := range rs {
 		in.byGroup[r.Group] = append(in.byGroup[r.Group], r)
 	}
-	in.n += len(rs)
+	in.received.Add(int64(len(rs)))
 	return nil
 }
 
-// Received reports how many reports have been accepted so far.
+// Received reports how many reports have been accepted so far. It is a
+// lock-free atomic read, so metrics polling never blocks hot-path submits.
 func (in *Ingest) Received() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.n
+	return int(in.received.Load())
 }
 
 // Drain closes ingestion and hands the per-group reports to Finalize.
@@ -133,6 +139,13 @@ func (in *Ingest) State() (CollectorState, error) {
 // Submit applies, so a corrupted snapshot cannot smuggle in payloads a
 // live client could not send.
 func (in *Ingest) Merge(st CollectorState) error {
+	if st.Version == StateVersionCounts {
+		// A count vector cannot be unfolded back into the report multiset a
+		// report-retaining collector needs, so the shapes are incompatible
+		// by construction, not merely malformed.
+		return fmt.Errorf("mech: count state (v2) cannot merge into the report-retaining %s collector: %w",
+			in.mechName, ErrStateMismatch)
+	}
 	if st.Version != StateVersion {
 		return fmt.Errorf("mech: unsupported collector state version %d", st.Version)
 	}
@@ -169,6 +182,6 @@ func (in *Ingest) Merge(st CollectorState) error {
 	for g, rs := range st.Groups {
 		in.byGroup[g] = append(in.byGroup[g], rs...)
 	}
-	in.n += total
+	in.received.Add(int64(total))
 	return nil
 }

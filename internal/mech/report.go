@@ -89,6 +89,21 @@ func uvarintStrict(data []byte, what string) (uint64, int, error) {
 	return v, n, nil
 }
 
+// varintStrict decodes a minimally-encoded zigzag varint (the signed
+// counterpart of uvarintStrict): the underlying uvarint must be minimal, so
+// every signed value has exactly one wire form.
+func varintStrict(data []byte, what string) (int64, int, error) {
+	u, n, err := uvarintStrict(data, what)
+	if err != nil {
+		return 0, 0, err
+	}
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v, n, nil
+}
+
 // decodeReport reads one report from the front of data and returns the
 // number of bytes consumed.
 func decodeReport(data []byte) (Report, int, error) {
@@ -154,27 +169,45 @@ func EncodeReports(rs []Report) ([]byte, error) {
 // DecodeReports unpacks a payload written by EncodeReports, rejecting
 // truncated, oversized, or trailing data.
 func DecodeReports(data []byte) ([]Report, error) {
-	count, n, err := uvarintStrict(data, "batch header")
+	out, err := AppendDecodedReports(nil, data)
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// AppendDecodedReports is DecodeReports into a caller-owned slice: the
+// decoded reports are appended to dst (reusing its capacity), which is what
+// lets a server decode every incoming frame into a pooled buffer without
+// allocating per request. On error the returned slice must be treated as
+// scratch — truncate it with [:0] before reuse — but its capacity is
+// preserved, so a pooled buffer survives malformed frames.
+func AppendDecodedReports(dst []Report, data []byte) ([]Report, error) {
+	count, n, err := uvarintStrict(data, "batch header")
+	if err != nil {
+		return dst, err
 	}
 	data = data[n:]
 	// Each report is at least 4 bytes; a huge count with a short payload is
 	// rejected before allocating.
 	if count > uint64(len(data))/4 {
-		return nil, fmt.Errorf("mech: batch claims %d reports but only %d bytes follow", count, len(data))
+		return dst, fmt.Errorf("mech: batch claims %d reports but only %d bytes follow", count, len(data))
 	}
-	out := make([]Report, 0, count)
+	if need := len(dst) + int(count); cap(dst) < need {
+		grown := make([]Report, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
 	for i := uint64(0); i < count; i++ {
 		rep, used, err := decodeReport(data)
 		if err != nil {
-			return nil, fmt.Errorf("mech: report %d of %d: %w", i, count, err)
+			return dst, fmt.Errorf("mech: report %d of %d: %w", i, count, err)
 		}
 		data = data[used:]
-		out = append(out, rep)
+		dst = append(dst, rep)
 	}
 	if len(data) != 0 {
-		return nil, fmt.Errorf("mech: %d trailing bytes after report batch", len(data))
+		return dst, fmt.Errorf("mech: %d trailing bytes after report batch", len(data))
 	}
-	return out, nil
+	return dst, nil
 }

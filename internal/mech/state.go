@@ -10,13 +10,22 @@ import (
 // This file defines the mergeable collector state every mechanism exports:
 // the sufficient statistic of an aggregation in progress. Because estimation
 // depends only on the multiset of accepted reports (aggregation is pure
-// counting until deterministic post-processing), the per-group report
-// multisets ARE that statistic — exporting them from N sharded collectors
-// and merging in any order finalizes to a bit-identical estimator as one
-// collector ingesting everything. Raw reports, not per-cell sums, are the
-// state because HIO-style mechanisms estimate lazily over interval domains
-// far too large to materialize; for everything else the reports are the
-// compact form anyway (4–13 bytes each on the wire).
+// counting until deterministic post-processing), that statistic comes in two
+// shapes, distinguished by the state version:
+//
+//   - v1 (ReportState): the per-group report multisets themselves. This is
+//     the shape report-retaining collectors (HIO, LHIO) export, because they
+//     estimate lazily over interval domains far too large to materialize a
+//     count vector for.
+//   - v2 (CountState): per-group folded count vectors plus report tallies —
+//     the O(domain) form streaming collectors (HDG, TDG, Uni, MSW, CALM)
+//     export. Merging two count states is element-wise integer addition.
+//
+// Either way, exporting states from N sharded collectors and merging in any
+// order finalizes to a bit-identical estimator as one collector ingesting
+// everything; a v1 state also folds into a streaming collector (each report
+// is replayed through the group's fold), which is the warm-restart path for
+// snapshots written before the collector switched to streaming.
 
 // ErrFinalized reports an operation against a collector whose ingestion has
 // already been closed by Finalize. Servers map it to 409 Conflict.
@@ -28,21 +37,40 @@ var ErrFinalized = errors.New("collector already finalized")
 // 409 Conflict, distinguishing it from a malformed payload (400).
 var ErrStateMismatch = errors.New("collector state mismatch")
 
-// StateVersion is the current CollectorState wire-format version, carried in
-// both the binary and the JSON encodings.
+// StateVersion is the report-multiset (v1) CollectorState wire-format
+// version, carried in both the binary and the JSON encodings.
 const StateVersion = 1
+
+// StateVersionCounts is the count-vector (v2) CollectorState wire-format
+// version: instead of report multisets the state carries each group's folded
+// sufficient statistic, shrinking snapshots from O(n) to O(groups × domain).
+const StateVersionCounts = 2
+
+// GroupCounts is one group's folded sufficient statistic: how many reports
+// the group accepted and their count vector (GRR bucket counts, OLH support
+// tallies, Hadamard signed row counts, SW bucket counts, …). Counts may be
+// empty for groups whose reports carry no information (Uni). Entries can be
+// negative (Hadamard folds ±1), so the binary codec packs them as zigzag
+// varints.
+type GroupCounts struct {
+	N      int64   `json:"n"`
+	Counts []int64 `json:"counts,omitempty"`
+}
 
 // CollectorState is a versioned, self-describing snapshot of a collector's
 // aggregation state: the public deployment identity (mechanism name +
-// Params) and the per-group report multisets received so far. It is the
-// unit of sharded aggregation — export with StatefulCollector.State, ship
-// or persist it, and combine with StatefulCollector.Merge. Reports in
-// Groups[g] all carry Group == g; both codecs enforce this.
+// Params) and the sufficient statistic received so far — per-group report
+// multisets (Version 1, Groups set) or per-group count vectors (Version 2,
+// Counts set). It is the unit of sharded aggregation — export with
+// StatefulCollector.State, ship or persist it, and combine with
+// StatefulCollector.Merge. Reports in Groups[g] all carry Group == g; both
+// codecs enforce this.
 type CollectorState struct {
-	Version int        `json:"version"`
-	Mech    string     `json:"mech"`
-	Params  Params     `json:"params"`
-	Groups  [][]Report `json:"groups"`
+	Version int           `json:"version"`
+	Mech    string        `json:"mech"`
+	Params  Params        `json:"params"`
+	Groups  [][]Report    `json:"groups,omitempty"`
+	Counts  []GroupCounts `json:"counts,omitempty"`
 }
 
 // StatefulCollector is a Collector whose aggregation state can be exported
@@ -68,6 +96,13 @@ type StatefulCollector interface {
 
 // Received is the total number of reports carried by the state.
 func (st CollectorState) Received() int {
+	if st.Version == StateVersionCounts {
+		n := int64(0)
+		for _, g := range st.Counts {
+			n += g.N
+		}
+		return int(n)
+	}
 	n := 0
 	for _, g := range st.Groups {
 		n += len(g)
@@ -88,28 +123,57 @@ const maxStateMechName = 64
 // decoder's worst-case slice-header allocation at ~50 MB.
 const maxStateGroups = 1 << 21
 
+// maxStateCounts bounds one group's count-vector length in a v2 state. The
+// largest statistic in this module is CALM's Hadamard order at c = 2¹⁰
+// (K = 2²¹ rows); 2²⁴ leaves headroom while capping a single group's decode
+// allocation at 128 MB — and the decoder additionally requires at least one
+// payload byte per claimed entry before allocating.
+const maxStateCounts = 1 << 24
+
 // Validate checks the state's structural invariants — supported version,
-// bounded mechanism name, and every report tagged with its group index.
-// It vets structure only; deployment identity is Merge's job.
+// bounded mechanism name, and the shape matching the version: report
+// multisets with every report tagged with its group index (v1), or count
+// groups with non-negative report tallies (v2). It vets structure only;
+// deployment identity is Merge's job.
 func (st CollectorState) Validate() error {
-	if st.Version != StateVersion {
+	switch st.Version {
+	case StateVersion:
+		if len(st.Counts) != 0 {
+			return fmt.Errorf("mech: report state (v1) carries %d count groups", len(st.Counts))
+		}
+		if len(st.Groups) > maxStateGroups {
+			return fmt.Errorf("mech: collector state carries %d groups, limit %d", len(st.Groups), maxStateGroups)
+		}
+		for g, rs := range st.Groups {
+			for i, r := range rs {
+				if r.Group != g {
+					return fmt.Errorf("mech: state group %d report %d tagged with group %d", g, i, r.Group)
+				}
+				if r.Value < 0 {
+					return fmt.Errorf("mech: state group %d report %d has negative value %d", g, i, r.Value)
+				}
+			}
+		}
+	case StateVersionCounts:
+		if len(st.Groups) != 0 {
+			return fmt.Errorf("mech: count state (v2) carries %d report groups", len(st.Groups))
+		}
+		if len(st.Counts) > maxStateGroups {
+			return fmt.Errorf("mech: collector state carries %d groups, limit %d", len(st.Counts), maxStateGroups)
+		}
+		for g, gc := range st.Counts {
+			if gc.N < 0 {
+				return fmt.Errorf("mech: state group %d carries negative report count %d", g, gc.N)
+			}
+			if len(gc.Counts) > maxStateCounts {
+				return fmt.Errorf("mech: state group %d carries %d counts, limit %d", g, len(gc.Counts), maxStateCounts)
+			}
+		}
+	default:
 		return fmt.Errorf("mech: unsupported collector state version %d", st.Version)
 	}
 	if len(st.Mech) == 0 || len(st.Mech) > maxStateMechName {
 		return fmt.Errorf("mech: collector state mechanism name length %d outside [1,%d]", len(st.Mech), maxStateMechName)
-	}
-	if len(st.Groups) > maxStateGroups {
-		return fmt.Errorf("mech: collector state carries %d groups, limit %d", len(st.Groups), maxStateGroups)
-	}
-	for g, rs := range st.Groups {
-		for i, r := range rs {
-			if r.Group != g {
-				return fmt.Errorf("mech: state group %d report %d tagged with group %d", g, i, r.Group)
-			}
-			if r.Value < 0 {
-				return fmt.Errorf("mech: state group %d report %d has negative value %d", g, i, r.Value)
-			}
-		}
 	}
 	return nil
 }
@@ -121,13 +185,15 @@ var stateMagic = [4]byte{'P', 'M', 'C', 'S'}
 // AppendBinary appends the state's binary encoding to dst:
 //
 //	4 bytes  magic "PMCS"
-//	1 byte   version
+//	1 byte   version (1 reports, 2 counts)
 //	uvarint  mechanism-name length, then the name bytes
 //	uvarint  N, D, C
 //	8 bytes  little-endian IEEE-754 bits of Eps
 //	8 bytes  little-endian Seed
 //	uvarint  group count
-//	per group: uvarint report count, then each report's binary encoding
+//	v1, per group: uvarint report count, then each report's binary encoding
+//	v2, per group: uvarint report count, uvarint count-vector length, then
+//	               each count as a zigzag varint
 //
 // All varints are minimal, so every state has exactly one wire form.
 func (st CollectorState) AppendBinary(dst []byte) ([]byte, error) {
@@ -146,6 +212,17 @@ func (st CollectorState) AppendBinary(dst []byte) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(st.Params.C))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.Params.Eps))
 	dst = binary.LittleEndian.AppendUint64(dst, st.Params.Seed)
+	if st.Version == StateVersionCounts {
+		dst = binary.AppendUvarint(dst, uint64(len(st.Counts)))
+		for _, gc := range st.Counts {
+			dst = binary.AppendUvarint(dst, uint64(gc.N))
+			dst = binary.AppendUvarint(dst, uint64(len(gc.Counts)))
+			for _, c := range gc.Counts {
+				dst = binary.AppendVarint(dst, c)
+			}
+		}
+		return dst, nil
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(st.Groups)))
 	var err error
 	for _, rs := range st.Groups {
@@ -162,7 +239,14 @@ func (st CollectorState) AppendBinary(dst []byte) ([]byte, error) {
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (st CollectorState) MarshalBinary() ([]byte, error) {
-	return st.AppendBinary(make([]byte, 0, 64+st.Received()*8))
+	size := 64 + st.Received()*8
+	if st.Version == StateVersionCounts {
+		size = 64
+		for _, gc := range st.Counts {
+			size += 10 + 2*len(gc.Counts)
+		}
+	}
+	return st.AppendBinary(make([]byte, 0, size))
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. It rejects unknown
@@ -176,10 +260,10 @@ func (st *CollectorState) UnmarshalBinary(data []byte) error {
 	if [4]byte(data[:4]) != stateMagic {
 		return fmt.Errorf("mech: collector state magic %q unknown", data[:4])
 	}
-	if data[4] != StateVersion {
+	if data[4] != StateVersion && data[4] != StateVersionCounts {
 		return fmt.Errorf("mech: unsupported collector state version %d", data[4])
 	}
-	out := CollectorState{Version: StateVersion}
+	out := CollectorState{Version: int(data[4])}
 	data = data[5:]
 	nameLen, n, err := uvarintStrict(data, "state name length")
 	if err != nil {
@@ -231,6 +315,51 @@ func (st *CollectorState) UnmarshalBinary(data []byte) error {
 	}
 	if groups > maxStateGroups {
 		return fmt.Errorf("mech: state claims %d groups, limit %d", groups, maxStateGroups)
+	}
+	if out.Version == StateVersionCounts {
+		out.Counts = make([]GroupCounts, groups)
+		for g := range out.Counts {
+			nRep, n, err := uvarintStrict(data, "state group report count")
+			if err != nil {
+				return fmt.Errorf("mech: state group %d: %w", g, err)
+			}
+			if nRep > math.MaxInt64 {
+				return fmt.Errorf("mech: state group %d report count overflows int64", g)
+			}
+			data = data[n:]
+			clen, n, err := uvarintStrict(data, "state count-vector length")
+			if err != nil {
+				return fmt.Errorf("mech: state group %d: %w", g, err)
+			}
+			data = data[n:]
+			// Each count is at least one byte on the wire, and even
+			// byte-backed lengths stop at maxStateCounts, bounding the
+			// decoder's allocation at 8x the payload size.
+			if clen > uint64(len(data)) {
+				return fmt.Errorf("mech: state group %d claims %d counts but only %d bytes follow", g, clen, len(data))
+			}
+			if clen > maxStateCounts {
+				return fmt.Errorf("mech: state group %d claims %d counts, limit %d", g, clen, maxStateCounts)
+			}
+			gc := GroupCounts{N: int64(nRep)}
+			if clen > 0 {
+				gc.Counts = make([]int64, clen)
+				for i := range gc.Counts {
+					c, n, err := varintStrict(data, "state count")
+					if err != nil {
+						return fmt.Errorf("mech: state group %d count %d: %w", g, i, err)
+					}
+					data = data[n:]
+					gc.Counts[i] = c
+				}
+			}
+			out.Counts[g] = gc
+		}
+		if len(data) != 0 {
+			return fmt.Errorf("mech: %d trailing bytes after collector state", len(data))
+		}
+		*st = out
+		return nil
 	}
 	out.Groups = make([][]Report, groups)
 	for g := range out.Groups {

@@ -112,7 +112,7 @@ func TestCollectorStateDecodeRejectsMalformed(t *testing.T) {
 		{"empty", nil},
 		{"short header", []byte("PMC")},
 		{"bad magic", append([]byte("XXXX"), good[4:]...)},
-		{"bad version", append([]byte("PMCS\x02"), good[5:]...)},
+		{"bad version", append([]byte("PMCS\x03"), good[5:]...)},
 		{"truncated mid-name", good[:7]},
 		{"truncated params", good[:12]},
 		{"truncated reports", good[:len(good)-2]},
@@ -162,6 +162,132 @@ func TestCollectorStateDecodeGroupCap(t *testing.T) {
 	}
 	if err := over.Validate(); err == nil {
 		t.Fatal("state with too many groups validated")
+	}
+}
+
+// sampleCountState builds a v2 state through the streaming store, with a
+// signed slot to exercise the zigzag packing.
+func sampleCountState(t *testing.T) CollectorState {
+	t.Helper()
+	pr := testProtocol()
+	specs := []GroupSpec{
+		{Len: 4, Fold: func(r Report, counts []int64) { counts[r.Value%4] += 1 - 2*int64(r.Seed&1) }},
+		{Len: 4, Fold: func(r Report, counts []int64) { counts[r.Value%4]++ }},
+		{}, // tally-only group
+	}
+	ci, err := NewCountIngest(pr, nil, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Report{
+		{Group: 0, Seed: 1, Value: 2}, // folds -1 into slot 2
+		{Group: 0, Value: 1},
+		{Group: 1, Value: 3},
+		{Group: 2, Value: 9},
+	} {
+		if err := ci.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := ci.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCollectorStateV2BinaryRoundTrip(t *testing.T) {
+	st := sampleCountState(t)
+	if st.Received() != 4 {
+		t.Fatalf("Received = %d, want 4", st.Received())
+	}
+	if st.Counts[0].Counts[2] != -1 {
+		t.Fatalf("signed slot = %d, want -1", st.Counts[0].Counts[2])
+	}
+	data, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CollectorState
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, st)
+	}
+	again, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("re-encoding decoded v2 state changed the bytes")
+	}
+}
+
+func TestCollectorStateV2JSONRoundTrip(t *testing.T) {
+	st := sampleCountState(t)
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CollectorState
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("JSON round trip mismatch:\n got %+v\nwant %+v", back, st)
+	}
+	if back.Version != StateVersionCounts {
+		t.Errorf("JSON dropped the version: %d", back.Version)
+	}
+}
+
+func TestCollectorStateV2RejectsMalformed(t *testing.T) {
+	good, err := sampleCountState(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated counts", good[:len(good)-1]},
+		{"trailing bytes", append(append([]byte{}, good...), 0)},
+		{"header only", good[:6]},
+	}
+	for _, tc := range cases {
+		var st CollectorState
+		if err := st.UnmarshalBinary(tc.data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Validate-level shape violations: mixed shapes and negative tallies.
+	mixed := sampleCountState(t)
+	mixed.Groups = [][]Report{{}}
+	if err := mixed.Validate(); err == nil {
+		t.Error("v2 state with report groups validated")
+	}
+	neg := sampleCountState(t)
+	neg.Counts = append([]GroupCounts{}, neg.Counts...)
+	neg.Counts[0].N = -3
+	if err := neg.Validate(); err == nil {
+		t.Error("negative report tally validated")
+	}
+	if _, err := neg.MarshalBinary(); err == nil {
+		t.Error("negative report tally encoded")
+	}
+	v1WithCounts := sampleState(t)
+	v1WithCounts.Counts = []GroupCounts{{N: 1}}
+	if err := v1WithCounts.Validate(); err == nil {
+		t.Error("v1 state with count groups validated")
+	}
+}
+
+func TestIngestRejectsCountState(t *testing.T) {
+	in := NewCollectorIngest(testProtocol(), nil)
+	st := sampleCountState(t)
+	if err := in.Merge(st); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("report store merging v2 state: got %v, want ErrStateMismatch", err)
 	}
 }
 

@@ -152,8 +152,10 @@ type (
 	// implements it.
 	StatefulCollector = mech.StatefulCollector
 	// CollectorState is a versioned, self-describing snapshot of a
-	// collector's aggregation state: deployment identity plus the per-group
-	// report multisets. See PROTOCOL.md "Sharding & persistence".
+	// collector's aggregation state: deployment identity plus the sufficient
+	// statistic — per-group report multisets (v1, HIO/LHIO) or folded count
+	// vectors (v2, the streaming mechanisms). See PROTOCOL.md "Sharding &
+	// persistence".
 	CollectorState = mech.CollectorState
 )
 

@@ -9,6 +9,8 @@ import (
 	"os"
 	"strings"
 	"sync"
+
+	"privmdr/internal/mech"
 )
 
 // QueryServer is the persistent HTTP face of one deployment: it ingests
@@ -170,8 +172,9 @@ func (s *QueryServer) Merge(st CollectorState) error {
 
 // SaveSnapshot persists the current collector state to path (written via a
 // temp file + rename, so a crash mid-write never corrupts the previous
-// snapshot). The snapshot is sanitized ε-LDP reports — storing it adds no
-// privacy cost.
+// snapshot). The snapshot is an aggregate of sanitized ε-LDP reports
+// (count vectors for streaming mechanisms, report multisets for the rest) —
+// storing it adds no privacy cost.
 func (s *QueryServer) SaveSnapshot(path string) error {
 	st, err := s.State()
 	if err != nil {
@@ -272,6 +275,40 @@ func (s *QueryServer) handleParams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ServerParams{Mechanism: s.proto.Name(), Params: s.proto.Params()})
 }
 
+// reportFrame holds one POST /reports handler's reusable buffers: the raw
+// body bytes and the decoded batch. Frames cycle through framePool so the
+// ingestion hot path performs no per-request decode allocations once the
+// pool is warm — SubmitBatch copies (report stores) or folds (streaming
+// collectors) every report before returning, so recycling the batch slice
+// behind it is safe.
+type reportFrame struct {
+	body  []byte
+	batch []Report
+}
+
+var framePool = sync.Pool{New: func() any { return new(reportFrame) }}
+
+// readBody reads r to EOF into dst, reusing (and growing) its capacity —
+// io.ReadAll without the fresh allocation per call.
+func readBody(r io.Reader, dst []byte) ([]byte, error) {
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, 32<<10)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
 func (s *QueryServer) handleReports(w http.ResponseWriter, r *http.Request) {
 	// Reject late shards before paying for the body read and decode.
 	coll, done := s.collector()
@@ -279,24 +316,27 @@ func (s *QueryServer) handleReports(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("server already finalized; reports are no longer accepted"))
 		return
 	}
-	frame, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	fr := framePool.Get().(*reportFrame)
+	defer framePool.Put(fr)
+	var err error
+	fr.body, err = readBody(http.MaxBytesReader(w, r.Body, s.maxBody), fr.body[:0])
 	if err != nil {
 		writeError(w, bodyErrStatus(err), fmt.Errorf("reading frame: %w", err))
 		return
 	}
-	batch, err := DecodeReports(frame)
+	fr.batch, err = mech.AppendDecodedReports(fr.batch[:0], fr.body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := coll.SubmitBatch(batch); err != nil {
+	if err := coll.SubmitBatch(fr.batch); err != nil {
 		// A finalize can win the race between collector() and SubmitBatch
 		// (409 via ErrCollectorFinalized); anything else is a report that
 		// decoded but fails the protocol's validation — a bad payload (400).
 		writeError(w, bodyErrStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(batch), "received": s.Received()})
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(fr.batch), "received": s.Received()})
 }
 
 func (s *QueryServer) handleStateGet(w http.ResponseWriter, r *http.Request) {

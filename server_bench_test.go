@@ -1,0 +1,72 @@
+package privmdr
+
+import (
+	"bytes"
+	"testing"
+
+	"privmdr/internal/mech"
+)
+
+// frameFixture builds one encoded report frame of n reports.
+func frameFixture(tb testing.TB, n int) []byte {
+	tb.Helper()
+	rs := make([]Report, n)
+	for i := range rs {
+		rs[i] = Report{Group: i % 3, Seed: uint64(i) * 0x9e3779b97f4a7c15, Value: i % 7}
+	}
+	frame, err := mech.EncodeReports(rs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return frame
+}
+
+// decodeFrame is the POST /reports decode path: body read into a reused
+// buffer, then batch decode into a reused slice.
+func decodeFrame(tb testing.TB, src *bytes.Reader, fr *reportFrame) {
+	var err error
+	fr.body, err = readBody(src, fr.body[:0])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fr.batch, err = mech.AppendDecodedReports(fr.batch[:0], fr.body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestReportsDecodeZeroAlloc guards the POST /reports decode path: with a
+// warm frame (the steady state the pool provides), reading the body and
+// decoding the batch performs zero allocations.
+func TestReportsDecodeZeroAlloc(t *testing.T) {
+	frame := frameFixture(t, 4096)
+	src := bytes.NewReader(frame)
+	fr := &reportFrame{}
+	decodeFrame(t, src, fr) // warm the buffers once
+
+	allocs := testing.AllocsPerRun(50, func() {
+		src.Reset(frame)
+		decodeFrame(t, src, fr)
+	})
+	if allocs != 0 {
+		t.Errorf("warm report-frame decode allocates %g objects/op, want 0", allocs)
+	}
+	if len(fr.batch) != 4096 {
+		t.Fatalf("decoded %d reports, want 4096", len(fr.batch))
+	}
+}
+
+// BenchmarkReportsDecode measures the pooled POST /reports decode path;
+// allocs/op is the headline number (0 once the pool is warm).
+func BenchmarkReportsDecode(b *testing.B) {
+	frame := frameFixture(b, 4096)
+	src := bytes.NewReader(frame)
+	fr := &reportFrame{}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(frame)
+		decodeFrame(b, src, fr)
+	}
+}

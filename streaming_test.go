@@ -1,0 +1,137 @@
+package privmdr_test
+
+import (
+	"testing"
+
+	"privmdr"
+)
+
+// TestV1StateMigratesIntoStreamingCollector is the warm-restart
+// compatibility property: for every streaming mechanism, a v1 (report
+// multiset) state — the shape pre-streaming snapshots carry — merged into a
+// fresh collector finalizes bit-identical to the same reports submitted
+// directly, and the collector's own exported state is the compact v2 shape.
+// Report-retaining mechanisms (HIO, LHIO) still export v1 and refuse v2.
+func TestV1StateMigratesIntoStreamingCollector(t *testing.T) {
+	ds := protocolDataset(t)
+	qs, err := privmdr.RandomWorkload(15, 2, ds.D(), ds.C, 0.5, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming := map[string]bool{
+		"Uni": true, "MSW": true, "CALM": true, "TDG": true, "HDG": true,
+		"HIO": false, "LHIO": false,
+	}
+	for _, m := range privmdr.Mechanisms() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 104}
+			proto, err := m.Protocol(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := makeReports(t, proto, ds)
+
+			// Direct path: submit everything, snapshot, finalize.
+			direct, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := direct.SubmitBatch(reports); err != nil {
+				t.Fatal(err)
+			}
+			exported, err := direct.(privmdr.StatefulCollector).State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantVersion := 1
+			if streaming[m.Name()] {
+				wantVersion = 2
+			}
+			if exported.Version != wantVersion {
+				t.Fatalf("%s exports state version %d, want %d", m.Name(), exported.Version, wantVersion)
+			}
+			want := answersOf(t, direct, qs)
+
+			// Migration path: the same reports as a hand-built v1 state.
+			grouped := make([][]privmdr.Report, proto.NumGroups())
+			for g := range grouped {
+				grouped[g] = []privmdr.Report{}
+			}
+			for _, r := range reports {
+				grouped[r.Group] = append(grouped[r.Group], r)
+			}
+			v1 := privmdr.CollectorState{Version: 1, Mech: proto.Name(), Params: p, Groups: grouped}
+			migrated, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := migrated.(privmdr.StatefulCollector).Merge(v1); err != nil {
+				t.Fatal(err)
+			}
+			if got := migrated.Received(); got != len(reports) {
+				t.Fatalf("migrated collector received %d, want %d", got, len(reports))
+			}
+			got := answersOf(t, migrated, qs)
+			for i := range qs {
+				if got[i] != want[i] {
+					t.Fatalf("query %d: v1-migrated %v != streaming %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func answersOf(t *testing.T, coll privmdr.Collector, qs []privmdr.Query) []float64 {
+	t.Helper()
+	est, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := privmdr.Answers(est, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStreamingSnapshotIsCompact pins the memory story the streaming
+// collectors buy on the wire: for a counting mechanism, the encoded v2
+// state is O(domain) and therefore much smaller than the O(n) v1 multiset
+// of the same deployment once n dominates the domain.
+func TestStreamingSnapshotIsCompact(t *testing.T) {
+	ds := protocolDataset(t)
+	p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 105}
+	proto, err := privmdr.NewTDG().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := makeReports(t, proto, ds)
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	st, err := coll.(privmdr.StatefulCollector).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Blob, err := privmdr.EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := make([][]privmdr.Report, proto.NumGroups())
+	for _, r := range reports {
+		grouped[r.Group] = append(grouped[r.Group], r)
+	}
+	v1Blob, err := privmdr.EncodeState(privmdr.CollectorState{Version: 1, Mech: proto.Name(), Params: p, Groups: grouped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2Blob)*4 > len(v1Blob) {
+		t.Fatalf("v2 snapshot %d bytes not substantially smaller than v1 %d bytes", len(v2Blob), len(v1Blob))
+	}
+}
