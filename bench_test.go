@@ -307,6 +307,64 @@ func BenchmarkCollectorIngest(b *testing.B) {
 	b.ReportMetric(float64(len(reports))*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 }
 
+// BenchmarkEpochRefresh measures the live-serving refresh per mechanism:
+// one new report submitted, then QueryServer.Refresh — a non-destructive
+// Estimate snapshot, the estimator build (with HDG's eager-matrix warm-up),
+// and the atomic epoch swap. This is the steady-state cost `privmdr serve
+// -refresh` pays per interval, and the number BENCH_PR5.json tracks.
+func BenchmarkEpochRefresh(b *testing.B) {
+	ds, err := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: 20_000, D: 3, C: 16, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range privmdr.Mechanisms() {
+		b.Run(m.Name(), func(b *testing.B) {
+			p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 19}
+			proto, err := m.Protocol(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := privmdr.NewLiveQueryServer(proto, privmdr.LiveOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			record := make([]int, p.D)
+			reports := make([]privmdr.Report, p.N)
+			for u := 0; u < p.N; u++ {
+				a, err := proto.Assignment(u)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := range record {
+					record[i] = ds.Value(i, u)
+				}
+				reports[u], err = proto.ClientReport(a, record, privmdr.ClientRand(p, u))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := srv.SubmitBatch(reports); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One fresh report per iteration so the swap is never
+				// skipped as idle (duplicates are legal — reports are
+				// anonymous).
+				if err := srv.Submit(reports[i%len(reports)]); err != nil {
+					b.Fatal(err)
+				}
+				if _, swapped, err := srv.Refresh(); err != nil {
+					b.Fatal(err)
+				} else if !swapped {
+					b.Fatal("refresh skipped despite a fresh report")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCollectorFinalize measures finalize latency at increasing n —
 // the headline streaming win: estimation reads O(domain) counts, so the
 // latency no longer grows with the user count.

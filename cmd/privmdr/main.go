@@ -104,8 +104,11 @@ protocol subcommands (drive the two deployment sides separately):
   serve     ingest report shards, finalize, and answer queries — or, with
             -http, stay up as a persistent HTTP query server (POST /reports,
             POST /finalize, POST /query; see PROTOCOL.md "Serving"). With
-            -snapshot the server warm-restarts from the state file if it
-            exists and persists its state there on shutdown
+            -refresh the server serves live: reports are accepted forever
+            and a background refresher re-estimates on the interval (epoch
+            serving). With -snapshot the server warm-restarts from the state
+            file if it exists and persists its state there on shutdown —
+            in live mode even while queries are being served
   merge     combine exported collector states (from GET /state or serve
             -snapshot) into one state file; the merged state finalizes
             bit-identically to a single collector that saw every report
@@ -120,6 +123,7 @@ examples:
   privmdr serve -params params.json -reports shard0.bin,shard1.bin -queries "0:16-47"
   privmdr serve -params params.json -reports shard0.bin,shard1.bin -http :8080
   privmdr serve -params params.json -http :8080 -snapshot state.bin
+  privmdr serve -params params.json -http :8080 -refresh 30s -min-new 1000
   privmdr merge -out merged.state shard0.state shard1.state`)
 }
 
@@ -262,6 +266,8 @@ func cmdServe(args []string) error {
 	httpAddr := fs.String("http", "", "listen address (e.g. :8080): stay up as a persistent HTTP query server instead of answering -queries and exiting")
 	finalizeNow := fs.Bool("finalize", false, "with -http: finalize right after ingesting -reports instead of on the first query")
 	snapshot := fs.String("snapshot", "", "with -http: state file for warm restarts — loaded at startup if present, written on SIGINT/SIGTERM")
+	refresh := fs.Duration("refresh", 0, "with -http: serve live — reports are accepted forever and a background refresher seals a new estimator epoch on this interval (see PROTOCOL.md \"Lifecycle\")")
+	minNew := fs.Int("min-new", 0, "with -refresh: a scheduled refresh rebuilds only after at least this many new reports (0 → any new report)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -272,13 +278,25 @@ func cmdServe(args []string) error {
 		if *queries != "" || *save != "" {
 			return fmt.Errorf("serve: -queries and -save apply to the batch mode only; POST /query to the HTTP server instead")
 		}
-		return serveHTTP(*httpAddr, *paramsPath, *reportsArg, *snapshot, *finalizeNow)
+		if *refresh > 0 && *finalizeNow {
+			return fmt.Errorf("serve: -finalize contradicts -refresh (a live server keeps ingesting; POST /finalize ends it explicitly)")
+		}
+		if *refresh < 0 {
+			return fmt.Errorf("serve: -refresh must be positive")
+		}
+		if *minNew != 0 && *refresh == 0 {
+			return fmt.Errorf("serve: -min-new requires -refresh (it thresholds the background refresher)")
+		}
+		return serveHTTP(*httpAddr, *paramsPath, *reportsArg, *snapshot, *finalizeNow, *refresh, *minNew)
 	}
 	if *finalizeNow {
 		return fmt.Errorf("serve: -finalize applies to the HTTP mode only (batch mode always finalizes)")
 	}
 	if *snapshot != "" {
 		return fmt.Errorf("serve: -snapshot applies to the HTTP mode only")
+	}
+	if *refresh != 0 || *minNew != 0 {
+		return fmt.Errorf("serve: -refresh and -min-new apply to the HTTP mode only")
 	}
 	if *paramsPath == "" || *reportsArg == "" || *queries == "" {
 		return fmt.Errorf("serve: -params, -reports, and -queries are required (or pass -http to run the persistent server)")
@@ -349,21 +367,32 @@ func ingestShards(coll privmdr.Collector, reportsArg string) error {
 
 // serveHTTP runs the persistent query server: preload any shards given on
 // the command line, then serve ingestion and query traffic until killed.
-// The lifecycle is finalize-once — the first POST /query (or POST
-// /finalize, or -finalize here) freezes the estimator, after which report
-// submissions are rejected. With a snapshot path, the server warm-restarts
-// from the state file if one exists and persists its state there on
-// SIGINT/SIGTERM, so a crash-restart cycle loses at most the reports that
-// arrived after the last snapshot.
-func serveHTTP(addr, paramsPath, reportsArg, snapshotPath string, finalizeNow bool) error {
+// Without -refresh the lifecycle is finalize-once — the first POST /query
+// (or POST /finalize, or -finalize here) freezes the estimator, after which
+// report submissions are rejected. With -refresh the server is live:
+// reports are accepted forever, a background refresher seals a fresh
+// estimator epoch on the given interval, and queries always answer from the
+// latest epoch. With a snapshot path, the server warm-restarts from the
+// state file if one exists and persists its state there on SIGINT/SIGTERM —
+// including mid-serving in live mode, where the snapshot also round-trips
+// the epoch counter — so a crash-restart cycle loses at most the reports
+// that arrived after the last snapshot.
+func serveHTTP(addr, paramsPath, reportsArg, snapshotPath string, finalizeNow bool, refresh time.Duration, minNew int) error {
 	pf, proto, err := loadParams(paramsPath)
 	if err != nil {
 		return err
 	}
-	srv, err := privmdr.NewQueryServer(proto)
+	live := refresh > 0
+	var srv *privmdr.QueryServer
+	if live {
+		srv, err = privmdr.NewLiveQueryServer(proto, privmdr.LiveOptions{Refresh: refresh, MinNewReports: minNew})
+	} else {
+		srv, err = privmdr.NewQueryServer(proto)
+	}
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	restored := false
 	if snapshotPath != "" {
 		switch _, err := os.Stat(snapshotPath); {
@@ -397,8 +426,21 @@ func serveHTTP(addr, paramsPath, reportsArg, snapshotPath string, finalizeNow bo
 			return err
 		}
 	}
-	fmt.Printf("%s  n=%d d=%d c=%d eps=%g — serving on %s (%d reports preloaded)\n",
-		pf.Mechanism, pf.N, pf.D, pf.C, pf.Eps, addr, srv.Received())
+	if live && srv.Received() > 0 {
+		// Seal the first epoch before taking traffic so the first query is
+		// served at steady-state latency; later epochs ride the refresher.
+		if epoch, _, err := srv.Refresh(); err != nil {
+			return err
+		} else {
+			fmt.Printf("sealed epoch %d over %d preloaded reports\n", epoch, srv.Received())
+		}
+	}
+	mode := "finalize-once"
+	if live {
+		mode = fmt.Sprintf("live, refresh every %v", refresh)
+	}
+	fmt.Printf("%s  n=%d d=%d c=%d eps=%g — serving on %s (%d reports preloaded, %s)\n",
+		pf.Mechanism, pf.N, pf.D, pf.C, pf.Eps, addr, srv.Received(), mode)
 	server := &http.Server{
 		Addr:    addr,
 		Handler: srv,
@@ -463,7 +505,9 @@ func cmdMerge(args []string) error {
 		if err != nil {
 			return err
 		}
-		st, err := privmdr.DecodeState(data)
+		// DecodeSnapshot accepts both bare states (GET /state, finalize-once
+		// snapshots) and a live server's epoch-stamped snapshot files.
+		st, _, err := privmdr.DecodeSnapshot(data)
 		if err != nil {
 			return fmt.Errorf("state %s: %w", path, err)
 		}

@@ -1,0 +1,216 @@
+// Live: epoch-based serving under concurrent ingest and query load. The
+// program stands up a privmdr.NewLiveQueryServer on a local listener and
+// drives both sides of the wire at once — ingestion clients stream report
+// chunks while query clients keep hammering POST /query — which is exactly
+// the traffic pattern the finalize-once lifecycle cannot serve. A
+// background refresher seals a fresh estimator epoch on an interval, so
+// query answers sharpen as reports accumulate; the program polls /healthz
+// and prints the epoch, the reports inside the serving estimator, and its
+// staleness, then force-refreshes once ingestion is done and reports the
+// final accuracy against ground truth.
+//
+// Run with:
+//
+//	go run ./examples/live
+//	go run ./examples/live -mech TDG -refresh 100ms -chunks 64
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"privmdr"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 30_000, "users")
+		d        = flag.Int("d", 3, "attributes")
+		c        = flag.Int("c", 32, "domain size")
+		eps      = flag.Float64("eps", 1.0, "privacy budget")
+		seed     = flag.Uint64("seed", 27, "public assignment seed")
+		mechName = flag.String("mech", "HDG", "mechanism")
+		refresh  = flag.Duration("refresh", 150*time.Millisecond, "background refresh interval")
+		minNew   = flag.Int("min-new", 1, "minimum new reports per scheduled refresh")
+		chunks   = flag.Int("chunks", 32, "report chunks streamed over the wire")
+		clients  = flag.Int("clients", 4, "concurrent query clients")
+		lambda   = flag.Int("lambda", 2, "query dimension")
+	)
+	flag.Parse()
+
+	// Stand-in for the users' private records; also the ground truth for
+	// the accuracy report at the end.
+	ds, err := privmdr.GenerateDataset("normal", privmdr.GenOptions{N: *n, D: *d, C: *c, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := privmdr.Params{N: *n, D: *d, C: *c, Eps: *eps, Seed: *seed}
+	proto, err := privmdr.ProtocolByName(*mechName, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := privmdr.NewLiveQueryServer(proto, privmdr.LiveOptions{Refresh: *refresh, MinNewReports: *minNew})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("live query server: %s (%s, n=%d d=%d c=%d eps=%g, refresh %v)\n",
+		base, *mechName, *n, *d, *c, *eps, *refresh)
+
+	queries, err := privmdr.RandomWorkload(20, *lambda, *d, *c, 0.5, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := privmdr.TrueAnswers(ds, queries)
+	queryBody, err := json.Marshal(privmdr.QueryRequest{Queries: queries})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ── Ingestion: stream the report chunks over the wire, paced so several
+	// refresh intervals elapse mid-stream. POST /reports never 409s. ──
+	ingested := make(chan struct{})
+	go func() {
+		defer close(ingested)
+		record := make([]int, *d)
+		for k := 0; k < *chunks; k++ {
+			lo, hi := k**n / *chunks, (k+1)**n / *chunks
+			reports := make([]privmdr.Report, 0, hi-lo)
+			for u := lo; u < hi; u++ {
+				a, err := proto.Assignment(u)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for t := 0; t < *d; t++ {
+					record[t] = ds.Value(t, u)
+				}
+				rep, err := proto.ClientReport(a, record, privmdr.ClientRand(params, u))
+				if err != nil {
+					log.Fatal(err)
+				}
+				reports = append(reports, rep)
+			}
+			frame, err := privmdr.EncodeReports(reports)
+			if err != nil {
+				log.Fatal(err)
+			}
+			post(base+"/reports", "application/octet-stream", frame, nil)
+			time.Sleep(*refresh / 4)
+		}
+	}()
+
+	// ── Query load: clients keep querying the latest epoch while ingestion
+	// runs; the answers are whatever the serving estimator knew when its
+	// epoch was sealed. ──
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		batches  int
+		stopLoad = make(chan struct{})
+	)
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				var resp privmdr.QueryResponse
+				post(base+"/query", "application/json", queryBody, &resp)
+				mu.Lock()
+				batches++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// ── Watch the epochs advance while both loads run. ──
+	tick := time.NewTicker(*refresh)
+	defer tick.Stop()
+watch:
+	for {
+		select {
+		case <-ingested:
+			break watch
+		case <-tick.C:
+			var st privmdr.ServerStatus
+			get(base+"/healthz", &st)
+			mu.Lock()
+			b := batches
+			mu.Unlock()
+			fmt.Printf("epoch %3d  estimator %6d reports  staleness %5d  received %6d  query batches %d\n",
+				st.Epoch, st.EstimatorReports, st.Staleness, st.Received, b)
+		}
+	}
+	close(stopLoad)
+	wg.Wait()
+
+	// ── Ingestion finished: force one last refresh so the serving epoch
+	// covers every report, then report accuracy. ──
+	var fin struct {
+		Epoch            uint64 `json:"epoch"`
+		Swapped          bool   `json:"swapped"`
+		EstimatorReports int    `json:"estimator_reports"`
+	}
+	post(base+"/refresh", "application/json", nil, &fin)
+	var resp privmdr.QueryResponse
+	post(base+"/query", "application/json", queryBody, &resp)
+	fmt.Printf("final epoch %d over %d reports — workload MAE %.5f (mid-stream answers served %d batches)\n",
+		fin.Epoch, fin.EstimatorReports, privmdr.MAE(resp.Answers, truth), batches)
+}
+
+// post sends one request and decodes the JSON reply into out (when
+// non-nil), failing the program on any transport or HTTP error.
+func post(url, contentType string, body []byte, out any) {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, payload)
+	}
+	if out != nil {
+		if err := json.Unmarshal(payload, out); err != nil {
+			log.Fatalf("POST %s: decoding reply: %v", url, err)
+		}
+	}
+}
+
+// get fetches one JSON endpoint.
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+}

@@ -137,12 +137,28 @@ type calmCollector struct {
 	folder *fo.Folder
 }
 
-// Finalize implements mech.Collector.
+// Estimate implements mech.Collector: estimate from a point-in-time
+// snapshot of the live statistics, leaving ingestion open.
+func (c *calmCollector) Estimate() (mech.Estimator, error) {
+	byGroup, err := c.SnapshotCounts()
+	if err != nil {
+		return nil, err
+	}
+	return c.estimate(byGroup)
+}
+
+// Finalize implements mech.Collector: Estimate over everything received,
+// then close ingestion permanently.
 func (c *calmCollector) Finalize() (mech.Estimator, error) {
 	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
+	return c.estimate(byGroup)
+}
+
+// estimate turns one snapshot of per-group statistics into the estimator.
+func (c *calmCollector) estimate(byGroup []mech.GroupCounts) (mech.Estimator, error) {
 	pr := c.pr
 	d, n, cc := pr.p.D, pr.p.N, pr.p.C
 	pairs := pr.pairs

@@ -181,14 +181,32 @@ type hioCollector struct {
 	pr *hioProtocol
 }
 
-// Finalize implements mech.Collector: HIO aggregation is lazy — the
-// estimator keeps the raw per-group reports and estimates interval
-// frequencies on demand.
+// Estimate implements mech.Collector: build an estimator over a
+// point-in-time snapshot of the report store, leaving ingestion open. The
+// snapshot shares report storage with the live store (reports are
+// immutable once filed), so taking it is O(groups); the O(n) estimation
+// cost is deferred to query time as always for HIO.
+func (c *hioCollector) Estimate() (mech.Estimator, error) {
+	byGroup, err := c.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return c.estimate(byGroup)
+}
+
+// Finalize implements mech.Collector: Estimate over everything received,
+// then close ingestion permanently.
 func (c *hioCollector) Finalize() (mech.Estimator, error) {
 	byGroup, err := c.Drain()
 	if err != nil {
 		return nil, err
 	}
+	return c.estimate(byGroup)
+}
+
+// estimate builds the lazy estimator: HIO aggregation keeps the raw
+// per-group reports and estimates interval frequencies on demand.
+func (c *hioCollector) estimate(byGroup [][]mech.Report) (mech.Estimator, error) {
 	pr := c.pr
 	reports := make([][]fo.Report, len(byGroup))
 	for g, rs := range byGroup {

@@ -182,13 +182,32 @@ type lhioCollector struct {
 	pr *lhioProtocol
 }
 
-// Finalize implements mech.Collector: estimate every level table, then run
-// the two consistency stages.
+// Estimate implements mech.Collector: estimate over a point-in-time
+// snapshot of the report store, leaving ingestion open. Unlike the
+// streaming mechanisms, the estimation cost is O(n) per call — every level
+// table rescans its group's reports — which is the refresh-cost asymmetry
+// PROTOCOL.md documents.
+func (c *lhioCollector) Estimate() (mech.Estimator, error) {
+	byGroup, err := c.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return c.estimate(byGroup)
+}
+
+// Finalize implements mech.Collector: Estimate over everything received,
+// then close ingestion permanently.
 func (c *lhioCollector) Finalize() (mech.Estimator, error) {
 	byGroup, err := c.Drain()
 	if err != nil {
 		return nil, err
 	}
+	return c.estimate(byGroup)
+}
+
+// estimate estimates every level table from one snapshot of the report
+// store, then runs the two consistency stages.
+func (c *lhioCollector) estimate(byGroup [][]mech.Report) (mech.Estimator, error) {
 	pr := c.pr
 	d, n := pr.p.D, pr.p.N
 	tree, levels, pairs := pr.tree, pr.levels, pr.pairs

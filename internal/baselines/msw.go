@@ -122,14 +122,29 @@ type mswCollector struct {
 	pr *mswProtocol
 }
 
-// Finalize implements mech.Collector: run EM(S) over each attribute's
-// streamed bucket histogram and answer queries as products of 1-D range
-// answers.
+// Estimate implements mech.Collector: estimate from a point-in-time
+// snapshot of the live bucket histograms, leaving ingestion open.
+func (c *mswCollector) Estimate() (mech.Estimator, error) {
+	byGroup, err := c.SnapshotCounts()
+	if err != nil {
+		return nil, err
+	}
+	return c.estimate(byGroup)
+}
+
+// Finalize implements mech.Collector: Estimate over everything received,
+// then close ingestion permanently.
 func (c *mswCollector) Finalize() (mech.Estimator, error) {
 	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
+	return c.estimate(byGroup)
+}
+
+// estimate runs EM(S) over each attribute's streamed bucket histogram and
+// answers queries as products of 1-D range answers.
+func (c *mswCollector) estimate(byGroup []mech.GroupCounts) (mech.Estimator, error) {
 	pr := c.pr
 	d, cc := pr.p.D, pr.p.C
 	// cdf[a] holds the prefix sums of attribute a's reconstructed

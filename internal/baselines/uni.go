@@ -96,16 +96,30 @@ type uniCollector struct {
 	pr *uniProtocol
 }
 
+// Estimate implements mech.Collector. The uniform guess reads no report
+// state, but the lifecycle contract still holds: estimating a finalized
+// collector is an error.
+func (c *uniCollector) Estimate() (mech.Estimator, error) {
+	if _, err := c.SnapshotCounts(); err != nil {
+		return nil, err
+	}
+	return c.estimate(), nil
+}
+
 // Finalize implements mech.Collector.
 func (c *uniCollector) Finalize() (mech.Estimator, error) {
 	if _, err := c.DrainCounts(); err != nil {
 		return nil, err
 	}
+	return c.estimate(), nil
+}
+
+func (c *uniCollector) estimate() mech.Estimator {
 	d, cc := c.pr.p.D, c.pr.p.C
 	return mech.EstimatorFunc(func(q query.Query) (float64, error) {
 		if err := q.Validate(d, cc); err != nil {
 			return 0, err
 		}
 		return q.Volume(cc), nil
-	}), nil
+	})
 }

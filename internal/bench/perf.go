@@ -1,9 +1,10 @@
-// Collector performance runner: the PR-4 tracking harness behind
+// Collector performance runner: the tracking harness behind
 // `privmdr-bench -perf`. It measures the streaming aggregation path —
-// ingest throughput, finalize latency versus n, resident collector heap,
-// snapshot size — and, for contrast, the same deployment aggregated into
-// the seed's O(n) report store, emitting one JSON report (BENCH_PR4.json in
-// CI) so the perf trajectory is tracked from this PR on.
+// ingest throughput, epoch-refresh (Estimate) latency, finalize latency
+// versus n, resident collector heap, snapshot size — and, for contrast,
+// the same deployment aggregated into the seed's O(n) report store,
+// emitting one JSON report (BENCH_PR5.json in CI) so the perf trajectory
+// is tracked across PRs.
 package bench
 
 import (
@@ -28,6 +29,11 @@ type PerfPoint struct {
 	CollectorHeapBytes  uint64  `json:"collector_heap_bytes"`
 	SnapshotBytes       int     `json:"snapshot_bytes"`
 
+	// Live serving (the PR-5 epoch path): one non-destructive Estimate over
+	// the loaded collector, including estimator warm-up — the latency of
+	// sealing a fresh serving epoch while ingestion stays open.
+	EstimateMillis float64 `json:"estimate_ms"`
+
 	// Report-store baseline (the seed path): the same reports filed into a
 	// mech.Ingest, which is what every collector embedded before streaming.
 	ReportStoreHeapBytes  uint64  `json:"report_store_heap_bytes"`
@@ -35,7 +41,8 @@ type PerfPoint struct {
 	HeapRatioStoreVsCount float64 `json:"heap_ratio_store_vs_count"`
 }
 
-// PerfReport is the BENCH_PR4.json payload.
+// PerfReport is the BENCH_PR5.json payload (version 2 added estimate_ms,
+// the epoch-refresh latency).
 type PerfReport struct {
 	Version int         `json:"version"`
 	Scale   string      `json:"scale"`
@@ -78,7 +85,7 @@ func RunPerf(w io.Writer, cfg RunConfig) (*PerfReport, error) {
 	if len(mechs) == 0 {
 		mechs = []string{"HDG", "TDG"}
 	}
-	report := &PerfReport{Version: 1, Scale: string(cfg.scale())}
+	report := &PerfReport{Version: 2, Scale: string(cfg.scale())}
 	for _, name := range mechs {
 		for _, n := range perfNs(cfg.scale()) {
 			pt, err := perfPoint(name, n, cfg.Seed)
@@ -86,8 +93,8 @@ func RunPerf(w io.Writer, cfg RunConfig) (*PerfReport, error) {
 				return nil, err
 			}
 			report.Points = append(report.Points, *pt)
-			fmt.Fprintf(w, "%-5s n=%-9d ingest %8.0f reports/s  finalize %7.1f ms  heap %8d B (store %9d B, %5.1fx)  snapshot %6d B (v1 %9d B)\n",
-				pt.Mech, pt.N, pt.IngestReportsPerSec, pt.FinalizeMillis,
+			fmt.Fprintf(w, "%-5s n=%-9d ingest %8.0f reports/s  refresh %7.1f ms  finalize %7.1f ms  heap %8d B (store %9d B, %5.1fx)  snapshot %6d B (v1 %9d B)\n",
+				pt.Mech, pt.N, pt.IngestReportsPerSec, pt.EstimateMillis, pt.FinalizeMillis,
 				pt.CollectorHeapBytes, pt.ReportStoreHeapBytes, pt.HeapRatioStoreVsCount,
 				pt.SnapshotBytes, pt.ReportSnapshotBytes)
 		}
@@ -163,7 +170,22 @@ func perfPoint(name string, n int, seed uint64) (*PerfPoint, error) {
 		return nil, err
 	}
 	pt.SnapshotBytes = len(blob)
+	// Epoch refresh: a non-destructive Estimate plus the warm-up a live
+	// server runs before swapping the epoch pointer (the swap itself is one
+	// atomic store). Ingestion stays open, so this is repeatable — exactly
+	// the per-epoch cost of `privmdr serve -refresh`.
 	start := time.Now()
+	est, err := coll.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	if warm, ok := est.(interface{ PrecomputeMatrices() error }); ok {
+		if err := warm.PrecomputeMatrices(); err != nil {
+			return nil, err
+		}
+	}
+	pt.EstimateMillis = float64(time.Since(start).Microseconds()) / 1e3
+	start = time.Now()
 	if _, err := coll.Finalize(); err != nil {
 		return nil, err
 	}

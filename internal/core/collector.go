@@ -216,16 +216,36 @@ type hdgCollector struct {
 	f1, f2 *fo.Folder
 }
 
-// Finalize implements mech.Collector: estimate every grid from its group's
-// folded statistic, post-process, and wrap the result in the query-time
-// estimator. The estimates are bit-identical to the former report-multiset
-// path (EstimateAll over the group's reports) because the folded counts are
-// the exact integers that scan would tally.
+// Estimate implements mech.Collector: post-process a point-in-time snapshot
+// of the live statistics into an estimator, leaving ingestion open — the
+// epoch-serving path.
+func (c *hdgCollector) Estimate() (mech.Estimator, error) {
+	byGroup, err := c.SnapshotCounts()
+	if err != nil {
+		return nil, err
+	}
+	return c.estimate(byGroup)
+}
+
+// Finalize implements mech.Collector: Estimate over everything received,
+// then close ingestion permanently.
 func (c *hdgCollector) Finalize() (mech.Estimator, error) {
 	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
+	return c.estimate(byGroup)
+}
+
+// estimate turns one snapshot of per-group statistics into the query-time
+// estimator: estimate every grid from its group's folded statistic,
+// post-process, and wrap. The estimates are bit-identical to the former
+// report-multiset path (EstimateAll over the group's reports) because the
+// folded counts are the exact integers that scan would tally — and because
+// the whole pipeline is a pure function of the counts, an Estimate over a
+// report prefix matches a one-shot Finalize over the same prefix bit for
+// bit.
+func (c *hdgCollector) estimate(byGroup []mech.GroupCounts) (mech.Estimator, error) {
 	pr := c.pr
 	d, cc := pr.p.D, pr.p.C
 	grids1 := make([]*grid.Grid1D, d)

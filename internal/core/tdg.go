@@ -204,12 +204,28 @@ type tdgCollector struct {
 	f2 *fo.Folder
 }
 
-// Finalize implements mech.Collector.
+// Estimate implements mech.Collector: estimate from a point-in-time
+// snapshot of the live statistics, leaving ingestion open.
+func (c *tdgCollector) Estimate() (mech.Estimator, error) {
+	byGroup, err := c.SnapshotCounts()
+	if err != nil {
+		return nil, err
+	}
+	return c.estimate(byGroup)
+}
+
+// Finalize implements mech.Collector: Estimate over everything received,
+// then close ingestion permanently.
 func (c *tdgCollector) Finalize() (mech.Estimator, error) {
 	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
+	return c.estimate(byGroup)
+}
+
+// estimate turns one snapshot of per-group statistics into the estimator.
+func (c *tdgCollector) estimate(byGroup []mech.GroupCounts) (mech.Estimator, error) {
 	pr := c.pr
 	grids := make([]*grid.Grid2D, len(pr.pairs))
 	for pi := range pr.pairs {

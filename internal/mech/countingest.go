@@ -172,14 +172,19 @@ func (ci *CountIngest) DrainCounts() ([]GroupCounts, error) {
 	return out, nil
 }
 
-// State implements StatefulCollector: a deep snapshot of the per-group
-// statistics, stamped with the deployment identity as a v2 (count) state.
-// Ingestion may continue afterwards — the snapshot is unaffected.
-func (ci *CountIngest) State() (CollectorState, error) {
+// SnapshotCounts returns a deep copy of the per-group statistics without
+// closing ingestion — the read side of Estimate. The exclusive lock waits
+// out in-flight submissions (they hold the shared lock across their folds),
+// so the copy is a consistent point-in-time cut: it contains exactly the
+// reports whose Submit/SubmitBatch completed before the snapshot, and with
+// a single submitter that cut is always a prefix of the submission order.
+// The copy costs O(groups × domain) — flat in n, which is what makes
+// continuous re-estimation affordable for streaming collectors.
+func (ci *CountIngest) SnapshotCounts() ([]GroupCounts, error) {
 	ci.mu.Lock()
 	defer ci.mu.Unlock()
 	if ci.done {
-		return CollectorState{}, fmt.Errorf("mech: %w", ErrFinalized)
+		return nil, fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	counts := make([]GroupCounts, len(ci.groups))
 	for g := range ci.groups {
@@ -189,6 +194,17 @@ func (ci *CountIngest) State() (CollectorState, error) {
 			copy(gc.Counts, ci.groups[g].counts)
 		}
 		counts[g] = gc
+	}
+	return counts, nil
+}
+
+// State implements StatefulCollector: a deep snapshot of the per-group
+// statistics, stamped with the deployment identity as a v2 (count) state.
+// Ingestion may continue afterwards — the snapshot is unaffected.
+func (ci *CountIngest) State() (CollectorState, error) {
+	counts, err := ci.SnapshotCounts()
+	if err != nil {
+		return CollectorState{}, err
 	}
 	return CollectorState{Version: StateVersionCounts, Mech: ci.mechName, Params: ci.params, Counts: counts}, nil
 }

@@ -116,19 +116,41 @@ func (in *Ingest) Drain() ([][]Report, error) {
 	return in.byGroup, nil
 }
 
-// State implements StatefulCollector: a deep snapshot of the reports
-// accepted so far, stamped with the deployment identity. Ingestion may
-// continue afterwards — the snapshot is unaffected.
-func (in *Ingest) State() (CollectorState, error) {
+// Snapshot returns a point-in-time view of the per-group reports without
+// closing ingestion — the read side of Estimate. Only the slice headers are
+// copied: a filed report is written exactly once (inside the locked append)
+// and never mutated, so a later append either writes beyond every existing
+// snapshot's length or moves the group to a fresh backing array. The
+// snapshot is therefore immutable while costing O(groups), not O(n) — which
+// is what keeps re-estimating a large report store from doubling its heap.
+func (in *Ingest) Snapshot() ([][]Report, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.done {
-		return CollectorState{}, fmt.Errorf("mech: %w", ErrFinalized)
+		return nil, fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	groups := make([][]Report, len(in.byGroup))
 	for g, rs := range in.byGroup {
-		groups[g] = make([]Report, len(rs))
-		copy(groups[g], rs)
+		if len(rs) == 0 {
+			// Empty groups stay non-nil so exported states encode exactly as
+			// the former deep copy did.
+			groups[g] = []Report{}
+			continue
+		}
+		// Full slice expression: an append through the snapshot can never
+		// write into the live store's backing array.
+		groups[g] = rs[:len(rs):len(rs)]
+	}
+	return groups, nil
+}
+
+// State implements StatefulCollector: a snapshot of the reports accepted so
+// far, stamped with the deployment identity. Ingestion may continue
+// afterwards — the snapshot is unaffected.
+func (in *Ingest) State() (CollectorState, error) {
+	groups, err := in.Snapshot()
+	if err != nil {
+		return CollectorState{}, err
 	}
 	return CollectorState{Version: StateVersion, Mech: in.mechName, Params: in.params, Groups: groups}, nil
 }

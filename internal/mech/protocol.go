@@ -79,14 +79,27 @@ type Protocol interface {
 }
 
 // Collector is the aggregator side of a deployment. Submit and SubmitBatch
-// are safe for concurrent use; Finalize post-processes everything received
-// into an Estimator and permanently closes ingestion. Estimates depend only
-// on the multiset of submitted reports, never on arrival order.
+// are safe for concurrent use. Estimate post-processes a point-in-time
+// snapshot of everything received into an Estimator without closing
+// ingestion — it may be called any number of times, concurrently with
+// submissions, which is what lets a long-lived server re-estimate
+// continuously (epoch serving). Finalize is Estimate over everything
+// received plus a permanent close of ingestion: the terminal transition.
+// Estimates depend only on the multiset of submitted reports, never on
+// arrival order, so an Estimate over a report prefix is bit-identical to a
+// one-shot Finalize of a fresh collector fed the same prefix.
 type Collector interface {
 	Submit(r Report) error
 	SubmitBatch(rs []Report) error
 	// Received reports how many reports have been accepted so far.
 	Received() int
+	// Estimate builds an Estimator from a consistent snapshot of the
+	// reports accepted so far, leaving ingestion open. It fails with
+	// ErrFinalized once Finalize has closed the collector.
+	Estimate() (Estimator, error)
+	// Finalize builds the final Estimator and permanently closes ingestion;
+	// a second call (and any later Submit, State, Merge, or Estimate) fails
+	// with ErrFinalized.
 	Finalize() (Estimator, error)
 }
 

@@ -1,0 +1,265 @@
+package privmdr_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privmdr"
+)
+
+// liveDataset is a small deployment every mechanism can host (HIO's 3³ and
+// LHIO's 3·3² group layouts both fit), sized so the prefix-identity tables
+// below stay fast even under -race.
+func liveDataset(t *testing.T, n int) *privmdr.Dataset {
+	t.Helper()
+	ds, err := privmdr.GenerateDataset("ipums", privmdr.GenOptions{N: n, D: 3, C: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func liveWorkload(t *testing.T, d, c int) []privmdr.Query {
+	t.Helper()
+	qs, err := privmdr.RandomWorkload(6, 2, d, c, 0.5, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := privmdr.RandomWorkload(3, 1, d, c, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(qs, oneD...)
+}
+
+// answersEqual compares two answer vectors bit for bit.
+func answersEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// oneShotAnswers builds a fresh collector, feeds it the given report
+// prefix, finalizes, and answers the workload — the reference every epoch
+// estimate must match bit for bit.
+func oneShotAnswers(t *testing.T, proto privmdr.Protocol, prefix []privmdr.Report, qs []privmdr.Query) []float64 {
+	t.Helper()
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.SubmitBatch(prefix); err != nil {
+		t.Fatal(err)
+	}
+	est, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := privmdr.AnswerBatch(est, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEstimateMatchesFinalizePrefix is the epoch-serving golden invariant,
+// pinned deterministically for every mechanism: after each ingested chunk,
+// a non-destructive Estimate of the live collector answers bit-identically
+// to a one-shot Finalize over the same report prefix; ingestion stays open
+// across estimates; the terminal Finalize matches the full-prefix one-shot;
+// and earlier epoch estimators stay frozen — answering them again after
+// more reports arrived reproduces their original answers, proving the
+// snapshot is isolated from the live store.
+func TestEstimateMatchesFinalizePrefix(t *testing.T) {
+	ds := liveDataset(t, 3000)
+	qs := liveWorkload(t, ds.D(), ds.C)
+	for _, m := range privmdr.Mechanisms() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 208}
+			proto, err := m.Protocol(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := makeReports(t, proto, ds)
+			live, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cuts := []int{len(reports) / 4, len(reports) / 2, len(reports)}
+			prev := 0
+			type epoch struct {
+				est     privmdr.Estimator
+				answers []float64
+			}
+			var epochs []epoch
+			for _, cut := range cuts {
+				if err := live.SubmitBatch(reports[prev:cut]); err != nil {
+					t.Fatal(err)
+				}
+				prev = cut
+				est, err := live.Estimate()
+				if err != nil {
+					t.Fatalf("Estimate after %d reports: %v", cut, err)
+				}
+				got, err := privmdr.AnswerBatch(est, qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := oneShotAnswers(t, proto, reports[:cut], qs)
+				if !answersEqual(got, want) {
+					t.Fatalf("estimate over %d-report prefix differs from one-shot finalize\n got %v\nwant %v", cut, got, want)
+				}
+				epochs = append(epochs, epoch{est: est, answers: got})
+			}
+			if got := live.Received(); got != len(reports) {
+				t.Fatalf("received %d after estimates, want %d (estimates must not close ingestion)", got, len(reports))
+			}
+
+			// The terminal transition: Finalize over everything matches the
+			// last estimate, and afterwards both Estimate and Finalize fail
+			// with the finalized sentinel.
+			final, err := live.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := privmdr.AnswerBatch(final, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !answersEqual(got, epochs[len(epochs)-1].answers) {
+				t.Fatal("terminal Finalize differs from the estimate over the same reports")
+			}
+			if _, err := live.Estimate(); !errors.Is(err, privmdr.ErrCollectorFinalized) {
+				t.Fatalf("Estimate after Finalize: %v, want ErrCollectorFinalized", err)
+			}
+			if _, err := live.Finalize(); !errors.Is(err, privmdr.ErrCollectorFinalized) {
+				t.Fatalf("second Finalize: %v, want ErrCollectorFinalized", err)
+			}
+
+			// Epoch isolation: each sealed estimator still answers exactly
+			// what it answered when sealed, even though the collector kept
+			// ingesting (and finalized) after the snapshot.
+			for i, ep := range epochs {
+				again, err := privmdr.AnswerBatch(ep.est, qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !answersEqual(again, ep.answers) {
+					t.Fatalf("epoch %d estimator changed its answers after later ingestion", i+1)
+				}
+			}
+		})
+	}
+}
+
+// TestEstimateConcurrentWithIngest verifies the golden invariant while
+// ingestion is actually running: a single submitter streams reports one by
+// one (publishing its progress), and concurrent Estimate calls must each
+// equal a one-shot Finalize over *some* submission prefix inside the
+// progress window observed around the call. With a single submitter the
+// collector's snapshot is always a prefix of the submission order, so a
+// miss would mean the snapshot tore. Run under -race this is also the data
+// race check for the live estimate path of every mechanism.
+func TestEstimateConcurrentWithIngest(t *testing.T) {
+	ds := liveDataset(t, 300)
+	qs := liveWorkload(t, ds.D(), ds.C)
+	for _, m := range privmdr.Mechanisms() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 209}
+			proto, err := m.Protocol(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := makeReports(t, proto, ds)
+			live, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var progress atomic.Int64
+			done := make(chan error, 1)
+			go func() {
+				for i, r := range reports {
+					if err := live.Submit(r); err != nil {
+						done <- err
+						return
+					}
+					progress.Store(int64(i + 1))
+					// Pace the stream so each estimate's progress window —
+					// and with it the candidate-prefix search below — stays
+					// narrow.
+					time.Sleep(200 * time.Microsecond)
+				}
+				done <- nil
+			}()
+
+			// prefixAnswers memoizes the one-shot reference per prefix
+			// length, shared across the estimates below.
+			prefixAnswers := map[int][]float64{}
+			reference := func(k int) []float64 {
+				if a, ok := prefixAnswers[k]; ok {
+					return a
+				}
+				a := oneShotAnswers(t, proto, reports[:k], qs)
+				prefixAnswers[k] = a
+				return a
+			}
+
+			for e := 0; e < 4; e++ {
+				time.Sleep(5 * time.Millisecond)
+				lo := int(progress.Load())
+				est, err := live.Estimate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				hi := int(progress.Load()) + 1 // the submit after the last published one may already be folded
+				if hi > len(reports) {
+					hi = len(reports)
+				}
+				got, err := privmdr.AnswerBatch(est, qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				matched := -1
+				for k := lo; k <= hi; k++ {
+					if answersEqual(got, reference(k)) {
+						matched = k
+						break
+					}
+				}
+				if matched < 0 {
+					t.Fatalf("estimate %d (progress window [%d,%d]) matches no one-shot prefix finalize", e, lo, hi)
+				}
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+
+			// After the stream drains, one more estimate must equal the
+			// full-set one-shot exactly.
+			est, err := live.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := privmdr.AnswerBatch(est, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !answersEqual(got, reference(len(reports))) {
+				t.Fatal("post-stream estimate differs from the one-shot finalize over every report")
+			}
+		})
+	}
+}

@@ -64,10 +64,22 @@
 //
 //	ans, _ := privmdr.AnswerBatch(est, workload)
 //
-// QueryServer wraps a deployment in a persistent HTTP service — ingest
-// report shards (POST /reports), finalize once, then serve POST /query
-// batches until shutdown. See the "Serving" section of PROTOCOL.md and
-// examples/queryserver for a load-driving client.
+// Estimation is repeatable: Collector.Estimate builds an estimator from a
+// point-in-time snapshot of the reports received so far without closing
+// ingestion, so a long-lived aggregator can re-estimate continuously as
+// reports keep arriving. Finalize is Estimate plus a permanent close — the
+// terminal transition. An Estimate over a report prefix answers
+// bit-identically to a one-shot Finalize over the same prefix.
+//
+// QueryServer wraps a deployment in a persistent HTTP service. In
+// finalize-once mode it ingests report shards (POST /reports), finalizes
+// once, then serves POST /query batches until shutdown; in live mode
+// (NewLiveQueryServer, privmdr serve -refresh) reports are accepted forever
+// and queries are answered from the latest sealed epoch estimator, which a
+// background refresher keeps rebuilding from the live collector. See the
+// "Serving" section of PROTOCOL.md, examples/queryserver for a load-driving
+// client, and examples/live for concurrent ingest + query against a live
+// server.
 //
 // # Sharded aggregation
 //
@@ -144,7 +156,8 @@ type (
 	// of Params; see Mechanism.Protocol.
 	Protocol = mech.Protocol
 	// Collector is the aggregator side: concurrency-safe Submit and
-	// SubmitBatch ingestion, then a single Finalize.
+	// SubmitBatch ingestion, repeatable non-destructive Estimate snapshots,
+	// and a single terminal Finalize.
 	Collector = mech.Collector
 	// StatefulCollector is a Collector whose aggregation state can be
 	// exported and merged — the mergeable-sketch property behind sharded
@@ -282,6 +295,15 @@ func DecodeState(data []byte) (CollectorState, error) {
 		return CollectorState{}, err
 	}
 	return st, nil
+}
+
+// DecodeSnapshot parses a server snapshot file: either a bare collector
+// state (EncodeState, GET /state, finalize-once servers) or a live server's
+// epoch-stamped wrapper, returning the embedded state and the serving epoch
+// counter (0 for bare states). It is what lets `privmdr merge` combine
+// snapshots from live and finalize-once shards alike.
+func DecodeSnapshot(data []byte) (CollectorState, uint64, error) {
+	return decodeSnapshot(data)
 }
 
 // GenerateDataset draws a synthetic dataset by generator name: "ipums",

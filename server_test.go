@@ -128,7 +128,7 @@ func TestQueryServerLifecycle(t *testing.T) {
 
 	var status privmdr.ServerStatus
 	getJSON(t, ts.URL+"/healthz", &status)
-	if status.Mechanism != "HDG" || status.Finalized || status.Received != 0 {
+	if status.Mechanism != "HDG" || status.Mode != "finalize-once" || status.Serving || status.Epoch != 0 || status.Received != 0 {
 		t.Fatalf("fresh server status = %+v", status)
 	}
 	var sp privmdr.ServerParams
@@ -154,8 +154,8 @@ func TestQueryServerLifecycle(t *testing.T) {
 		t.FailNow()
 	}
 	getJSON(t, ts.URL+"/healthz", &status)
-	if status.Received != f.params.N || status.Finalized {
-		t.Fatalf("post-ingest status = %+v, want %d reports, not finalized", status, f.params.N)
+	if status.Received != f.params.N || status.Serving {
+		t.Fatalf("post-ingest status = %+v, want %d reports, not serving", status, f.params.N)
 	}
 
 	// First query finalizes implicitly and must match the direct path
@@ -196,7 +196,8 @@ func TestQueryServerLifecycle(t *testing.T) {
 		t.Fatalf("POST /finalize after finalize: %d, want 200 (idempotent)", code)
 	}
 	getJSON(t, ts.URL+"/healthz", &status)
-	if !status.Finalized || status.Received != f.params.N {
+	if !status.Serving || status.Epoch != 1 || status.Received != f.params.N ||
+		status.EstimatorReports != f.params.N || status.Staleness != 0 {
 		t.Fatalf("serving status = %+v", status)
 	}
 }
@@ -277,7 +278,7 @@ func TestQueryServerRejectsBadInput(t *testing.T) {
 	// None of the malformed batches may have ended the ingestion phase.
 	var status privmdr.ServerStatus
 	getJSON(t, ts.URL+"/healthz", &status)
-	if status.Finalized {
+	if status.Serving {
 		t.Error("malformed input finalized the server")
 	}
 	// Wrong method.
@@ -476,7 +477,7 @@ func TestQueryServerStateMergeStatuses(t *testing.T) {
 	}
 	var status privmdr.ServerStatus
 	getJSON(t, ts.URL+"/healthz", &status)
-	if status.Finalized || status.Received != 0 {
+	if status.Serving || status.Received != 0 {
 		t.Fatalf("rejected merges left status %+v", status)
 	}
 }
