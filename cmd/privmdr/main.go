@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"privmdr"
+	"privmdr/dist"
 )
 
 // osEntropyRand returns a generator seeded from the OS entropy pool — the
@@ -77,6 +78,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
+	case "dist":
+		err = cmdDist(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -112,6 +115,14 @@ protocol subcommands (drive the two deployment sides separately):
   merge     combine exported collector states (from GET /state or serve
             -snapshot) into one state file; the merged state finalizes
             bit-identically to a single collector that saw every report
+  dist      run one role of the distributed serving tier over a shared
+            topology file (see PROTOCOL.md "Distributed topology"):
+            -role shard accepts reports and pushes deltas to the
+            aggregator; -role aggregator merges shard deltas and seals
+            epochs out to the replicas; -role replica serves queries from
+            the latest sealed epoch; -role server is the single-node
+            multi-tenant mode (one live query server per tenant). All
+            roles route per tenant under /v1/{tenant}/...
 
 examples:
   privmdr gen -data normal -n 100000 -d 6 -c 64 -out data.csv
@@ -124,7 +135,11 @@ examples:
   privmdr serve -params params.json -reports shard0.bin,shard1.bin -http :8080
   privmdr serve -params params.json -http :8080 -snapshot state.bin
   privmdr serve -params params.json -http :8080 -refresh 30s -min-new 1000
-  privmdr merge -out merged.state shard0.state shard1.state`)
+  privmdr merge -out merged.state shard0.state shard1.state
+  privmdr dist -role aggregator -topology topo.json -http :9090 -seal 30s
+  privmdr dist -role shard -id edge-1 -topology topo.json -http :8080 -push 5s
+  privmdr dist -role replica -topology topo.json -http :9191
+  privmdr dist -role server -topology topo.json -http :8080 -refresh 30s`)
 }
 
 // paramsFile is the on-disk form of a deployment's public parameters: the
@@ -838,4 +853,147 @@ func formatQuery(q privmdr.Query) string {
 		parts[i] = fmt.Sprintf("a%d∈[%d,%d]", p.Attr, p.Lo, p.Hi)
 	}
 	return strings.Join(parts, " & ")
+}
+
+// cmdDist runs one role of the distributed serving tier: a delta-pushing
+// ingest shard, the epoch-sealing aggregator, a stateless query replica, or
+// the single-node multi-tenant server. Every role loads the same topology
+// file and serves its tenants under /v1/{tenant}/...; shutdown is graceful
+// per role (shards flush their un-shipped deltas, the aggregator seals a
+// final epoch, the multi-tenant server snapshots).
+func cmdDist(args []string) error {
+	fs := flag.NewFlagSet("dist", flag.ExitOnError)
+	role := fs.String("role", "", "shard | aggregator | replica | server")
+	topoPath := fs.String("topology", "", "topology JSON file (tenants, aggregator URL, replica URLs)")
+	addr := fs.String("http", "", "listen address, e.g. :8080")
+	id := fs.String("id", "", "shard: this shard's stable identity (required)")
+	aggURL := fs.String("aggregator", "", "shard: override the topology's aggregator URL")
+	push := fs.Duration("push", 5*time.Second, "shard: delta push interval (0 = manual pushes only)")
+	minPush := fs.Int("min-push", 0, "shard: min new reports before a scheduled push bothers")
+	seal := fs.Duration("seal", 30*time.Second, "aggregator: epoch seal interval (0 = threshold/manual only)")
+	minNew := fs.Int("min-new", 0, "aggregator: seal as soon as this many new reports merged; server: refresh threshold")
+	refresh := fs.Duration("refresh", 0, "server: live refresh interval per tenant")
+	timeout := fs.Duration("timeout", 10*time.Second, "outbound request timeout (pushes, fan-out)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *topoPath == "" || *addr == "" {
+		return fmt.Errorf("dist requires -topology and -http")
+	}
+	topo, err := dist.LoadTopology(*topoPath)
+	if err != nil {
+		return err
+	}
+
+	var handler http.Handler
+	var drain func(context.Context) // best-effort graceful work before exit
+	switch *role {
+	case "shard":
+		if *id == "" {
+			return fmt.Errorf("dist -role shard requires -id")
+		}
+		shard, err := dist.NewShard(topo, dist.ShardOptions{
+			ID: *id, Aggregator: *aggURL, PushInterval: *push, MinPush: *minPush, Timeout: *timeout,
+		})
+		if err != nil {
+			return err
+		}
+		defer shard.Close()
+		handler = shard
+		drain = func(ctx context.Context) {
+			if err := shard.Flush(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "privmdr: final flush:", err)
+			} else {
+				fmt.Println("final deltas flushed to the aggregator")
+			}
+		}
+		fmt.Printf("dist shard %s (%d tenants) — pushing to %s every %v, serving on %s\n",
+			*id, len(topo.Tenants), cmpOr(*aggURL, topo.Aggregator), *push, *addr)
+	case "aggregator":
+		agg, err := dist.NewAggregator(topo, dist.SealOptions{
+			Interval: *seal, MinNewReports: *minNew, Timeout: *timeout,
+		})
+		if err != nil {
+			return err
+		}
+		defer agg.Close()
+		handler = agg
+		drain = func(ctx context.Context) {
+			for _, tc := range topo.Tenants {
+				if res, err := agg.Seal(ctx, tc.Name, true); err != nil {
+					fmt.Fprintf(os.Stderr, "privmdr: final seal %s: %v\n", tc.Name, err)
+				} else if res.Sealed {
+					fmt.Printf("sealed final epoch %d for %s (%d reports, %d replicas)\n",
+						res.Epoch, tc.Name, res.Reports, res.Fanout)
+				}
+			}
+		}
+		fmt.Printf("dist aggregator (%d tenants, %d replicas) — sealing every %v, serving on %s\n",
+			len(topo.Tenants), len(topo.Replicas), *seal, *addr)
+	case "replica":
+		rep, err := dist.NewReplica(topo)
+		if err != nil {
+			return err
+		}
+		handler = rep
+		fmt.Printf("dist replica (%d tenants) — serving on %s, waiting for sealed epochs\n",
+			len(topo.Tenants), *addr)
+	case "server":
+		srv, err := dist.NewTenantServer(topo, privmdr.LiveOptions{Refresh: *refresh, MinNewReports: *minNew})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if restored, err := srv.LoadSnapshots(); err != nil {
+			return err
+		} else if restored > 0 {
+			fmt.Printf("restored %d tenant snapshot(s)\n", restored)
+		}
+		handler = srv
+		drain = func(context.Context) {
+			if err := srv.SaveSnapshots(); err != nil {
+				fmt.Fprintln(os.Stderr, "privmdr: tenant snapshots:", err)
+			}
+		}
+		fmt.Printf("dist server (%d tenants, live) — serving on %s\n", len(topo.Tenants), *addr)
+	case "":
+		return fmt.Errorf("dist requires -role shard|aggregator|replica|server")
+	default:
+		return fmt.Errorf("unknown dist role %q (want shard, aggregator, replica, or server)", *role)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	if drain == nil {
+		return server.ListenAndServe()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		// Drain in-flight requests so acknowledged reports are inside the
+		// final flush/seal/snapshot, then run the role's graceful step.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr := server.Shutdown(ctx)
+		if shutdownErr != nil {
+			fmt.Fprintf(os.Stderr, "privmdr: shutdown did not drain cleanly: %v\n", shutdownErr)
+		}
+		fmt.Printf("\n%v: draining\n", s)
+		drain(ctx)
+		return shutdownErr
+	}
+}
+
+// cmpOr returns the first non-empty string.
+func cmpOr(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
 }

@@ -252,3 +252,29 @@ func TestMergeSubcommand(t *testing.T) {
 		t.Error("merge of a malformed state should fail")
 	}
 }
+
+func TestDistFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	if err := os.WriteFile(topo, []byte(`{"tenants":[{"name":"census","mechanism":"Uni",
+		"params":{"n":100,"d":3,"c":16,"eps":1,"seed":7}}],"aggregator":"http://127.0.0.1:1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no flags", nil},
+		{"missing topology", []string{"-role", "replica", "-http", ":0"}},
+		{"missing http", []string{"-role", "replica", "-topology", topo}},
+		{"missing role", []string{"-topology", topo, "-http", ":0"}},
+		{"unknown role", []string{"-role", "proxy", "-topology", topo, "-http", ":0"}},
+		{"shard without id", []string{"-role", "shard", "-topology", topo, "-http", ":0"}},
+		{"topology missing", []string{"-role", "replica", "-topology", filepath.Join(dir, "nope.json"), "-http", ":0"}},
+	}
+	for _, tc := range cases {
+		if err := cmdDist(tc.args); err == nil {
+			t.Errorf("%s: cmdDist accepted %v", tc.name, tc.args)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"privmdr"
+)
+
+// SealOptions configure the aggregator's epoch coordinator.
+type SealOptions struct {
+	// Interval is how often the background sealer checks for seal-worthy
+	// tenants. Zero disables it: epochs then seal only on the report
+	// threshold or on demand (Seal, POST /v1/{tenant}/seal).
+	Interval time.Duration
+	// MinNewReports is the report threshold: a scheduled seal requires this
+	// many reports since the last sealed epoch (≤ 1 means any), and when
+	// > 0 an applied push that reaches it seals immediately instead of
+	// waiting for the ticker.
+	MinNewReports int
+	// Timeout bounds each outbound fan-out request (default 10s).
+	Timeout time.Duration
+}
+
+// Aggregator is the epoch coordinator: per tenant it merges shard push
+// deltas into one collector (tracking each shard's last applied sequence
+// number so retries are idempotent), and seals epochs — a non-destructive
+// state export stamped with the next epoch number and fanned out to every
+// configured query replica. Endpoints per tenant:
+//
+//	POST /v1/{tenant}/push    — binary PushEnvelope; 200 with {"applied"}
+//	                            (false for an idempotent duplicate), 409
+//	                            with {"last"} on stale/gapped sequences
+//	POST /v1/{tenant}/seal    — force-seal an epoch now, fan it out
+//	GET  /v1/{tenant}/state   — the merged CollectorState (binary)
+//	GET  /v1/{tenant}/params  — public deployment parameters
+//	GET  /v1/{tenant}/healthz — AggregatorStatus
+type Aggregator struct {
+	tenants  map[string]*aggTenant
+	names    []string
+	replicas []string
+	mux      *http.ServeMux
+	tr       *transport
+
+	interval time.Duration
+	minNew   int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{} // closed when the background sealer exits; nil without one
+}
+
+// aggTenant is one tenant's merged collector plus its epoch bookkeeping.
+type aggTenant struct {
+	name  string
+	proto privmdr.Protocol
+
+	// mu guards everything below. Pushes, seals, and state exports all
+	// serialize on it; the collector itself is only touched under mu.
+	mu   sync.Mutex
+	coll privmdr.StatefulCollector
+	// shardSeq is each shard's last applied sequence number.
+	shardSeq map[string]uint64
+	// epoch is the last sealed epoch number (0 before the first seal);
+	// sealedReports is how many reports that epoch included.
+	epoch         uint64
+	sealedReports int
+	lastSealErr   string
+}
+
+// AggregatorStatus is one tenant's GET /healthz reply on the aggregator.
+type AggregatorStatus struct {
+	Role      string `json:"role"`
+	Tenant    string `json:"tenant"`
+	Mechanism string `json:"mechanism"`
+	// Received is how many reports the merged collector holds.
+	Received int `json:"received"`
+	// Epoch is the last sealed epoch (0 before the first);
+	// SealedReports is how many reports it included, and Staleness is the
+	// merged-but-unsealed remainder.
+	Epoch         uint64 `json:"epoch"`
+	SealedReports int    `json:"sealed_reports"`
+	Staleness     int    `json:"staleness"`
+	// Shards maps each shard ID to its last applied push sequence number.
+	Shards map[string]uint64 `json:"shards,omitempty"`
+	// LastSealError is the most recent seal or fan-out failure, empty once
+	// a later seal fully succeeds.
+	LastSealError string `json:"last_seal_error,omitempty"`
+}
+
+// SealResult reports one seal attempt.
+type SealResult struct {
+	Tenant string `json:"tenant"`
+	// Sealed reports whether a new epoch was sealed; when false, Epoch and
+	// Reports describe the still-current previous epoch.
+	Sealed bool   `json:"sealed"`
+	Epoch  uint64 `json:"epoch"`
+	// Reports is how many reports the epoch includes.
+	Reports int `json:"reports"`
+	// Fanout is how many replicas now serve an epoch ≥ this one; Errors
+	// lists the replicas that could not be updated (they stay on their
+	// previous epoch until the next seal reaches them).
+	Fanout int      `json:"fanout"`
+	Errors []string `json:"errors,omitempty"`
+}
+
+// NewAggregator builds the aggregator role over a topology. Replicas for
+// the epoch fan-out come from the topology. Call Close when the aggregator
+// is discarded.
+func NewAggregator(topo *Topology, opts SealOptions) (*Aggregator, error) {
+	protos, err := topo.protocols()
+	if err != nil {
+		return nil, err
+	}
+	a := &Aggregator{
+		tenants:  make(map[string]*aggTenant, len(topo.Tenants)),
+		replicas: append([]string(nil), topo.Replicas...),
+		tr:       newTransport(opts.Timeout),
+		interval: opts.Interval,
+		minNew:   opts.MinNewReports,
+		stop:     make(chan struct{}),
+	}
+	for _, tc := range topo.Tenants {
+		proto := protos[tc.Name]
+		coll, err := proto.NewCollector()
+		if err != nil {
+			return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
+		}
+		a.tenants[tc.Name] = &aggTenant{
+			name:     tc.Name,
+			proto:    proto,
+			coll:     coll.(privmdr.StatefulCollector),
+			shardSeq: make(map[string]uint64),
+		}
+		a.names = append(a.names, tc.Name)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/{tenant}/push", a.handlePush)
+	mux.HandleFunc("POST /v1/{tenant}/seal", a.handleSeal)
+	mux.HandleFunc("GET /v1/{tenant}/state", a.handleState)
+	mux.HandleFunc("GET /v1/{tenant}/params", a.handleParams)
+	mux.HandleFunc("GET /v1/{tenant}/healthz", a.handleHealthz)
+	a.mux = mux
+	if opts.Interval > 0 {
+		a.done = make(chan struct{})
+		go a.sealLoop()
+	}
+	return a, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// Close stops the background sealer.
+func (a *Aggregator) Close() error {
+	a.stopOnce.Do(func() { close(a.stop) })
+	if a.done != nil {
+		<-a.done
+	}
+	return nil
+}
+
+// sealLoop is the background sealer: every interval it seals each tenant
+// that accumulated at least MinNewReports since its last epoch.
+func (a *Aggregator) sealLoop() {
+	defer close(a.done)
+	t := time.NewTicker(a.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			for _, name := range a.names {
+				_, _ = a.Seal(context.Background(), name, false)
+			}
+		}
+	}
+}
+
+// apply merges one push envelope under the tenant's sequencing protocol.
+// It returns whether the delta was applied (false for the idempotent
+// duplicate seq == last) and the shard's last applied sequence number —
+// which a conflicting shard uses to resync.
+func (t *aggTenant) apply(env PushEnvelope) (applied bool, last uint64, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	last = t.shardSeq[env.Shard]
+	switch {
+	case env.Seq == last:
+		// The retry of a push whose ACK was lost: already merged, ACK again.
+		return false, last, nil
+	case env.Seq < last:
+		return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
+			env.Shard, env.Seq, last, ErrStaleSeq)
+	case env.Seq > last+1:
+		return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
+			env.Shard, env.Seq, last, ErrSeqGap)
+	}
+	if err := t.coll.Merge(env.Delta); err != nil {
+		return false, last, err
+	}
+	t.shardSeq[env.Shard] = env.Seq
+	return true, env.Seq, nil
+}
+
+func (a *Aggregator) handlePush(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := a.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	var env PushEnvelope
+	if err := env.UnmarshalBinary(body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	applied, last, err := t.apply(env)
+	if err != nil {
+		writeJSON(w, errStatus(err), pushAck{Last: last, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, pushAck{Applied: applied, Last: last})
+	if applied && a.minNew > 0 {
+		// Threshold sealing: don't wait for the ticker once enough reports
+		// accumulated. Runs after the ACK is written so push latency never
+		// pays for estimator fan-out.
+		_, _ = a.Seal(r.Context(), name, false)
+	}
+}
+
+// Seal exports the tenant's merged state, stamps it with the next epoch
+// number, and fans it out to every replica. force seals whenever any new
+// report arrived since the last epoch (and, for an empty tenant, even a
+// zero-report first epoch so replicas can start serving priors); a
+// scheduled seal (force=false) additionally requires MinNewReports.
+func (a *Aggregator) Seal(ctx context.Context, tenant string, force bool) (SealResult, error) {
+	t, ok := a.tenants[tenant]
+	if !ok {
+		return SealResult{}, fmt.Errorf("dist: unknown tenant %q", tenant)
+	}
+	t.mu.Lock()
+	fresh := t.coll.Received() - t.sealedReports
+	threshold := 1
+	if !force && a.minNew > 1 {
+		threshold = a.minNew
+	}
+	if fresh < threshold && !(force && t.epoch == 0) {
+		res := SealResult{Tenant: tenant, Epoch: t.epoch, Reports: t.sealedReports}
+		t.mu.Unlock()
+		return res, nil
+	}
+	st, err := t.coll.State()
+	if err != nil {
+		t.lastSealErr = err.Error()
+		t.mu.Unlock()
+		return SealResult{}, err
+	}
+	t.epoch++
+	epoch := t.epoch
+	t.sealedReports = st.Received()
+	t.mu.Unlock()
+
+	blob, err := privmdr.EncodeSnapshot(st, epoch)
+	if err != nil {
+		t.setSealErr(err.Error())
+		return SealResult{}, err
+	}
+	res := SealResult{Tenant: tenant, Sealed: true, Epoch: epoch, Reports: st.Received()}
+	res.Fanout, res.Errors = a.fanout(ctx, tenant, blob)
+	if len(res.Errors) > 0 {
+		t.setSealErr(fmt.Sprintf("epoch %d: %s", epoch, res.Errors[0]))
+	} else {
+		t.setSealErr("")
+	}
+	return res, nil
+}
+
+func (t *aggTenant) setSealErr(msg string) {
+	t.mu.Lock()
+	t.lastSealErr = msg
+	t.mu.Unlock()
+}
+
+// fanout pushes a sealed snapshot to every replica concurrently. A 409 from
+// a replica counts as success: it already serves this epoch or a newer one
+// (a racing seal won), either way it is not behind.
+func (a *Aggregator) fanout(ctx context.Context, tenant string, blob []byte) (ok int, errs []string) {
+	if len(a.replicas) == 0 {
+		return 0, nil
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, rep := range a.replicas {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			url := rep + "/v1/" + tenant + "/epoch"
+			status, body, err := a.tr.post(ctx, url, "application/octet-stream", blob)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				errs = append(errs, err.Error())
+			case status >= 200 && status < 300, status == http.StatusConflict:
+				ok++
+			default:
+				errs = append(errs, fmt.Sprintf("dist: %s: %d %s", url, status, body))
+			}
+		}()
+	}
+	wg.Wait()
+	return ok, errs
+}
+
+// State exports a tenant's merged collector state.
+func (a *Aggregator) State(tenant string) (privmdr.CollectorState, error) {
+	t, ok := a.tenants[tenant]
+	if !ok {
+		return privmdr.CollectorState{}, fmt.Errorf("dist: unknown tenant %q", tenant)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.coll.State()
+}
+
+func (a *Aggregator) handleSeal(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if _, ok := a.tenants[name]; !ok {
+		unknownTenant(w, name)
+		return
+	}
+	res, err := a.Seal(r.Context(), name, true)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *Aggregator) handleState(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := a.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	t.mu.Lock()
+	st, err := t.coll.State()
+	t.mu.Unlock()
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	blob, err := st.MarshalBinary()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(blob)
+}
+
+func (a *Aggregator) handleParams(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := a.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	writeJSON(w, http.StatusOK, privmdr.ServerParams{Mechanism: t.proto.Name(), Params: t.proto.Params()})
+}
+
+func (a *Aggregator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := a.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	t.mu.Lock()
+	shards := make(map[string]uint64, len(t.shardSeq))
+	for id, seq := range t.shardSeq {
+		shards[id] = seq
+	}
+	status := AggregatorStatus{
+		Role:          "aggregator",
+		Tenant:        t.name,
+		Mechanism:     t.proto.Name(),
+		Received:      t.coll.Received(),
+		Epoch:         t.epoch,
+		SealedReports: t.sealedReports,
+		Staleness:     t.coll.Received() - t.sealedReports,
+		Shards:        shards,
+		LastSealError: t.lastSealErr,
+	}
+	t.mu.Unlock()
+	writeJSON(w, http.StatusOK, status)
+}

@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// transport is the retrying HTTP client every role uses for its outbound
+// legs (shard→aggregator pushes, aggregator→replica fan-out). It retries
+// transport failures and 5xx responses with exponential backoff — the cases
+// where the receiver either never saw the request or refused it temporarily
+// — and returns 4xx responses to the caller untouched, since those are
+// protocol answers (duplicate ACKs, stale sequences) the caller must
+// interpret. Retried requests are safe by construction: every dist push is
+// idempotent under its sequence number or epoch.
+type transport struct {
+	c        *http.Client
+	attempts int
+	backoff  time.Duration
+}
+
+// newTransport builds the default transport: per-request timeout, 4
+// attempts, 50 ms backoff doubling between them.
+func newTransport(timeout time.Duration) *transport {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &transport{
+		c:        &http.Client{Timeout: timeout},
+		attempts: 4,
+		backoff:  50 * time.Millisecond,
+	}
+}
+
+// post sends body to url, retrying on network errors and 5xx. It returns
+// the final response's status and (bounded) body; err is non-nil only when
+// every attempt failed at the transport level or the context ended.
+func (t *transport) post(ctx context.Context, url, contentType string, body []byte) (int, []byte, error) {
+	var lastErr error
+	delay := t.backoff
+	for attempt := 0; attempt < t.attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := t.c.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = fmt.Errorf("dist: %s: %d %s", url, resp.StatusCode, payload)
+			continue
+		}
+		return resp.StatusCode, payload, nil
+	}
+	return 0, nil, fmt.Errorf("dist: %s unreachable after %d attempts: %w", url, t.attempts, lastErr)
+}

@@ -1,0 +1,112 @@
+// Package dist is the distributed serving tier: it scales one privmdr
+// deployment from "one process" to a horizontally scalable service by wiring
+// three roles over HTTP, all of them multi-tenant (one process hosts many
+// named deployments under /v1/{tenant}/...):
+//
+//   - Ingest shards (NewShard) sit at the edge and accept POST
+//     /v1/{tenant}/reports exactly like a QueryServer — each tenant's
+//     reports fold into the shard's local collector. A background pusher
+//     periodically ships the *delta* since the last push to the aggregator:
+//     for streaming mechanisms that is an O(groups×domain) count-vector
+//     difference (DiffStates on v2 states), for report-retaining HIO/LHIO it
+//     is the batch of reports received since the last push (v1 suffix).
+//     Every push carries the shard's ID and a monotonic sequence number, so
+//     a retried push is idempotent; failed pushes retry with backoff and the
+//     un-shipped delta simply grows until the aggregator is reachable again.
+//
+//   - The aggregator / epoch coordinator (NewAggregator) merges shard deltas
+//     into one collector per tenant — the standard CollectorState Merge, so
+//     any shard count and any push interleaving reconstructs exactly the
+//     union multiset — and seals epochs on a schedule, on a report
+//     threshold, or on demand (POST /v1/{tenant}/seal). Sealing exports the
+//     collector state non-destructively, stamps it with the next epoch
+//     number, and fans it out to every configured query replica.
+//
+//   - Query replicas (NewReplica) are stateless: they hold no collector,
+//     only the latest installed epoch estimator in an atomic pointer —
+//     exactly the live QueryServer's serving model. POST /v1/{tenant}/epoch
+//     installs a sealed epoch (older epochs are rejected, so fan-outs may
+//     race or repeat freely); POST /v1/{tenant}/query answers from the
+//     current epoch on AnswerBatch's worker pool.
+//
+// NewTenantServer is the degenerate single-node topology: one process
+// hosting N independent live QueryServers behind the same /v1/{tenant}/...
+// routing, for deployments that need multi-tenancy before they need
+// distribution.
+//
+// The golden invariant is preserved end to end: for any shard count, any
+// report partition, any push interleaving, and any number of retried or
+// duplicated pushes, a sealed epoch answers every query bit-identically to a
+// single monolithic collector that ingested the same report multiset. The
+// deltas sum to the union because count-vector merges are integer vector
+// adds and report merges are multiset unions — the same order-independence
+// the CollectorState design pinned for manual sharding.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"privmdr"
+)
+
+// Sentinel errors for the distributed wire protocol, matched with errors.Is.
+// They all map to 409 Conflict: the request was well-formed but contradicts
+// the receiver's sequencing or epoch state.
+var (
+	// ErrStaleSeq reports a push whose sequence number is older than the
+	// last one applied for that shard — a confused or rolled-back shard.
+	ErrStaleSeq = errors.New("dist: push sequence number is stale")
+	// ErrSeqGap reports a push whose sequence number skips ahead of the next
+	// expected one — the aggregator is missing deltas (it restarted, or the
+	// shard re-baselined without it) and the shard must resync.
+	ErrSeqGap = errors.New("dist: push sequence number skips ahead")
+	// ErrStaleEpoch reports an epoch install that is not newer than the
+	// epoch a replica is already serving.
+	ErrStaleEpoch = errors.New("dist: epoch is not newer than the serving epoch")
+)
+
+// maxBody caps request bodies on every dist endpoint, matching the
+// QueryServer's report-frame budget.
+const maxBody = 64 << 20
+
+// errStatus maps a distributed-endpoint error to its HTTP status, extending
+// the QueryServer's contract: 413 for oversized bodies; 409 for well-formed
+// requests that conflict with sequencing, epochs, the deployment, or the
+// lifecycle (stale/gapped push seqs, stale epochs, state mismatches, after
+// finalize); 400 for everything malformed.
+func errStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	if errors.Is(err, ErrStaleSeq) || errors.Is(err, ErrSeqGap) || errors.Is(err, ErrStaleEpoch) ||
+		errors.Is(err, privmdr.ErrStateMismatch) || errors.Is(err, privmdr.ErrCollectorFinalized) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// readBody drains a capped request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+}
+
+// unknownTenant writes the 404 every role returns for a tenant outside its
+// topology.
+func unknownTenant(w http.ResponseWriter, name string) {
+	writeError(w, http.StatusNotFound, fmt.Errorf("dist: unknown tenant %q", name))
+}

@@ -1,0 +1,683 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"privmdr"
+)
+
+// distDataset is the small every-mechanism deployment the root package's
+// live tests use (HIO's 3³ and LHIO's 3·3² group layouts both fit).
+func distDataset(t *testing.T, n int) *privmdr.Dataset {
+	t.Helper()
+	ds, err := privmdr.GenerateDataset("ipums", privmdr.GenOptions{N: n, D: 3, C: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func distWorkload(t *testing.T, d, c int) []privmdr.Query {
+	t.Helper()
+	qs, err := privmdr.RandomWorkload(6, 2, d, c, 0.5, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := privmdr.RandomWorkload(3, 1, d, c, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(qs, oneD...)
+}
+
+// clientReports runs the client side for every user, in user order.
+func clientReports(t *testing.T, proto privmdr.Protocol, ds *privmdr.Dataset) []privmdr.Report {
+	t.Helper()
+	p := proto.Params()
+	reports := make([]privmdr.Report, p.N)
+	record := make([]int, p.D)
+	for u := 0; u < p.N; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		reports[u], err = proto.ClientReport(a, record, privmdr.ClientRand(p, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reports
+}
+
+func postBytes(t *testing.T, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, payload
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ingestHTTP streams reports to a shard tenant in small binary frames.
+func ingestHTTP(t *testing.T, baseURL, tenant string, reports []privmdr.Report) {
+	t.Helper()
+	for at := 0; at < len(reports); at += 100 {
+		end := min(at+100, len(reports))
+		frame, err := privmdr.EncodeReports(reports[at:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body := postBytes(t, baseURL+"/v1/"+tenant+"/reports", "application/octet-stream", frame)
+		if code != http.StatusOK {
+			t.Fatalf("POST reports: %d %s", code, body)
+		}
+	}
+}
+
+// TestDistributedTopologyInvariant is the golden-invariant test, per
+// mechanism under -race: 3 ingest shards + 1 aggregator + 2 query replicas
+// wired over real HTTP, reports partitioned across the shards and shipped
+// in several deltas per shard (so the aggregator merges interleaved
+// sequences), with an injected aggregator outage that forces the push
+// transport to retry, and a replayed duplicate push that must ACK without
+// re-applying. After the seal fans out, both replicas must answer the
+// workload bit-identically to one monolithic collector that ingested the
+// same report multiset.
+func TestDistributedTopologyInvariant(t *testing.T) {
+	const n = 2100
+	ds := distDataset(t, n)
+	workload := distWorkload(t, ds.D(), ds.C)
+	queryBody, err := json.Marshal(privmdr.QueryRequest{Queries: workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range privmdr.Mechanisms() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			p := privmdr.Params{N: n, D: ds.D(), C: ds.C, Eps: 1.0, Seed: 210}
+			proto, err := m.Protocol(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := clientReports(t, proto, ds)
+			topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: m.Name(), Params: p}}}
+
+			// Two stateless query replicas.
+			var replicaURLs []string
+			for i := 0; i < 2; i++ {
+				rep, err := NewReplica(topo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts := httptest.NewServer(rep)
+				t.Cleanup(ts.Close)
+				replicaURLs = append(replicaURLs, ts.URL)
+			}
+			topo.Replicas = replicaURLs
+
+			// The aggregator, behind a middleware that (a) injects one 503
+			// outage so a shard's push transport must retry, and (b) records
+			// every successful push body so the test can replay them.
+			agg, err := NewAggregator(topo, SealOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = agg.Close() })
+			var outages atomic.Int32
+			outages.Store(1)
+			var pushMu sync.Mutex
+			var pushed [][]byte
+			tsAgg := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodPost && r.URL.Path == "/v1/census/push" {
+					if outages.Add(-1) >= 0 {
+						http.Error(w, "injected outage", http.StatusServiceUnavailable)
+						return
+					}
+					body, err := io.ReadAll(r.Body)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					pushMu.Lock()
+					pushed = append(pushed, body)
+					pushMu.Unlock()
+					r.Body = io.NopCloser(bytes.NewReader(body))
+				}
+				agg.ServeHTTP(w, r)
+			}))
+			t.Cleanup(tsAgg.Close)
+			topo.Aggregator = tsAgg.URL
+
+			// Three ingest shards, manual flushes so the test controls the
+			// delta boundaries. Each shard ships two deltas (ingest half,
+			// flush, ingest the rest, flush) and the shards flush
+			// concurrently, so pushes interleave at the aggregator.
+			const nShards = 3
+			var wg sync.WaitGroup
+			for i := 0; i < nShards; i++ {
+				shard, err := NewShard(topo, ShardOptions{ID: fmt.Sprintf("shard-%d", i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { _ = shard.Close() })
+				ts := httptest.NewServer(shard)
+				t.Cleanup(ts.Close)
+				part := reports[i*n/nShards : (i+1)*n/nShards]
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					ingestHTTP(t, ts.URL, "census", part[:len(part)/2])
+					if _, err := shard.FlushTenant(context.Background(), "census"); err != nil {
+						t.Errorf("shard %d first flush: %v", i, err)
+						return
+					}
+					ingestHTTP(t, ts.URL, "census", part[len(part)/2:])
+					code, body := postBytes(t, ts.URL+"/v1/census/push", "application/json", nil)
+					if code != http.StatusOK {
+						t.Errorf("shard %d forced push: %d %s", i, code, body)
+						return
+					}
+					// Empty flush: nothing new, must skip without a push.
+					res, err := shard.FlushTenant(context.Background(), "census")
+					if err != nil || !res.Skipped {
+						t.Errorf("shard %d empty flush: res=%+v err=%v, want skip", i, res, err)
+						return
+					}
+					var hs ShardStatus
+					getJSON(t, ts.URL+"/v1/census/healthz", &hs)
+					if hs.Pending != 0 || hs.PushedSeq != 2 || hs.LastPushError != "" {
+						t.Errorf("shard %d healthz after drain: %+v", i, hs)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+
+			// Every report must have survived the outage, the retries, and
+			// the interleaving.
+			st, err := agg.State("census")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Received() != n {
+				t.Fatalf("aggregator merged %d reports, want %d", st.Received(), n)
+			}
+
+			// Idempotency: replaying an already-applied envelope (the retry
+			// of a push whose ACK was lost) must ACK applied=false and leave
+			// the state untouched; a rolled-back sequence must 409.
+			pushMu.Lock()
+			recorded := append([][]byte(nil), pushed...)
+			pushMu.Unlock()
+			if len(recorded) != 2*nShards {
+				t.Fatalf("recorded %d pushes, want %d", len(recorded), 2*nShards)
+			}
+			for _, raw := range recorded {
+				var env PushEnvelope
+				if err := env.UnmarshalBinary(raw); err != nil {
+					t.Fatal(err)
+				}
+				code, body := postBytes(t, tsAgg.URL+"/v1/census/push", "application/octet-stream", raw)
+				var ack pushAck
+				switch env.Seq {
+				case 2: // duplicate of the last applied push
+					if code != http.StatusOK {
+						t.Fatalf("duplicate push (shard %s seq 2): %d %s", env.Shard, code, body)
+					}
+					if err := json.Unmarshal(body, &ack); err != nil || ack.Applied {
+						t.Fatalf("duplicate push ACK %s: applied must be false (err %v)", body, err)
+					}
+				case 1: // stale: older than the last applied
+					if code != http.StatusConflict {
+						t.Fatalf("stale push (shard %s seq 1): %d %s, want 409", env.Shard, code, body)
+					}
+					if err := json.Unmarshal(body, &ack); err != nil || ack.Last != 2 {
+						t.Fatalf("stale push ACK %s: want last=2 (err %v)", body, err)
+					}
+				default:
+					t.Fatalf("unexpected recorded seq %d", env.Seq)
+				}
+				// A gapped sequence must also 409 and report the resync point.
+				env.Seq = 99
+				gapped, err := env.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if code, body := postBytes(t, tsAgg.URL+"/v1/census/push", "application/octet-stream", gapped); code != http.StatusConflict {
+					t.Fatalf("gapped push: %d %s, want 409", code, body)
+				}
+			}
+			if st2, err := agg.State("census"); err != nil || st2.Received() != n {
+				t.Fatalf("replays changed the merged state: %d reports (err %v), want %d", st2.Received(), err, n)
+			}
+
+			// Seal the epoch and fan it out to both replicas.
+			code, body := postBytes(t, tsAgg.URL+"/v1/census/seal", "application/json", nil)
+			if code != http.StatusOK {
+				t.Fatalf("POST /seal: %d %s", code, body)
+			}
+			var sr SealResult
+			if err := json.Unmarshal(body, &sr); err != nil {
+				t.Fatal(err)
+			}
+			if !sr.Sealed || sr.Epoch != 1 || sr.Reports != n || sr.Fanout != 2 || len(sr.Errors) > 0 {
+				t.Fatalf("seal result %+v, want sealed epoch 1 over %d reports on 2 replicas", sr, n)
+			}
+			// A re-seal with nothing new must not mint an epoch.
+			if code, body = postBytes(t, tsAgg.URL+"/v1/census/seal", "application/json", nil); code != http.StatusOK {
+				t.Fatalf("second POST /seal: %d %s", code, body)
+			}
+			if err := json.Unmarshal(body, &sr); err != nil || sr.Sealed || sr.Epoch != 1 {
+				t.Fatalf("idle re-seal %+v (err %v), want unsealed at epoch 1", sr, err)
+			}
+
+			// The invariant: both replicas answer bit-identically to one
+			// monolithic collector over the same report multiset.
+			mono, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mono.SubmitBatch(reports); err != nil {
+				t.Fatal(err)
+			}
+			est, err := mono.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := privmdr.AnswerBatch(est, workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, base := range replicaURLs {
+				var hs ReplicaStatus
+				getJSON(t, base+"/v1/census/healthz", &hs)
+				if !hs.Serving || hs.Epoch != 1 || hs.EstimatorReports != n {
+					t.Fatalf("replica %d healthz %+v, want serving epoch 1 over %d reports", r, hs, n)
+				}
+				code, payload := postBytes(t, base+"/v1/census/query", "application/json", queryBody)
+				if code != http.StatusOK {
+					t.Fatalf("replica %d query: %d %s", r, code, payload)
+				}
+				var qr privmdr.QueryResponse
+				if err := json.Unmarshal(payload, &qr); err != nil {
+					t.Fatal(err)
+				}
+				if len(qr.Answers) != len(want) {
+					t.Fatalf("replica %d answered %d queries, want %d", r, len(qr.Answers), len(want))
+				}
+				for q := range want {
+					if qr.Answers[q] != want[q] {
+						t.Fatalf("replica %d query %d: %v != monolithic %v", r, q, qr.Answers[q], want[q])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardRebaseline restarts the aggregator underneath a shard: the
+// replacement has no history for the shard (last == 0), so the shard's next
+// push 409s with a gap — and the shard must transparently re-baseline,
+// shipping its full cumulative state as sequence 1. The rebuilt aggregator
+// must end up with the exact report count.
+func TestShardRebaseline(t *testing.T) {
+	p := privmdr.Params{N: 600, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := distDataset(t, p.N)
+	reports := clientReports(t, proto, ds)
+
+	var cur atomic.Pointer[Aggregator]
+	tsAgg := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().ServeHTTP(w, r)
+	}))
+	t.Cleanup(tsAgg.Close)
+	topo.Aggregator = tsAgg.URL
+	agg1, err := NewAggregator(topo, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg1.Close() })
+	cur.Store(agg1)
+
+	shard, err := NewShard(topo, ShardOptions{ID: "edge-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	qs, _ := shard.Tenant("census")
+	if err := qs.SubmitBatch(reports[:400]); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := shard.FlushTenant(context.Background(), "census"); err != nil || res.Seq != 1 {
+		t.Fatalf("first flush: %+v, %v", res, err)
+	}
+
+	// The aggregator dies and restarts empty.
+	agg2, err := NewAggregator(topo, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg2.Close() })
+	cur.Store(agg2)
+
+	if err := qs.SubmitBatch(reports[400:]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := shard.FlushTenant(context.Background(), "census")
+	if err != nil {
+		t.Fatalf("re-baseline flush: %v", err)
+	}
+	if res.Seq != 1 || res.Reports != len(reports) {
+		t.Fatalf("re-baseline flush %+v, want cumulative %d reports at seq 1", res, len(reports))
+	}
+	st, err := agg2.State("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received() != len(reports) {
+		t.Fatalf("rebuilt aggregator has %d reports, want %d", st.Received(), len(reports))
+	}
+}
+
+// TestReplicaEpochOrdering pins the replica's install protocol: epoch
+// pushes must be strictly newer than the serving epoch (repeats and
+// rollbacks 409 with ErrStaleEpoch), bare un-stamped states are rejected,
+// and queries before the first install 503.
+func TestReplicaEpochOrdering(t *testing.T) {
+	p := privmdr.Params{N: 10, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	rep, err := NewReplica(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rep)
+	t.Cleanup(ts.Close)
+
+	queryBody, err := json.Marshal(privmdr.QueryRequest{Queries: []privmdr.Query{{{Attr: 0, Lo: 0, Hi: 3}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postBytes(t, ts.URL+"/v1/census/query", "application/json", queryBody); code != http.StatusServiceUnavailable {
+		t.Fatalf("query before first epoch: %d %s, want 503", code, body)
+	}
+
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := coll.(privmdr.StatefulCollector).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A bare (un-stamped) state cannot be ordered and must be rejected.
+	bare, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postBytes(t, ts.URL+"/v1/census/epoch", "application/octet-stream", bare); code != http.StatusBadRequest {
+		t.Fatalf("bare state push: %d %s, want 400", code, body)
+	}
+
+	sealed, err := privmdr.EncodeSnapshot(st, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postBytes(t, ts.URL+"/v1/census/epoch", "application/octet-stream", sealed); code != http.StatusOK {
+		t.Fatalf("epoch 3 install: %d %s", code, body)
+	}
+	// The same epoch again — a repeated fan-out — must 409, not regress.
+	if code, body := postBytes(t, ts.URL+"/v1/census/epoch", "application/octet-stream", sealed); code != http.StatusConflict {
+		t.Fatalf("repeated epoch 3 install: %d %s, want 409", code, body)
+	}
+	if err := rep.Install("census", st, 2); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("epoch rollback: %v, want ErrStaleEpoch", err)
+	}
+	if code, body := postBytes(t, ts.URL+"/v1/census/query", "application/json", queryBody); code != http.StatusOK {
+		t.Fatalf("query after install: %d %s", code, body)
+	}
+
+	// Garbage and wrong-deployment payloads.
+	if code, _ := postBytes(t, ts.URL+"/v1/census/epoch", "application/octet-stream", []byte("junk")); code != http.StatusBadRequest {
+		t.Fatalf("junk epoch push: %d, want 400", code)
+	}
+	foreign, err := privmdr.ProtocolByName("Uni", privmdr.Params{N: 10, D: 3, C: 16, Eps: 1.0, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcoll, err := foreign.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fst, err := fcoll.(privmdr.StatefulCollector).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := privmdr.EncodeSnapshot(fst, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := postBytes(t, ts.URL+"/v1/census/epoch", "application/octet-stream", wrong); code != http.StatusConflict {
+		t.Fatalf("foreign-deployment epoch push: %d %s, want 409 (ErrStateMismatch)", code, body)
+	}
+}
+
+// TestUnknownTenant pins the 404 every role returns for tenants outside the
+// topology.
+func TestUnknownTenant(t *testing.T) {
+	p := privmdr.Params{N: 10, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	agg, err := NewAggregator(topo, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg.Close() })
+	rep, err := NewReplica(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := NewShard(topo, ShardOptions{ID: "s", Aggregator: "http://127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	tenantSrv, err := NewTenantServer(topo, privmdr.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tenantSrv.Close() })
+	for _, h := range []http.Handler{agg, rep, shard, tenantSrv} {
+		ts := httptest.NewServer(h)
+		resp, err := http.Get(ts.URL + "/v1/nosuch/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%T unknown tenant: %d, want 404", h, resp.StatusCode)
+		}
+		ts.Close()
+	}
+}
+
+// TestTenantServer exercises the single-node multi-tenant role: two
+// isolated deployments behind one process, full QueryServer delegation,
+// the tenant listing, and snapshot persistence across a restart.
+func TestTenantServer(t *testing.T) {
+	pa := privmdr.Params{N: 300, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	pb := privmdr.Params{N: 300, D: 3, C: 16, Eps: 1.0, Seed: 211}
+	dir := t.TempDir()
+	topo := &Topology{Tenants: []TenantConfig{
+		{Name: "alpha", Mechanism: "Uni", Params: pa, Snapshot: filepath.Join(dir, "alpha.state")},
+		{Name: "beta", Mechanism: "TDG", Params: pb},
+	}}
+	srv, err := NewTenantServer(topo, privmdr.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Cold start: nothing to restore.
+	if restored, err := srv.LoadSnapshots(); err != nil || restored != 0 {
+		t.Fatalf("cold LoadSnapshots: %d, %v", restored, err)
+	}
+
+	proto, err := privmdr.ProtocolByName("Uni", pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, distDataset(t, pa.N))
+	ingestHTTP(t, ts.URL, "alpha", reports)
+
+	// Params are per tenant; ingestion is isolated.
+	var sp privmdr.ServerParams
+	getJSON(t, ts.URL+"/v1/beta/params", &sp)
+	if sp.Mechanism != "TDG" || sp.Seed != pb.Seed {
+		t.Fatalf("beta params %+v", sp)
+	}
+	var listing []TenantStatus
+	getJSON(t, ts.URL+"/v1/tenants", &listing)
+	if len(listing) != 2 {
+		t.Fatalf("tenant listing %+v", listing)
+	}
+	byName := map[string]privmdr.ServerStatus{}
+	for _, e := range listing {
+		byName[e.Tenant] = e.ServerStatus
+	}
+	if byName["alpha"].Received != pa.N || byName["beta"].Received != 0 {
+		t.Fatalf("tenant isolation broken: %+v", byName)
+	}
+
+	// Queries delegate to the tenant's live QueryServer (first query forces
+	// an epoch).
+	queryBody, err := json.Marshal(privmdr.QueryRequest{Queries: []privmdr.Query{{{Attr: 0, Lo: 0, Hi: 7}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, payload := postBytes(t, ts.URL+"/v1/alpha/query", "application/json", queryBody)
+	if code != http.StatusOK {
+		t.Fatalf("alpha query: %d %s", code, payload)
+	}
+
+	// Persist and restore into a fresh process.
+	if err := srv.SaveSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewTenantServer(topo, privmdr.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv2.Close() })
+	if restored, err := srv2.LoadSnapshots(); err != nil || restored != 1 {
+		t.Fatalf("warm LoadSnapshots: %d, %v", restored, err)
+	}
+	qs, _ := srv2.Tenant("alpha")
+	if qs.Received() != pa.N {
+		t.Fatalf("restored alpha has %d reports, want %d", qs.Received(), pa.N)
+	}
+}
+
+// TestTopologyValidate pins the topology validation errors and the file
+// loader.
+func TestTopologyValidate(t *testing.T) {
+	p := privmdr.Params{N: 10, D: 3, C: 16, Eps: 1.0, Seed: 1}
+	cases := []struct {
+		name string
+		topo Topology
+	}{
+		{"no tenants", Topology{}},
+		{"empty name", Topology{Tenants: []TenantConfig{{Name: "", Mechanism: "Uni", Params: p}}}},
+		{"bad name", Topology{Tenants: []TenantConfig{{Name: "a/b", Mechanism: "Uni", Params: p}}}},
+		{"duplicate", Topology{Tenants: []TenantConfig{
+			{Name: "a", Mechanism: "Uni", Params: p}, {Name: "a", Mechanism: "Uni", Params: p}}}},
+		{"unknown mechanism", Topology{Tenants: []TenantConfig{{Name: "a", Mechanism: "Nope", Params: p}}}},
+		{"infeasible params", Topology{Tenants: []TenantConfig{{Name: "a", Mechanism: "Uni", Params: privmdr.Params{}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.topo.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.topo)
+		}
+	}
+
+	good := Topology{
+		Tenants:    []TenantConfig{{Name: "census-2020.v1", Mechanism: "HDG", Params: p}},
+		Aggregator: "http://agg:9090",
+		Replicas:   []string{"http://r1:9191", "http://r2:9191"},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	blob, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Tenants) != 1 || loaded.Aggregator != good.Aggregator || len(loaded.Replicas) != 2 {
+		t.Fatalf("loaded topology %+v", loaded)
+	}
+	if _, err := LoadTopology(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing topology file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTopology(bad); err == nil {
+		t.Fatal("malformed topology JSON accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPushEnvelope is the push channel's untrusted-input contract, matching
+// the report and state codec fuzzers: the aggregator decodes envelope bytes
+// straight off the network, so arbitrary input must never panic or drive an
+// unbounded allocation, and any payload that decodes must validate and
+// round-trip canonically — re-encoding a decoded envelope reproduces the
+// accepted bytes exactly.
+func FuzzPushEnvelope(f *testing.F) {
+	delta := sampleDelta(f)
+	for _, env := range []PushEnvelope{
+		{Shard: "s", Seq: 1, Delta: delta},
+		{Shard: "edge-07.rack-2", Seq: 1 << 40, Delta: delta},
+	} {
+		seed, err := env.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PMDP"))
+	f.Add([]byte{'P', 'M', 'D', 'P', pushVersion, 1, 's', 1})
+	f.Add([]byte{'P', 'M', 'D', 'P', pushVersion, 0x81, 0x00}) // overlong varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env PushEnvelope
+		if err := env.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := env.Validate(); err != nil {
+			t.Fatalf("decoded envelope fails validation: %v", err)
+		}
+		out, err := env.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"privmdr"
+)
+
+// Replica is the stateless query-serving role: it holds no collector of its
+// own, only the latest installed epoch estimator per tenant behind an atomic
+// pointer — the live QueryServer's serving model with ingestion moved
+// upstream. The aggregator pushes sealed epochs in; queries read whatever
+// epoch is current, so installs never block the query path. Endpoints per
+// tenant:
+//
+//	POST /v1/{tenant}/epoch   — install a sealed epoch snapshot
+//	                            (EncodeSnapshot bytes); epochs must be
+//	                            strictly newer than the serving one, so
+//	                            repeated or racing fan-outs are harmless
+//	POST /v1/{tenant}/query   — QueryRequest JSON → QueryResponse JSON,
+//	                            answered from the serving epoch (503 until
+//	                            the first install)
+//	GET  /v1/{tenant}/params  — public deployment parameters
+//	GET  /v1/{tenant}/healthz — ReplicaStatus
+type Replica struct {
+	tenants map[string]*replicaTenant
+	mux     *http.ServeMux
+}
+
+// replicaTenant is one tenant's serving slot.
+type replicaTenant struct {
+	name  string
+	proto privmdr.Protocol
+	// mu serializes installs; queries never take it (they load cur).
+	mu  sync.Mutex
+	cur atomic.Pointer[replicaEpoch]
+}
+
+// replicaEpoch is one installed epoch: the warmed immutable estimator and
+// its provenance.
+type replicaEpoch struct {
+	est     privmdr.Estimator
+	epoch   uint64
+	reports int
+}
+
+// ReplicaStatus is one tenant's GET /healthz reply on a replica.
+type ReplicaStatus struct {
+	Role      string `json:"role"`
+	Tenant    string `json:"tenant"`
+	Mechanism string `json:"mechanism"`
+	// Serving reports whether an epoch is installed and answering.
+	Serving bool `json:"serving"`
+	// Epoch is the serving epoch number (0 before the first install);
+	// EstimatorReports is how many reports it includes.
+	Epoch            uint64 `json:"epoch"`
+	EstimatorReports int    `json:"estimator_reports"`
+}
+
+// NewReplica builds the replica role over a topology.
+func NewReplica(topo *Topology) (*Replica, error) {
+	protos, err := topo.protocols()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replica{tenants: make(map[string]*replicaTenant, len(topo.Tenants))}
+	for _, tc := range topo.Tenants {
+		rep.tenants[tc.Name] = &replicaTenant{name: tc.Name, proto: protos[tc.Name]}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/{tenant}/epoch", rep.handleEpoch)
+	mux.HandleFunc("POST /v1/{tenant}/query", rep.handleQuery)
+	mux.HandleFunc("GET /v1/{tenant}/params", rep.handleParams)
+	mux.HandleFunc("GET /v1/{tenant}/healthz", rep.handleHealthz)
+	rep.mux = mux
+	return rep, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rep *Replica) ServeHTTP(w http.ResponseWriter, r *http.Request) { rep.mux.ServeHTTP(w, r) }
+
+// install builds and publishes the epoch's estimator: a fresh collector,
+// one Merge of the sealed state, Estimate, and an eager warm-up so the
+// first query pays nothing — the exact rebuild a live QueryServer's
+// refresher performs, which is what keeps replica answers bit-identical to
+// the monolithic server over the same report multiset.
+func (t *replicaTenant) install(st privmdr.CollectorState, epoch uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur := t.cur.Load(); cur != nil && epoch <= cur.epoch {
+		return fmt.Errorf("dist: pushed epoch %d, serving epoch %d: %w", epoch, cur.epoch, ErrStaleEpoch)
+	}
+	coll, err := t.proto.NewCollector()
+	if err != nil {
+		return err
+	}
+	if err := coll.(privmdr.StatefulCollector).Merge(st); err != nil {
+		return err
+	}
+	est, err := coll.Estimate()
+	if err != nil {
+		return err
+	}
+	if err := privmdr.WarmEstimator(est); err != nil {
+		return err
+	}
+	t.cur.Store(&replicaEpoch{est: est, epoch: epoch, reports: st.Received()})
+	return nil
+}
+
+// Install installs a sealed epoch in-process (the HTTP-free path tests and
+// embedded topologies use).
+func (rep *Replica) Install(tenant string, st privmdr.CollectorState, epoch uint64) error {
+	t, ok := rep.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("dist: unknown tenant %q", tenant)
+	}
+	return t.install(st, epoch)
+}
+
+func (rep *Replica) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := rep.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	st, epoch, err := privmdr.DecodeSnapshot(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if epoch == 0 {
+		// A bare state decodes fine but carries no epoch; the replica cannot
+		// order it against the serving one, so the coordinator must always
+		// send the stamped wrapper.
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dist: epoch push carries no epoch stamp (bare state?)"))
+		return
+	}
+	if err := t.install(st, epoch); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "reports": st.Received()})
+}
+
+func (rep *Replica) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := rep.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	var req privmdr.QueryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dist: query body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dist: empty query batch"))
+		return
+	}
+	p := t.proto.Params()
+	for i, q := range req.Queries {
+		if err := q.Validate(p.D, p.C); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("dist: query %d: %w", i, err))
+			return
+		}
+	}
+	ep := t.cur.Load()
+	if ep == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("dist: no epoch installed yet; waiting for the aggregator's first seal"))
+		return
+	}
+	answers, err := privmdr.AnswerBatch(ep.est, req.Queries)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, privmdr.QueryResponse{Answers: answers})
+}
+
+func (rep *Replica) handleParams(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := rep.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	writeJSON(w, http.StatusOK, privmdr.ServerParams{Mechanism: t.proto.Name(), Params: t.proto.Params()})
+}
+
+func (rep *Replica) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := rep.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	status := ReplicaStatus{Role: "replica", Tenant: t.name, Mechanism: t.proto.Name()}
+	if ep := t.cur.Load(); ep != nil {
+		status.Serving = true
+		status.Epoch = ep.epoch
+		status.EstimatorReports = ep.reports
+	}
+	writeJSON(w, http.StatusOK, status)
+}

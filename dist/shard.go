@@ -1,0 +1,354 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"privmdr"
+)
+
+// ShardOptions configure one ingest shard.
+type ShardOptions struct {
+	// ID is the shard's stable identity in push envelopes (required, ≤ 128
+	// chars). The aggregator tracks one sequence counter per ID, so two live
+	// shards must never share one.
+	ID string
+	// Aggregator overrides the topology's aggregator base URL.
+	Aggregator string
+	// PushInterval is how often the background pusher ships deltas. Zero
+	// disables it: deltas then move only through Flush or POST
+	// /v1/{tenant}/push.
+	PushInterval time.Duration
+	// MinPush is how many un-shipped reports a *scheduled* push requires
+	// before paying for a delta (≤ 1 means any). Forced pushes (Flush, POST
+	// /push) ignore it; every push skips when nothing new arrived.
+	MinPush int
+	// Timeout bounds each outbound push attempt (default 10s).
+	Timeout time.Duration
+}
+
+// Shard is the edge ingest role: a multi-tenant report sink whose tenants
+// each aggregate into a local collector, plus a pusher that ships
+// per-tenant state deltas to the aggregator with idempotent sequence
+// numbers and retry/backoff. Endpoints per tenant:
+//
+//	POST /v1/{tenant}/reports — binary report frame, exactly like a
+//	                            QueryServer (the shard reuses one per tenant)
+//	GET  /v1/{tenant}/params  — public deployment parameters
+//	GET  /v1/{tenant}/state   — the local (un-pushed + pushed) state export
+//	GET  /v1/{tenant}/healthz — ShardStatus: received, pushed, pending lag
+//	POST /v1/{tenant}/push    — force a delta push now
+type Shard struct {
+	id      string
+	agg     string
+	tenants map[string]*shardTenant
+	names   []string
+	mux     *http.ServeMux
+	tr      *transport
+
+	interval time.Duration
+	minPush  int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{} // closed when the background pusher exits; nil without one
+}
+
+// shardTenant is one tenant's collector plus its push bookkeeping.
+type shardTenant struct {
+	name string
+	qs   *privmdr.QueryServer
+
+	// mu serializes pushes (scheduled, forced, and shutdown flushes) and
+	// guards the fields below. Ingestion never takes it.
+	mu sync.Mutex
+	// lastPushed is the state snapshot the aggregator has acknowledged
+	// through seq; the next delta is diffed against it.
+	lastPushed privmdr.CollectorState
+	// seq is the sequence number of the last acknowledged push (0 before
+	// the first).
+	seq     uint64
+	lastErr string
+}
+
+// ShardStatus is one tenant's GET /healthz reply on a shard.
+type ShardStatus struct {
+	Role      string `json:"role"`
+	Shard     string `json:"shard"`
+	Tenant    string `json:"tenant"`
+	Mechanism string `json:"mechanism"`
+	// Received is how many reports this shard accepted for the tenant.
+	Received int `json:"received"`
+	// PushedSeq is the last acknowledged push sequence number.
+	PushedSeq uint64 `json:"pushed_seq"`
+	// PushedReports is how many of the received reports the aggregator has
+	// acknowledged; Pending is the un-shipped remainder.
+	PushedReports int `json:"pushed_reports"`
+	Pending       int `json:"pending"`
+	// LastPushError is the most recent push failure, empty once a later
+	// push succeeds — a persistent value means the aggregator is
+	// unreachable and this shard's lag is growing.
+	LastPushError string `json:"last_push_error,omitempty"`
+}
+
+// PushResult reports one tenant's push outcome.
+type PushResult struct {
+	Tenant string `json:"tenant"`
+	// Seq is the last acknowledged sequence number after the call.
+	Seq uint64 `json:"seq"`
+	// Reports is how many reports the shipped delta carried (0 when
+	// skipped).
+	Reports int `json:"reports"`
+	// Skipped reports that nothing (new) needed shipping.
+	Skipped bool `json:"skipped"`
+}
+
+// NewShard builds the shard role over a topology. Call Close when the shard
+// is discarded; pair it with Flush first to ship the final deltas.
+func NewShard(topo *Topology, opts ShardOptions) (*Shard, error) {
+	if opts.ID == "" || len(opts.ID) > maxShardID {
+		return nil, fmt.Errorf("dist: shard ID length %d outside [1,%d]", len(opts.ID), maxShardID)
+	}
+	agg := opts.Aggregator
+	if agg == "" {
+		agg = topo.Aggregator
+	}
+	if agg == "" {
+		return nil, fmt.Errorf("dist: shard %s needs an aggregator URL (topology or ShardOptions)", opts.ID)
+	}
+	protos, err := topo.protocols()
+	if err != nil {
+		return nil, err
+	}
+	s := &Shard{
+		id:       opts.ID,
+		agg:      agg,
+		tenants:  make(map[string]*shardTenant, len(topo.Tenants)),
+		tr:       newTransport(opts.Timeout),
+		interval: opts.PushInterval,
+		minPush:  opts.MinPush,
+		stop:     make(chan struct{}),
+	}
+	for _, tc := range topo.Tenants {
+		// Live mode with no refresher: reports are accepted forever and the
+		// shard never finalizes — it only exports states.
+		qs, err := privmdr.NewLiveQueryServer(protos[tc.Name], privmdr.LiveOptions{})
+		if err != nil {
+			s.closeTenants()
+			return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
+		}
+		s.tenants[tc.Name] = &shardTenant{name: tc.Name, qs: qs}
+		s.names = append(s.names, tc.Name)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/{tenant}/reports", s.delegate)
+	mux.HandleFunc("GET /v1/{tenant}/params", s.delegate)
+	mux.HandleFunc("GET /v1/{tenant}/state", s.delegate)
+	mux.HandleFunc("GET /v1/{tenant}/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/{tenant}/push", s.handlePush)
+	s.mux = mux
+	if opts.PushInterval > 0 {
+		s.done = make(chan struct{})
+		go s.pushLoop()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Tenant exposes a tenant's underlying QueryServer, e.g. to preload reports
+// in-process before the listener starts.
+func (s *Shard) Tenant(name string) (*privmdr.QueryServer, bool) {
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, false
+	}
+	return t.qs, true
+}
+
+func (s *Shard) closeTenants() {
+	for _, t := range s.tenants {
+		_ = t.qs.Close()
+	}
+}
+
+// Close stops the background pusher. Un-shipped deltas are not flushed —
+// call Flush first for a clean drain.
+func (s *Shard) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.done != nil {
+		<-s.done
+	}
+	s.closeTenants()
+	return nil
+}
+
+// pushLoop is the background pusher: every interval it ships each tenant's
+// delta iff at least MinPush reports arrived since the last acknowledged
+// push. Failures are retained per tenant (ShardStatus.LastPushError) and
+// the delta keeps growing until the aggregator is reachable again — nothing
+// is lost, only delayed.
+func (s *Shard) pushLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			for _, name := range s.names {
+				_, _ = s.push(context.Background(), s.tenants[name], s.minPush)
+			}
+		}
+	}
+}
+
+// Flush forces a push for every tenant — the drain used at shutdown and by
+// tests to reach a known synchronization point. The first error is
+// returned, but every tenant is attempted.
+func (s *Shard) Flush(ctx context.Context) error {
+	var first error
+	for _, name := range s.names {
+		if _, err := s.push(ctx, s.tenants[name], 0); err != nil && first == nil {
+			first = fmt.Errorf("dist: tenant %q: %w", name, err)
+		}
+	}
+	return first
+}
+
+// FlushTenant forces one tenant's push now.
+func (s *Shard) FlushTenant(ctx context.Context, tenant string) (PushResult, error) {
+	t, ok := s.tenants[tenant]
+	if !ok {
+		return PushResult{}, fmt.Errorf("dist: unknown tenant %q", tenant)
+	}
+	return s.push(ctx, t, 0)
+}
+
+// pushAck is the aggregator's push reply: on 2xx whether this envelope was
+// applied (false for an idempotent duplicate), on 409 the last acknowledged
+// sequence number the shard can resync from.
+type pushAck struct {
+	Applied bool   `json:"applied"`
+	Last    uint64 `json:"last"`
+	Error   string `json:"error,omitempty"`
+}
+
+// push ships one tenant's delta since the last acknowledged push. min > 0
+// makes it a thresholded scheduled push; 0 forces (but an empty delta is
+// always skipped). On a 409 whose ACK shows the aggregator has nothing from
+// this shard (last == 0, e.g. it restarted empty), the shard re-baselines:
+// it resets its sequence and ships the full cumulative state as the next
+// delta, which is exact because an aggregator with no history from this
+// shard holds none of its reports.
+func (s *Shard) push(ctx context.Context, t *shardTenant, min int) (PushResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, err := t.qs.State()
+	if err != nil {
+		return PushResult{}, s.recordErr(t, err)
+	}
+	delta, err := privmdr.DiffStates(cur, t.lastPushed)
+	if err != nil {
+		return PushResult{}, s.recordErr(t, err)
+	}
+	fresh := delta.Received()
+	if fresh == 0 || fresh < min {
+		return PushResult{Tenant: t.name, Seq: t.seq, Skipped: true}, nil
+	}
+	env := PushEnvelope{Shard: s.id, Seq: t.seq + 1, Delta: delta}
+	for rebaselined := false; ; {
+		blob, err := env.MarshalBinary()
+		if err != nil {
+			return PushResult{}, s.recordErr(t, err)
+		}
+		status, body, err := s.tr.post(ctx, s.agg+"/v1/"+t.name+"/push", "application/octet-stream", blob)
+		if err != nil {
+			return PushResult{}, s.recordErr(t, err)
+		}
+		if status >= 200 && status < 300 {
+			t.lastPushed = cur
+			t.seq = env.Seq
+			t.lastErr = ""
+			return PushResult{Tenant: t.name, Seq: t.seq, Reports: env.Delta.Received()}, nil
+		}
+		var ack pushAck
+		_ = json.Unmarshal(body, &ack)
+		if status == http.StatusConflict && !rebaselined && ack.Last == 0 && t.seq > 0 {
+			rebaselined = true
+			t.lastPushed = privmdr.CollectorState{}
+			t.seq = 0
+			env = PushEnvelope{Shard: s.id, Seq: 1, Delta: cur}
+			continue
+		}
+		return PushResult{}, s.recordErr(t, fmt.Errorf("dist: push rejected: %d %s", status, body))
+	}
+}
+
+// recordErr retains a push failure for healthz and returns it.
+func (s *Shard) recordErr(t *shardTenant, err error) error {
+	t.lastErr = err.Error()
+	return err
+}
+
+// delegate routes a tenant endpoint to the tenant's QueryServer with the
+// /v1/{tenant} prefix stripped, so the inner handlers (pooled report
+// decode, state export) serve unchanged.
+func (s *Shard) delegate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := s.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	http.StripPrefix("/v1/"+name, t.qs).ServeHTTP(w, r)
+}
+
+func (s *Shard) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := s.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(t))
+}
+
+func (s *Shard) status(t *shardTenant) ShardStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	received := t.qs.Received()
+	pushed := t.lastPushed.Received()
+	return ShardStatus{
+		Role:          "shard",
+		Shard:         s.id,
+		Tenant:        t.name,
+		Mechanism:     t.qs.Status().Mechanism,
+		Received:      received,
+		PushedSeq:     t.seq,
+		PushedReports: pushed,
+		Pending:       max(received-pushed, 0),
+		LastPushError: t.lastErr,
+	}
+}
+
+func (s *Shard) handlePush(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := s.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	res, err := s.push(r.Context(), t, 0)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

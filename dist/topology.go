@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"privmdr"
+)
+
+// TenantConfig names one deployment a distributed process hosts: the public
+// deployment identity (mechanism + Params — everything a client needs), and
+// optionally a per-tenant snapshot path for roles that persist state.
+type TenantConfig struct {
+	// Name routes the tenant's endpoints (/v1/{name}/...). Restricted to
+	// letters, digits, '.', '_' and '-' so it embeds in URLs verbatim.
+	Name      string         `json:"name"`
+	Mechanism string         `json:"mechanism"`
+	Params    privmdr.Params `json:"params"`
+	// Snapshot, when set, is where a TenantServer persists this tenant's
+	// collector state (warm restarts). Shards, aggregators, and replicas
+	// ignore it.
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+// Topology is the declarative wiring of one distributed deployment — the
+// JSON file every role loads (privmdr dist -topology topo.json). Tenants
+// are shared by all roles; Aggregator is where shards push; Replicas are
+// where the aggregator fans sealed epochs out.
+type Topology struct {
+	Tenants []TenantConfig `json:"tenants"`
+	// Aggregator is the aggregator's base URL (e.g. http://10.0.0.5:9090),
+	// required by shards.
+	Aggregator string `json:"aggregator,omitempty"`
+	// Replicas are the query replicas' base URLs, used by the aggregator's
+	// epoch fan-out.
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// validTenantName reports whether a tenant name can embed in a URL path
+// segment without escaping.
+func validTenantName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the topology's structure: at least one tenant, unique
+// URL-safe names, and a constructible protocol per tenant (unknown
+// mechanisms or infeasible Params fail here, not at first request).
+func (t *Topology) Validate() error {
+	if len(t.Tenants) == 0 {
+		return fmt.Errorf("dist: topology has no tenants")
+	}
+	seen := make(map[string]bool, len(t.Tenants))
+	for i, tc := range t.Tenants {
+		if !validTenantName(tc.Name) {
+			return fmt.Errorf("dist: tenant %d name %q invalid (want 1-128 chars of [A-Za-z0-9._-])", i, tc.Name)
+		}
+		if seen[tc.Name] {
+			return fmt.Errorf("dist: duplicate tenant %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		if _, err := privmdr.ProtocolByName(tc.Mechanism, tc.Params); err != nil {
+			return fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
+		}
+	}
+	return nil
+}
+
+// protocols instantiates every tenant's protocol, keyed by tenant name.
+func (t *Topology) protocols() (map[string]privmdr.Protocol, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]privmdr.Protocol, len(t.Tenants))
+	for _, tc := range t.Tenants {
+		proto, err := privmdr.ProtocolByName(tc.Mechanism, tc.Params)
+		if err != nil {
+			return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
+		}
+		out[tc.Name] = proto
+	}
+	return out, nil
+}
+
+// LoadTopology reads and validates a topology JSON file.
+func LoadTopology(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("dist: topology %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: topology %s: %w", path, err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"privmdr"
+)
+
+// PushEnvelope is one shard→aggregator delta push: the shard's identity, a
+// per-shard monotonic sequence number, and the incremental CollectorState
+// since the shard's previous acknowledged push (DiffStates output — count
+// diffs for v2, report suffixes for v1).
+//
+// The sequence number is what makes retries idempotent: the aggregator
+// applies seq == last+1, acknowledges seq == last without re-applying (the
+// retry of a push whose ACK was lost), and rejects anything else with 409 —
+// so a delta can never be double-counted no matter how many times the
+// transport replays it.
+type PushEnvelope struct {
+	Shard string
+	Seq   uint64
+	Delta privmdr.CollectorState
+}
+
+// pushMagic leads every binary push envelope.
+var pushMagic = [4]byte{'P', 'M', 'D', 'P'}
+
+// pushVersion is the envelope's wire-format version byte.
+const pushVersion = 1
+
+// maxShardID bounds the shard-ID field, so a hostile length prefix cannot
+// drive a large allocation.
+const maxShardID = 128
+
+// Validate checks the envelope's structural invariants: a bounded non-empty
+// shard ID, a positive sequence number (sequences start at 1), and a
+// structurally valid delta state.
+func (e PushEnvelope) Validate() error {
+	if len(e.Shard) == 0 || len(e.Shard) > maxShardID {
+		return fmt.Errorf("dist: push shard ID length %d outside [1,%d]", len(e.Shard), maxShardID)
+	}
+	if e.Seq == 0 {
+		return fmt.Errorf("dist: push sequence numbers start at 1")
+	}
+	return e.Delta.Validate()
+}
+
+// AppendBinary appends the envelope's binary encoding to dst:
+//
+//	4 bytes  magic "PMDP"
+//	1 byte   version
+//	uvarint  shard-ID length, then the ID bytes
+//	uvarint  sequence number
+//	...      the delta CollectorState's binary encoding (self-delimiting)
+func (e PushEnvelope) AppendBinary(dst []byte) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return dst, err
+	}
+	dst = append(dst, pushMagic[:]...)
+	dst = append(dst, pushVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Shard)))
+	dst = append(dst, e.Shard...)
+	dst = binary.AppendUvarint(dst, e.Seq)
+	return e.Delta.AppendBinary(dst)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (e PushEnvelope) MarshalBinary() ([]byte, error) {
+	return e.AppendBinary(make([]byte, 0, 64))
+}
+
+// uvarintStrict decodes a minimally-encoded uvarint, rejecting truncated,
+// overflowing, and overlong forms — like the state codec, every envelope has
+// exactly one wire form.
+func uvarintStrict(data []byte, what string) (uint64, int, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("dist: %s truncated or overflowing", what)
+	}
+	if n > 1 && v>>(7*(n-1)) == 0 {
+		return 0, 0, fmt.Errorf("dist: %s not minimally encoded", what)
+	}
+	return v, n, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Arbitrary input
+// never panics and never drives an unbounded allocation: the envelope header
+// is bounds-checked here and the embedded state rides the CollectorState
+// decoder's own caps.
+func (e *PushEnvelope) UnmarshalBinary(data []byte) error {
+	if len(data) < len(pushMagic)+1 {
+		return fmt.Errorf("dist: push envelope truncated at header")
+	}
+	if [4]byte(data[:4]) != pushMagic {
+		return fmt.Errorf("dist: push envelope magic %q unknown", data[:4])
+	}
+	if data[4] != pushVersion {
+		return fmt.Errorf("dist: unsupported push envelope version %d", data[4])
+	}
+	data = data[5:]
+	idLen, n, err := uvarintStrict(data, "push shard ID length")
+	if err != nil {
+		return err
+	}
+	data = data[n:]
+	if idLen == 0 || idLen > maxShardID {
+		return fmt.Errorf("dist: push shard ID length %d outside [1,%d]", idLen, maxShardID)
+	}
+	if uint64(len(data)) < idLen {
+		return fmt.Errorf("dist: push envelope truncated in shard ID")
+	}
+	out := PushEnvelope{Shard: string(data[:idLen])}
+	data = data[idLen:]
+	seq, n, err := uvarintStrict(data, "push sequence number")
+	if err != nil {
+		return err
+	}
+	if seq == 0 {
+		return fmt.Errorf("dist: push sequence numbers start at 1")
+	}
+	out.Seq = seq
+	data = data[n:]
+	if err := out.Delta.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("dist: push delta: %w", err)
+	}
+	*e = out
+	return nil
+}

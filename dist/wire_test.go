@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"privmdr"
+)
+
+// sampleDelta builds a real (v2) collector-state delta to embed in
+// envelopes: two reports into a fresh Uni collector.
+func sampleDelta(t testing.TB) privmdr.CollectorState {
+	t.Helper()
+	p := privmdr.Params{N: 10, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 2; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := proto.ClientReport(a, []int{1, 2, 3}, privmdr.ClientRand(p, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Submit(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := coll.(privmdr.StatefulCollector).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPushEnvelopeRoundTrip(t *testing.T) {
+	env := PushEnvelope{Shard: "edge-7", Seq: 42, Delta: sampleDelta(t)}
+	blob, err := env.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PushEnvelope
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != env.Shard || back.Seq != env.Seq {
+		t.Fatalf("round trip changed header: %+v", back)
+	}
+	if back.Delta.Received() != env.Delta.Received() {
+		t.Fatalf("round trip changed delta: %d reports, want %d",
+			back.Delta.Received(), env.Delta.Received())
+	}
+	re, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, blob) {
+		t.Fatalf("envelope encoding is not canonical: %x != %x", re, blob)
+	}
+}
+
+func TestPushEnvelopeRejects(t *testing.T) {
+	delta := sampleDelta(t)
+	good, err := PushEnvelope{Shard: "s", Seq: 1, Delta: delta}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Encoder-side validation.
+	if _, err := (PushEnvelope{Shard: "", Seq: 1, Delta: delta}).MarshalBinary(); err == nil {
+		t.Error("empty shard ID encoded")
+	}
+	if _, err := (PushEnvelope{Shard: strings.Repeat("x", maxShardID+1), Seq: 1, Delta: delta}).MarshalBinary(); err == nil {
+		t.Error("oversized shard ID encoded")
+	}
+	if _, err := (PushEnvelope{Shard: "s", Seq: 0, Delta: delta}).MarshalBinary(); err == nil {
+		t.Error("zero sequence encoded")
+	}
+	if _, err := (PushEnvelope{Shard: "s", Seq: 1}).MarshalBinary(); err == nil {
+		t.Error("zero-value delta encoded")
+	}
+
+	// Decoder-side rejection.
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", good[:3]},
+		{"bad magic", append([]byte("XXXX"), good[4:]...)},
+		{"bad version", append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...)},
+		{"truncated shard ID", good[:6]},
+		{"zero-length shard ID", append(append([]byte{}, good[:5]...), 0)},
+		{"oversized shard ID length", append(append([]byte{}, good[:5]...), 0xff, 0xff, 0x01)},
+		{"overlong varint length", append(append([]byte{}, good[:5]...), 0x81, 0x00)},
+		{"zero sequence", func() []byte {
+			// magic+ver, len 1, 's', seq 0, then the delta.
+			b := append(append([]byte{}, good[:5]...), 1, 's', 0)
+			return append(b, good[7:]...)
+		}()},
+		{"truncated delta", good[:len(good)-2]},
+		{"trailing garbage", append(append([]byte{}, good...), 0)},
+	}
+	for _, tc := range cases {
+		var env PushEnvelope
+		if err := env.UnmarshalBinary(tc.data); err == nil {
+			t.Errorf("%s: decoded successfully", tc.name)
+		}
+	}
+}
+
+// TestErrStatus pins the distributed error→HTTP-status contract: 413 for
+// oversized bodies, 409 for sequencing/epoch/deployment conflicts (wrapped
+// or not), 400 for everything else.
+func TestErrStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"too large", &http.MaxBytesError{Limit: maxBody}, http.StatusRequestEntityTooLarge},
+		{"stale seq", ErrStaleSeq, http.StatusConflict},
+		{"wrapped stale seq", fmt.Errorf("dist: shard %q: %w", "s", ErrStaleSeq), http.StatusConflict},
+		{"seq gap", ErrSeqGap, http.StatusConflict},
+		{"wrapped seq gap", fmt.Errorf("dist: %w", ErrSeqGap), http.StatusConflict},
+		{"stale epoch", ErrStaleEpoch, http.StatusConflict},
+		{"state mismatch", privmdr.ErrStateMismatch, http.StatusConflict},
+		{"wrapped state mismatch", fmt.Errorf("mech: %w", privmdr.ErrStateMismatch), http.StatusConflict},
+		{"finalized", privmdr.ErrCollectorFinalized, http.StatusConflict},
+		{"malformed", errors.New("dist: push envelope truncated at header"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if got := errStatus(tc.err); got != tc.want {
+			t.Errorf("%s: errStatus = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,10 +1,16 @@
-// Distributed: the deployment-shaped flow. Unlike Fit — which simulates
-// clients and aggregator in one call — this example keeps the two sides
-// apart the way a real rollout would: both sides build the same Protocol
-// from the public parameters, every client produces exactly one ε-LDP
-// report from its own record, and the aggregator finalizes the reports into
-// an estimator. The only user-derived bytes crossing the boundary are the
-// serialized reports.
+// Distributed: the full serving tier in one process — three ingest shards,
+// the delta-pushing aggregator, and two stateless query replicas, wired
+// over real HTTP exactly as `privmdr dist` would run them on separate
+// machines (package dist, PROTOCOL.md "Distributed topology").
+//
+// Reports are partitioned across the shards; each shard folds them into its
+// local collector and pushes incremental state deltas (sequence-numbered,
+// so retries are idempotent) to the aggregator; the aggregator merges every
+// shard's deltas, seals an epoch, and fans the sealed state out to both
+// replicas; the replicas answer query batches from the installed epoch.
+// The example closes the loop by checking the golden invariant: every
+// replica answer is bit-identical to a single monolithic collector that
+// ingested all the reports.
 //
 // Run with:
 //
@@ -12,44 +18,93 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
 
 	"privmdr"
+	"privmdr/dist"
+)
+
+const (
+	n      = 60_000
+	d      = 4
+	c      = 64
+	eps    = 1.0
+	tenant = "census"
+	shards = 3
 )
 
 func main() {
-	const (
-		n   = 80_000
-		d   = 4
-		c   = 64
-		eps = 1.0
-	)
 	// Stand-in for the users' private records (in a real deployment these
 	// never leave their devices).
 	ds, err := privmdr.GenerateDataset("ipums", privmdr.GenOptions{N: n, D: d, C: c, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// ── Both sides: the protocol is a pure function of public parameters. ──
 	params := privmdr.Params{N: n, D: d, C: c, Eps: eps, Seed: 99}
 	proto, err := privmdr.NewHDG().Protocol(params)
 	if err != nil {
 		log.Fatal(err)
 	}
-	g1, g2, _ := privmdr.GuidelineGranularities(eps, n, d, c)
-	fmt.Printf("public parameters: n=%d d=%d c=%d eps=%g  %d groups, guideline grids g1=%d g2=%d\n",
-		params.N, params.D, params.C, params.Eps, proto.NumGroups(), g1, g2)
 
-	// ── Aggregator: prepare collection. ──
-	collector, err := proto.NewCollector()
+	// ── The topology: one tenant, every role loads the same wiring. ──
+	topo := &dist.Topology{Tenants: []dist.TenantConfig{
+		{Name: tenant, Mechanism: "HDG", Params: params},
+	}}
+
+	// ── Two stateless query replicas. ──
+	var replicaURLs []string
+	for i := 0; i < 2; i++ {
+		rep, err := dist.NewReplica(topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := httptest.NewServer(rep)
+		defer srv.Close()
+		replicaURLs = append(replicaURLs, srv.URL)
+	}
+	topo.Replicas = replicaURLs
+
+	// ── The aggregator / epoch coordinator. ──
+	agg, err := dist.NewAggregator(topo, dist.SealOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer agg.Close()
+	aggSrv := httptest.NewServer(agg)
+	defer aggSrv.Close()
+	topo.Aggregator = aggSrv.URL
 
-	// ── Clients: each user perturbs their own record once. ──
+	// ── Three ingest shards with a fast background delta pusher. ──
+	shardSrvs := make([]*httptest.Server, shards)
+	shardObjs := make([]*dist.Shard, shards)
+	for i := range shardSrvs {
+		shard, err := dist.NewShard(topo, dist.ShardOptions{
+			ID:           fmt.Sprintf("edge-%d", i),
+			PushInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shard.Close()
+		shardObjs[i] = shard
+		shardSrvs[i] = httptest.NewServer(shard)
+		defer shardSrvs[i].Close()
+	}
+	fmt.Printf("topology: %d shards → aggregator → %d replicas (tenant %q)\n",
+		shards, len(replicaURLs), tenant)
+
+	// ── Clients: each user perturbs once and reports to one shard. ──
 	record := make([]int, d)
+	frames := make([][]privmdr.Report, shards)
+	reports := make([]privmdr.Report, 0, n)
 	for user := 0; user < n; user++ {
 		assignment, err := proto.Assignment(user)
 		if err != nil {
@@ -64,41 +119,92 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// ── wire boundary: only the serialized report reaches the server ──
-		wire, err := report.MarshalBinary()
-		if err != nil {
-			log.Fatal(err)
-		}
-		var received privmdr.Report
-		if err := received.UnmarshalBinary(wire); err != nil {
-			log.Fatal(err)
-		}
-		if err := collector.Submit(received); err != nil {
-			log.Fatal(err)
+		frames[user%shards] = append(frames[user%shards], report)
+		reports = append(reports, report)
+	}
+	for i, batch := range frames {
+		// ── wire boundary: only serialized reports reach the shard ──
+		for at := 0; at < len(batch); at += 4096 {
+			frame, err := privmdr.EncodeReports(batch[at:min(at+4096, len(batch))])
+			if err != nil {
+				log.Fatal(err)
+			}
+			mustPost(shardSrvs[i].URL+"/v1/"+tenant+"/reports", "application/octet-stream", frame)
 		}
 	}
+	fmt.Printf("ingested %d reports across %d shards\n", n, shards)
 
-	// ── Aggregator: finalize and answer queries. ──
-	est, err := collector.Finalize()
-	if err != nil {
+	// ── Drain: flush the final deltas, then seal and fan out the epoch. ──
+	for i, shard := range shardObjs {
+		if err := shard.Flush(context.Background()); err != nil {
+			log.Fatalf("shard %d flush: %v", i, err)
+		}
+	}
+	var sealed dist.SealResult
+	if err := json.Unmarshal(mustPost(aggSrv.URL+"/v1/"+tenant+"/seal", "application/json", nil), &sealed); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("sealed epoch %d over %d reports, fanned out to %d replicas\n",
+		sealed.Epoch, sealed.Reports, sealed.Fanout)
+
+	// ── Queries: every replica answers from the installed epoch. ──
 	queries, err := privmdr.RandomWorkload(100, 2, d, c, 0.5, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	truth := privmdr.TrueAnswers(ds, queries)
-	answers, err := privmdr.Answers(est, queries)
+	body, err := json.Marshal(privmdr.QueryRequest{Queries: queries})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("2-D workload MAE over %d queries: %.5f\n", len(queries), privmdr.MAE(answers, truth))
 
-	q := privmdr.Query{{Attr: 0, Lo: 0, Hi: 15}, {Attr: 2, Lo: 16, Hi: 47}}
-	got, err := est.Answer(q)
+	// The golden invariant's reference: one monolithic collector over the
+	// same report multiset.
+	mono, err := proto.NewCollector()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("example query a0∈[0,15] & a2∈[16,47]: estimate %.4f, exact %.4f\n",
-		got, privmdr.TrueAnswers(ds, []privmdr.Query{q})[0])
+	if err := mono.SubmitBatch(reports); err != nil {
+		log.Fatal(err)
+	}
+	est, err := mono.Finalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := privmdr.AnswerBatch(est, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := privmdr.TrueAnswers(ds, queries)
+	for r, base := range replicaURLs {
+		var resp privmdr.QueryResponse
+		if err := json.Unmarshal(mustPost(base+"/v1/"+tenant+"/query", "application/json", body), &resp); err != nil {
+			log.Fatal(err)
+		}
+		for q := range want {
+			if resp.Answers[q] != want[q] {
+				log.Fatalf("replica %d query %d: %v != monolithic %v — invariant broken",
+					r, q, resp.Answers[q], want[q])
+			}
+		}
+		fmt.Printf("replica %d: %d answers bit-identical to the monolithic collector, MAE vs truth %.5f\n",
+			r, len(resp.Answers), privmdr.MAE(resp.Answers, truth))
+	}
+}
+
+// mustPost POSTs and returns the response body, dying on transport errors
+// and non-2xx statuses.
+func mustPost(url, contentType string, body []byte) []byte {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, payload)
+	}
+	return payload
 }

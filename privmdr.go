@@ -297,13 +297,33 @@ func DecodeState(data []byte) (CollectorState, error) {
 	return st, nil
 }
 
+// EncodeSnapshot wraps a collector state in the epoch-stamped snapshot
+// envelope live servers persist ("PMSS" + epoch counter + state) — the
+// payload an epoch coordinator fans out to its query replicas, since the
+// receiver learns both the aggregation state and which epoch it seals.
+func EncodeSnapshot(st CollectorState, epoch uint64) ([]byte, error) {
+	return encodeSnapshot(st, epoch)
+}
+
 // DecodeSnapshot parses a server snapshot file: either a bare collector
 // state (EncodeState, GET /state, finalize-once servers) or a live server's
 // epoch-stamped wrapper, returning the embedded state and the serving epoch
 // counter (0 for bare states). It is what lets `privmdr merge` combine
-// snapshots from live and finalize-once shards alike.
+// snapshots from live and finalize-once shards alike, and what a query
+// replica uses to install a sealed epoch pushed by its coordinator.
 func DecodeSnapshot(data []byte) (CollectorState, uint64, error) {
 	return decodeSnapshot(data)
+}
+
+// DiffStates computes the incremental state cur − prev between two State()
+// exports of the same collector, prev taken earlier than cur. The delta is
+// itself a CollectorState — count-vector differences for streaming (v2)
+// states, per-group report suffixes for report-retaining (v1) states — so a
+// downstream collector that already merged prev reconstructs cur exactly by
+// merging the delta. It is the shard-side primitive behind the dist
+// package's delta pushes. A zero-value prev yields cur itself.
+func DiffStates(cur, prev CollectorState) (CollectorState, error) {
+	return mech.DiffStates(cur, prev)
 }
 
 // GenerateDataset draws a synthetic dataset by generator name: "ipums",

@@ -334,7 +334,7 @@ func (s *QueryServer) refresh(minNew int, forced bool) (*servingEpoch, bool, err
 		// matrices) before publishing, so queries never pay the build cost —
 		// the warm-up runs here, off the query path, while the previous
 		// epoch keeps serving.
-		err = warmEstimator(est)
+		err = WarmEstimator(est)
 	}
 	if err != nil {
 		msg := err.Error()
@@ -348,9 +348,12 @@ func (s *QueryServer) refresh(minNew int, forced bool) (*servingEpoch, bool, err
 	return next, true, nil
 }
 
-// warmEstimator runs an estimator's deferred one-time work up front (HDG's
-// response matrices), so the first query is as fast as the millionth.
-func warmEstimator(est Estimator) error {
+// WarmEstimator runs an estimator's deferred one-time work up front (HDG's
+// response matrices), so the first query is as fast as the millionth. Every
+// serving path in this module — epoch refreshes, finalize, and the dist
+// package's replica installs — warms before publishing, keeping the build
+// cost off the query path.
+func WarmEstimator(est Estimator) error {
 	if warm, ok := est.(interface{ PrecomputeMatrices() error }); ok {
 		return warm.PrecomputeMatrices()
 	}
@@ -428,22 +431,35 @@ func (s *QueryServer) SaveSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
-	data, err := st.MarshalBinary()
+	var data []byte
+	if s.live {
+		data, err = encodeSnapshot(st, s.lastEpoch.Load())
+	} else {
+		data, err = st.MarshalBinary()
+	}
 	if err != nil {
 		return err
-	}
-	if s.live {
-		wrapped := make([]byte, 0, len(data)+16)
-		wrapped = append(wrapped, snapshotMagic[:]...)
-		wrapped = append(wrapped, snapshotVersion)
-		wrapped = binary.AppendUvarint(wrapped, s.lastEpoch.Load())
-		data = append(wrapped, data...)
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// encodeSnapshot wraps a collector state in the epoch-stamped snapshot
+// envelope ("PMSS" + version + uvarint epoch + state) — the bytes a live
+// server persists and a distributed aggregator fans out to its replicas.
+func encodeSnapshot(st CollectorState, epoch uint64) ([]byte, error) {
+	inner, err := st.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(inner)+16)
+	out = append(out, snapshotMagic[:]...)
+	out = append(out, snapshotVersion)
+	out = binary.AppendUvarint(out, epoch)
+	return append(out, inner...), nil
 }
 
 // decodeSnapshot parses a snapshot file: either a bare collector state or a
@@ -523,7 +539,7 @@ func (s *QueryServer) Finalize() (Estimator, error) {
 	}
 	// A warm-up failure would surface on every query anyway, so it is
 	// sticky like any other finalize failure.
-	if err := warmEstimator(est); err != nil {
+	if err := WarmEstimator(est); err != nil {
 		s.finalErr = err
 		return nil, err
 	}
