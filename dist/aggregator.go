@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -48,9 +49,21 @@ type Aggregator struct {
 	interval time.Duration
 	minNew   int
 
+	// sealWG tracks threshold seals spawned off push handlers so Close can
+	// drain them.
+	sealWG sync.WaitGroup
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{} // closed when the background sealer exits; nil without one
+}
+
+// shardCursor is the aggregator's per-shard sequencing state: the instance
+// nonce of the shard incarnation whose pushes built the history, and the
+// last sequence number applied from it.
+type shardCursor struct {
+	nonce uint64
+	seq   uint64
 }
 
 // aggTenant is one tenant's merged collector plus its epoch bookkeeping.
@@ -62,8 +75,8 @@ type aggTenant struct {
 	// serialize on it; the collector itself is only touched under mu.
 	mu   sync.Mutex
 	coll privmdr.StatefulCollector
-	// shardSeq is each shard's last applied sequence number.
-	shardSeq map[string]uint64
+	// shards is each shard's sequencing cursor.
+	shards map[string]shardCursor
 	// epoch is the last sealed epoch number (0 before the first seal);
 	// sealedReports is how many reports that epoch included.
 	epoch         uint64
@@ -130,10 +143,10 @@ func NewAggregator(topo *Topology, opts SealOptions) (*Aggregator, error) {
 			return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
 		}
 		a.tenants[tc.Name] = &aggTenant{
-			name:     tc.Name,
-			proto:    proto,
-			coll:     coll.(privmdr.StatefulCollector),
-			shardSeq: make(map[string]uint64),
+			name:   tc.Name,
+			proto:  proto,
+			coll:   coll.(privmdr.StatefulCollector),
+			shards: make(map[string]shardCursor),
 		}
 		a.names = append(a.names, tc.Name)
 	}
@@ -154,12 +167,15 @@ func NewAggregator(topo *Topology, opts SealOptions) (*Aggregator, error) {
 // ServeHTTP implements http.Handler.
 func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
 
-// Close stops the background sealer.
+// Close stops the background sealer and waits for any in-flight threshold
+// seals. Shut the HTTP listener down first so no new pushes can spawn seals
+// while Close drains.
 func (a *Aggregator) Close() error {
 	a.stopOnce.Do(func() { close(a.stop) })
 	if a.done != nil {
 		<-a.done
 	}
+	a.sealWG.Wait()
 	return nil
 }
 
@@ -185,25 +201,43 @@ func (a *Aggregator) sealLoop() {
 // It returns whether the delta was applied (false for the idempotent
 // duplicate seq == last) and the shard's last applied sequence number —
 // which a conflicting shard uses to resync.
+//
+// The duplicate/stale/gap rules only hold within one shard incarnation, so
+// they apply only when the envelope's instance nonce matches the cursor's.
+// A different nonce starting over at seq 1 is a restarted shard: its old
+// in-memory state died with it, so its new deltas are genuinely fresh
+// reports and the cursor is replaced. A different nonce mid-sequence can
+// only be a duplicate shard ID (or a replay from a dead incarnation) and is
+// rejected with ErrShardConflict — never duplicate-ACKed, which would make
+// the pusher silently drop the delta as "already merged".
 func (t *aggTenant) apply(env PushEnvelope) (applied bool, last uint64, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	last = t.shardSeq[env.Shard]
-	switch {
-	case env.Seq == last:
-		// The retry of a push whose ACK was lost: already merged, ACK again.
-		return false, last, nil
-	case env.Seq < last:
-		return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
-			env.Shard, env.Seq, last, ErrStaleSeq)
-	case env.Seq > last+1:
-		return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
-			env.Shard, env.Seq, last, ErrSeqGap)
+	cur, known := t.shards[env.Shard]
+	last = cur.seq
+	restart := known && cur.nonce != env.Nonce
+	if restart && env.Seq != 1 {
+		return false, last, fmt.Errorf("dist: shard %q pushed seq %d under a new instance nonce (last applied %d from a previous instance — restarted shard or duplicate shard ID): %w",
+			env.Shard, env.Seq, last, ErrShardConflict)
+	}
+	if !restart {
+		switch {
+		case known && env.Seq == last:
+			// The retry of a push whose ACK was lost: already merged, ACK
+			// again.
+			return false, last, nil
+		case env.Seq < last:
+			return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
+				env.Shard, env.Seq, last, ErrStaleSeq)
+		case env.Seq > last+1:
+			return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
+				env.Shard, env.Seq, last, ErrSeqGap)
+		}
 	}
 	if err := t.coll.Merge(env.Delta); err != nil {
 		return false, last, err
 	}
-	t.shardSeq[env.Shard] = env.Seq
+	t.shards[env.Shard] = shardCursor{nonce: env.Nonce, seq: env.Seq}
 	return true, env.Seq, nil
 }
 
@@ -226,16 +260,37 @@ func (a *Aggregator) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	applied, last, err := t.apply(env)
 	if err != nil {
-		writeJSON(w, errStatus(err), pushAck{Last: last, Error: err.Error()})
+		writeJSON(w, errStatus(err), pushAck{Last: last, Code: ackCode(err), Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, pushAck{Applied: applied, Last: last})
 	if applied && a.minNew > 0 {
 		// Threshold sealing: don't wait for the ticker once enough reports
-		// accumulated. Runs after the ACK is written so push latency never
-		// pays for estimator fan-out.
-		_, _ = a.Seal(r.Context(), name, false)
+		// accumulated. Runs in its own goroutine, detached from the request
+		// context, so push latency never pays for estimator fan-out and a
+		// client disconnect can't abort the replica updates mid-flight;
+		// Close drains the WaitGroup.
+		a.sealWG.Add(1)
+		ctx := context.WithoutCancel(r.Context())
+		go func() {
+			defer a.sealWG.Done()
+			_, _ = a.Seal(ctx, name, false)
+		}()
 	}
+}
+
+// ackCode maps a push-apply error to the ack's machine-readable code, so the
+// shard can react without parsing messages.
+func ackCode(err error) string {
+	switch {
+	case errors.Is(err, ErrStaleSeq):
+		return "stale"
+	case errors.Is(err, ErrSeqGap):
+		return "gap"
+	case errors.Is(err, ErrShardConflict):
+		return "conflict"
+	}
+	return ""
 }
 
 // Seal exports the tenant's merged state, stamps it with the next epoch
@@ -388,9 +443,9 @@ func (a *Aggregator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t.mu.Lock()
-	shards := make(map[string]uint64, len(t.shardSeq))
-	for id, seq := range t.shardSeq {
-		shards[id] = seq
+	shards := make(map[string]uint64, len(t.shards))
+	for id, cur := range t.shards {
+		shards[id] = cur.seq
 	}
 	status := AggregatorStatus{
 		Role:          "aggregator",

@@ -10,9 +10,13 @@
 //     for streaming mechanisms that is an O(groups×domain) count-vector
 //     difference (DiffStates on v2 states), for report-retaining HIO/LHIO it
 //     is the batch of reports received since the last push (v1 suffix).
-//     Every push carries the shard's ID and a monotonic sequence number, so
-//     a retried push is idempotent; failed pushes retry with backoff and the
-//     un-shipped delta simply grows until the aggregator is reachable again.
+//     Every push carries the shard's ID, a random per-incarnation instance
+//     nonce, and a monotonic sequence number, so a retried push is
+//     idempotent and a restarted shard is never confused with its previous
+//     life. An unacknowledged delta is frozen in flight and retried
+//     byte-identically (with backoff) until the aggregator acknowledges it;
+//     reports that arrive meanwhile ride the next delta, so nothing is lost
+//     even when the aggregator applied a push whose ACK never came back.
 //
 //   - The aggregator / epoch coordinator (NewAggregator) merges shard deltas
 //     into one collector per tenant — the standard CollectorState Merge, so
@@ -64,6 +68,14 @@ var (
 	// expected one — the aggregator is missing deltas (it restarted, or the
 	// shard re-baselined without it) and the shard must resync.
 	ErrSeqGap = errors.New("dist: push sequence number skips ahead")
+	// ErrShardConflict reports a mid-sequence push under an instance nonce
+	// that does not match the one whose pushes built the shard's applied
+	// history: either two live shards share an ID, or a restarted shard's
+	// state diverged from what the aggregator already merged. The aggregator
+	// cannot merge such a delta without risking double counting, so it
+	// rejects it and the shard surfaces the conflict loudly instead of
+	// retrying quietly forever.
+	ErrShardConflict = errors.New("dist: shard instance conflicts with applied push history")
 	// ErrStaleEpoch reports an epoch install that is not newer than the
 	// epoch a replica is already serving.
 	ErrStaleEpoch = errors.New("dist: epoch is not newer than the serving epoch")
@@ -83,7 +95,8 @@ func errStatus(err error) int {
 	if errors.As(err, &tooLarge) {
 		return http.StatusRequestEntityTooLarge
 	}
-	if errors.Is(err, ErrStaleSeq) || errors.Is(err, ErrSeqGap) || errors.Is(err, ErrStaleEpoch) ||
+	if errors.Is(err, ErrStaleSeq) || errors.Is(err, ErrSeqGap) || errors.Is(err, ErrShardConflict) ||
+		errors.Is(err, ErrStaleEpoch) ||
 		errors.Is(err, privmdr.ErrStateMismatch) || errors.Is(err, privmdr.ErrCollectorFinalized) {
 		return http.StatusConflict
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"privmdr"
 )
@@ -418,6 +419,302 @@ func TestShardRebaseline(t *testing.T) {
 	}
 	if st.Received() != len(reports) {
 		t.Fatalf("rebuilt aggregator has %d reports, want %d", st.Received(), len(reports))
+	}
+}
+
+// TestShardPushFrozenAcrossLostACK pins the applied-but-ACK-lost contract:
+// the aggregator applies a push but every transport attempt's response is
+// lost, so the shard's push() fails — and reports keep arriving before the
+// retry. The retry must resend the original envelope byte-identically (the
+// aggregator duplicate-ACKs it without re-merging) and advance lastPushed
+// only to the frozen snapshot, so the interim reports still ship in the
+// next delta. A recomputed delta under the same sequence number would lose
+// them silently.
+func TestShardPushFrozenAcrossLostACK(t *testing.T) {
+	p := privmdr.Params{N: 900, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, distDataset(t, p.N))
+
+	agg, err := NewAggregator(topo, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg.Close() })
+	// loseACKs makes the middleware let the aggregator process each push
+	// normally and then discard its response, answering 503 — the
+	// applied-but-ACK-lost failure.
+	var loseACKs atomic.Bool
+	tsAgg := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if loseACKs.Load() && r.Method == http.MethodPost && r.URL.Path == "/v1/census/push" {
+			rec := httptest.NewRecorder()
+			agg.ServeHTTP(rec, r)
+			http.Error(w, "injected ACK loss", http.StatusServiceUnavailable)
+			return
+		}
+		agg.ServeHTTP(w, r)
+	}))
+	t.Cleanup(tsAgg.Close)
+	topo.Aggregator = tsAgg.URL
+
+	shard, err := NewShard(topo, ShardOptions{ID: "edge-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	qs, _ := shard.Tenant("census")
+
+	if err := qs.SubmitBatch(reports[:300]); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := shard.FlushTenant(context.Background(), "census"); err != nil || res.Seq != 1 {
+		t.Fatalf("first flush: %+v, %v", res, err)
+	}
+
+	// The aggregator applies seq 2 (300 more reports) but every ACK is lost.
+	if err := qs.SubmitBatch(reports[300:600]); err != nil {
+		t.Fatal(err)
+	}
+	loseACKs.Store(true)
+	if _, err := shard.FlushTenant(context.Background(), "census"); err == nil {
+		t.Fatal("flush with all ACKs lost: want transport error")
+	}
+	if st, err := agg.State("census"); err != nil || st.Received() != 600 {
+		t.Fatalf("aggregator after lost ACK: %d reports (err %v), want 600 applied", st.Received(), err)
+	}
+
+	// Interim reports arrive before the retry succeeds.
+	if err := qs.SubmitBatch(reports[600:]); err != nil {
+		t.Fatal(err)
+	}
+	loseACKs.Store(false)
+	res, err := shard.FlushTenant(context.Background(), "census")
+	if err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if res.Seq != 2 || res.Reports != 300 || res.Skipped {
+		t.Fatalf("retry flush %+v, want the frozen 300-report delta acknowledged at seq 2", res)
+	}
+	if res, err = shard.FlushTenant(context.Background(), "census"); err != nil || res.Seq != 3 || res.Reports != 300 {
+		t.Fatalf("follow-up flush %+v (err %v), want the interim 300 reports at seq 3", res, err)
+	}
+
+	st, err := agg.State("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received() != p.N {
+		t.Fatalf("aggregator merged %d reports, want %d — interim reports were lost", st.Received(), p.N)
+	}
+	tsShard := httptest.NewServer(shard)
+	t.Cleanup(tsShard.Close)
+	var hs ShardStatus
+	getJSON(t, tsShard.URL+"/v1/census/healthz", &hs)
+	if hs.Pending != 0 || hs.PushedSeq != 3 || hs.LastPushError != "" {
+		t.Fatalf("healthz after drain: %+v", hs)
+	}
+}
+
+// TestShardRestartSameID pins the restart contract: a shard process dies and
+// a replacement with the same stable ID (but empty in-memory state and a
+// fresh instance nonce) starts pushing from sequence 1 again. The aggregator
+// must treat the new incarnation's deltas as fresh reports — not
+// duplicate-ACK them against the dead incarnation's history (silent drop)
+// and not wedge it on ErrStaleSeq.
+func TestShardRestartSameID(t *testing.T) {
+	p := privmdr.Params{N: 600, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, distDataset(t, p.N))
+
+	agg, err := NewAggregator(topo, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg.Close() })
+	tsAgg := httptest.NewServer(agg)
+	t.Cleanup(tsAgg.Close)
+	topo.Aggregator = tsAgg.URL
+
+	shard1, err := NewShard(topo, ShardOptions{ID: "edge-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := shard1.Tenant("census")
+	if err := qs.SubmitBatch(reports[:400]); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := shard1.FlushTenant(context.Background(), "census"); err != nil || res.Seq != 1 {
+		t.Fatalf("first incarnation flush: %+v, %v", res, err)
+	}
+	if err := shard1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replacement only ever sees reports that arrived after the restart.
+	shard2, err := NewShard(topo, ShardOptions{ID: "edge-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard2.Close() })
+	qs2, _ := shard2.Tenant("census")
+	if err := qs2.SubmitBatch(reports[400:]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := shard2.FlushTenant(context.Background(), "census")
+	if err != nil {
+		t.Fatalf("restarted incarnation flush: %v", err)
+	}
+	if res.Seq != 1 || res.Reports != 200 || res.Skipped {
+		t.Fatalf("restarted incarnation flush %+v, want 200 fresh reports applied at seq 1", res)
+	}
+	st, err := agg.State("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received() != p.N {
+		t.Fatalf("aggregator merged %d reports across the restart, want %d", st.Received(), p.N)
+	}
+}
+
+// TestShardIDConflict pins the duplicate-shard-ID contract: once a second
+// live instance takes over a shard ID (its seq-1 push replaces the cursor),
+// the first instance's mid-sequence pushes must be rejected with
+// ErrShardConflict — loudly, in the returned error and healthz — and must
+// not corrupt the merged state.
+func TestShardIDConflict(t *testing.T) {
+	p := privmdr.Params{N: 300, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, distDataset(t, p.N))
+
+	agg, err := NewAggregator(topo, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg.Close() })
+	tsAgg := httptest.NewServer(agg)
+	t.Cleanup(tsAgg.Close)
+	topo.Aggregator = tsAgg.URL
+
+	newShard := func() (*Shard, *privmdr.QueryServer) {
+		t.Helper()
+		sh, err := NewShard(topo, ShardOptions{ID: "edge-1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sh.Close() })
+		qs, _ := sh.Tenant("census")
+		return sh, qs
+	}
+	shardA, qsA := newShard()
+	shardB, qsB := newShard()
+
+	if err := qsA.SubmitBatch(reports[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shardA.FlushTenant(context.Background(), "census"); err != nil {
+		t.Fatal(err)
+	}
+	// B usurps the cursor with its own seq 1.
+	if err := qsB.SubmitBatch(reports[100:200]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shardB.FlushTenant(context.Background(), "census"); err != nil {
+		t.Fatal(err)
+	}
+	// A's next delta (seq 2 under the old nonce) must conflict.
+	if err := qsA.SubmitBatch(reports[200:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shardA.FlushTenant(context.Background(), "census"); !errors.Is(err, ErrShardConflict) {
+		t.Fatalf("usurped shard flush: %v, want ErrShardConflict", err)
+	}
+	st, err := agg.State("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received() != 200 {
+		t.Fatalf("aggregator merged %d reports, want 200 (the conflicting delta must not merge)", st.Received())
+	}
+	ts := httptest.NewServer(shardA)
+	t.Cleanup(ts.Close)
+	var hs ShardStatus
+	getJSON(t, ts.URL+"/v1/census/healthz", &hs)
+	if hs.LastPushError == "" {
+		t.Fatal("shard healthz hides the ID conflict")
+	}
+}
+
+// TestThresholdSealAsync pins the threshold-seal execution model: an applied
+// push that reaches MinNewReports seals and fans out in the background — the
+// push ACK returns first, and the fan-out survives the push connection going
+// away — and Aggregator.Close drains the in-flight seal.
+func TestThresholdSealAsync(t *testing.T) {
+	p := privmdr.Params{N: 200, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, distDataset(t, p.N))
+
+	rep, err := NewReplica(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsRep := httptest.NewServer(rep)
+	t.Cleanup(tsRep.Close)
+	topo.Replicas = []string{tsRep.URL}
+
+	agg, err := NewAggregator(topo, SealOptions{MinNewReports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsAgg := httptest.NewServer(agg)
+	t.Cleanup(tsAgg.Close)
+	topo.Aggregator = tsAgg.URL
+
+	shard, err := NewShard(topo, ShardOptions{ID: "edge-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	qs, _ := shard.Tenant("census")
+	if err := qs.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.FlushTenant(context.Background(), "census"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The seal runs detached from the push request; wait for it to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var hs ReplicaStatus
+		getJSON(t, tsRep.URL+"/v1/census/healthz", &hs)
+		if hs.Serving && hs.Epoch >= 1 && hs.EstimatorReports == p.N {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never received the threshold-sealed epoch: %+v", hs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Close must drain any still-running seal goroutines (the HTTP server
+	// shut first, matching the production order).
+	tsAgg.Close()
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

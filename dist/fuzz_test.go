@@ -14,8 +14,8 @@ import (
 func FuzzPushEnvelope(f *testing.F) {
 	delta := sampleDelta(f)
 	for _, env := range []PushEnvelope{
-		{Shard: "s", Seq: 1, Delta: delta},
-		{Shard: "edge-07.rack-2", Seq: 1 << 40, Delta: delta},
+		{Shard: "s", Nonce: 1, Seq: 1, Delta: delta},
+		{Shard: "edge-07.rack-2", Nonce: 1<<64 - 1, Seq: 1 << 40, Delta: delta},
 	} {
 		seed, err := env.MarshalBinary()
 		if err != nil {
@@ -25,8 +25,9 @@ func FuzzPushEnvelope(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("PMDP"))
-	f.Add([]byte{'P', 'M', 'D', 'P', pushVersion, 1, 's', 1})
-	f.Add([]byte{'P', 'M', 'D', 'P', pushVersion, 0x81, 0x00}) // overlong varint
+	f.Add([]byte{'P', 'M', 'D', 'P', pushVersion, 1, 's', 1, 1})
+	f.Add([]byte{'P', 'M', 'D', 'P', pushVersion, 1, 's', 0, 1}) // zero nonce
+	f.Add([]byte{'P', 'M', 'D', 'P', pushVersion, 0x81, 0x00})   // overlong varint
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var env PushEnvelope
 		if err := env.UnmarshalBinary(data); err != nil {

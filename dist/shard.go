@@ -2,6 +2,8 @@ package dist
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -43,7 +45,11 @@ type ShardOptions struct {
 //	GET  /v1/{tenant}/healthz — ShardStatus: received, pushed, pending lag
 //	POST /v1/{tenant}/push    — force a delta push now
 type Shard struct {
-	id      string
+	id string
+	// nonce is this incarnation's random instance nonce, carried in every
+	// push envelope so the aggregator can tell a retry from this process
+	// apart from a restarted or duplicate shard reusing the ID.
+	nonce   uint64
 	agg     string
 	tenants map[string]*shardTenant
 	names   []string
@@ -63,8 +69,14 @@ type shardTenant struct {
 	name string
 	qs   *privmdr.QueryServer
 
-	// mu serializes pushes (scheduled, forced, and shutdown flushes) and
-	// guards the fields below. Ingestion never takes it.
+	// pushMu serializes pushes (scheduled, forced, and shutdown flushes)
+	// end to end, including the retrying network round-trip. Ingestion
+	// never takes it.
+	pushMu sync.Mutex
+	// mu guards the bookkeeping fields below and is only ever held for
+	// short copies, so healthz never blocks behind an in-flight push while
+	// the aggregator is slow or unreachable. Writers additionally hold
+	// pushMu.
 	mu sync.Mutex
 	// lastPushed is the state snapshot the aggregator has acknowledged
 	// through seq; the next delta is diffed against it.
@@ -73,6 +85,22 @@ type shardTenant struct {
 	// the first).
 	seq     uint64
 	lastErr string
+	// inflight is a built-but-unacknowledged push, frozen together with the
+	// state snapshot it was diffed from. It is retried byte-identically
+	// until the aggregator acknowledges its sequence number: if the
+	// aggregator applied it but the ACK was lost, the retry duplicate-ACKs
+	// against the exact delta that was merged, and lastPushed advances to
+	// the frozen snapshot — never to a newer state whose extra reports were
+	// not in the envelope.
+	inflight *inflightPush
+}
+
+// inflightPush is a frozen, unacknowledged push envelope plus the full
+// cumulative state it captured (the delta's baseline-plus-delta), which
+// becomes lastPushed when the aggregator acknowledges the sequence number.
+type inflightPush struct {
+	env      PushEnvelope
+	snapshot privmdr.CollectorState
 }
 
 // ShardStatus is one tenant's GET /healthz reply on a shard.
@@ -126,6 +154,7 @@ func NewShard(topo *Topology, opts ShardOptions) (*Shard, error) {
 	}
 	s := &Shard{
 		id:       opts.ID,
+		nonce:    newInstanceNonce(),
 		agg:      agg,
 		tenants:  make(map[string]*shardTenant, len(topo.Tenants)),
 		tr:       newTransport(opts.Timeout),
@@ -190,9 +219,9 @@ func (s *Shard) Close() error {
 
 // pushLoop is the background pusher: every interval it ships each tenant's
 // delta iff at least MinPush reports arrived since the last acknowledged
-// push. Failures are retained per tenant (ShardStatus.LastPushError) and
-// the delta keeps growing until the aggregator is reachable again — nothing
-// is lost, only delayed.
+// push. Failures are retained per tenant (ShardStatus.LastPushError); an
+// unacknowledged envelope stays frozen and is retried verbatim while later
+// reports accumulate behind it — nothing is lost, only delayed.
 func (s *Shard) pushLoop() {
 	defer close(s.done)
 	t := time.NewTicker(s.interval)
@@ -231,60 +260,126 @@ func (s *Shard) FlushTenant(ctx context.Context, tenant string) (PushResult, err
 	return s.push(ctx, t, 0)
 }
 
+// newInstanceNonce draws a shard incarnation's random non-zero instance
+// nonce.
+func newInstanceNonce() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("dist: reading random instance nonce: %v", err))
+		}
+		if n := binary.LittleEndian.Uint64(b[:]); n != 0 {
+			return n
+		}
+	}
+}
+
 // pushAck is the aggregator's push reply: on 2xx whether this envelope was
 // applied (false for an idempotent duplicate), on 409 the last acknowledged
-// sequence number the shard can resync from.
+// sequence number the shard can resync from plus a machine-readable code
+// ("stale", "gap", or "conflict").
 type pushAck struct {
 	Applied bool   `json:"applied"`
 	Last    uint64 `json:"last"`
+	Code    string `json:"code,omitempty"`
 	Error   string `json:"error,omitempty"`
 }
 
 // push ships one tenant's delta since the last acknowledged push. min > 0
 // makes it a thresholded scheduled push; 0 forces (but an empty delta is
-// always skipped). On a 409 whose ACK shows the aggregator has nothing from
-// this shard (last == 0, e.g. it restarted empty), the shard re-baselines:
-// it resets its sequence and ships the full cumulative state as the next
-// delta, which is exact because an aggregator with no history from this
-// shard holds none of its reports.
+// always skipped).
+//
+// If a previous push went unacknowledged (the transport gave up — the
+// aggregator may or may not have applied it), its frozen envelope is resent
+// byte-identically first, ignoring min: until its sequence number is
+// acknowledged, no newer delta may ship, and committing it must move
+// lastPushed exactly to its frozen snapshot. Reports that arrived in the
+// meantime ride the following delta.
+//
+// On a 409 whose ACK shows the aggregator has nothing from this shard
+// (last == 0, e.g. it restarted empty), the shard re-baselines: it resets
+// its sequence and ships the full cumulative state as sequence 1, which is
+// exact because an aggregator with no history from this shard holds none of
+// its reports. A 409 with code "conflict" means the aggregator holds
+// history for this shard ID from a different instance — it is surfaced as
+// ErrShardConflict (duplicate shard ID or divergent restart) rather than
+// retried quietly.
 func (s *Shard) push(ctx context.Context, t *shardTenant, min int) (PushResult, error) {
+	t.pushMu.Lock()
+	defer t.pushMu.Unlock()
+
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	cur, err := t.qs.State()
-	if err != nil {
-		return PushResult{}, s.recordErr(t, err)
+	inflight := t.inflight
+	seq := t.seq
+	lastPushed := t.lastPushed
+	t.mu.Unlock()
+
+	if inflight == nil {
+		cur, err := t.qs.State()
+		if err != nil {
+			return PushResult{}, s.recordErr(t, err)
+		}
+		delta, err := privmdr.DiffStates(cur, lastPushed)
+		if err != nil {
+			return PushResult{}, s.recordErr(t, err)
+		}
+		fresh := delta.Received()
+		if fresh == 0 || fresh < min {
+			return PushResult{Tenant: t.name, Seq: seq, Skipped: true}, nil
+		}
+		inflight = &inflightPush{
+			env:      PushEnvelope{Shard: s.id, Nonce: s.nonce, Seq: seq + 1, Delta: delta},
+			snapshot: cur,
+		}
+		t.mu.Lock()
+		t.inflight = inflight
+		t.mu.Unlock()
 	}
-	delta, err := privmdr.DiffStates(cur, t.lastPushed)
-	if err != nil {
-		return PushResult{}, s.recordErr(t, err)
-	}
-	fresh := delta.Received()
-	if fresh == 0 || fresh < min {
-		return PushResult{Tenant: t.name, Seq: t.seq, Skipped: true}, nil
-	}
-	env := PushEnvelope{Shard: s.id, Seq: t.seq + 1, Delta: delta}
 	for rebaselined := false; ; {
-		blob, err := env.MarshalBinary()
+		blob, err := inflight.env.MarshalBinary()
 		if err != nil {
 			return PushResult{}, s.recordErr(t, err)
 		}
 		status, body, err := s.tr.post(ctx, s.agg+"/v1/"+t.name+"/push", "application/octet-stream", blob)
 		if err != nil {
+			// The envelope stays frozen in flight: the next push retries
+			// these exact bytes, so an applied-but-unacknowledged delta can
+			// only ever be duplicate-ACKed, never recomputed.
 			return PushResult{}, s.recordErr(t, err)
 		}
 		if status >= 200 && status < 300 {
-			t.lastPushed = cur
-			t.seq = env.Seq
+			t.mu.Lock()
+			t.lastPushed = inflight.snapshot
+			t.seq = inflight.env.Seq
+			t.inflight = nil
 			t.lastErr = ""
-			return PushResult{Tenant: t.name, Seq: t.seq, Reports: env.Delta.Received()}, nil
+			t.mu.Unlock()
+			return PushResult{Tenant: t.name, Seq: inflight.env.Seq, Reports: inflight.env.Delta.Received()}, nil
 		}
 		var ack pushAck
 		_ = json.Unmarshal(body, &ack)
-		if status == http.StatusConflict && !rebaselined && ack.Last == 0 && t.seq > 0 {
+		if status == http.StatusConflict && ack.Code == "conflict" {
+			return PushResult{}, s.recordErr(t, fmt.Errorf("dist: push seq %d: %w — aggregator said: %s",
+				inflight.env.Seq, ErrShardConflict, ack.Error))
+		}
+		if status == http.StatusConflict && !rebaselined && ack.Last == 0 && inflight.env.Seq > 1 {
+			// The aggregator restarted empty underneath us: ship the full
+			// cumulative state (which supersedes the frozen delta) as a new
+			// sequence 1.
 			rebaselined = true
+			cur, err := t.qs.State()
+			if err != nil {
+				return PushResult{}, s.recordErr(t, err)
+			}
+			inflight = &inflightPush{
+				env:      PushEnvelope{Shard: s.id, Nonce: s.nonce, Seq: 1, Delta: cur},
+				snapshot: cur,
+			}
+			t.mu.Lock()
 			t.lastPushed = privmdr.CollectorState{}
 			t.seq = 0
-			env = PushEnvelope{Shard: s.id, Seq: 1, Delta: cur}
+			t.inflight = inflight
+			t.mu.Unlock()
 			continue
 		}
 		return PushResult{}, s.recordErr(t, fmt.Errorf("dist: push rejected: %d %s", status, body))
@@ -293,7 +388,9 @@ func (s *Shard) push(ctx context.Context, t *shardTenant, min int) (PushResult, 
 
 // recordErr retains a push failure for healthz and returns it.
 func (s *Shard) recordErr(t *shardTenant, err error) error {
+	t.mu.Lock()
 	t.lastErr = err.Error()
+	t.mu.Unlock()
 	return err
 }
 

@@ -8,17 +8,26 @@ import (
 )
 
 // PushEnvelope is one shard→aggregator delta push: the shard's identity, a
-// per-shard monotonic sequence number, and the incremental CollectorState
-// since the shard's previous acknowledged push (DiffStates output — count
-// diffs for v2, report suffixes for v1).
+// random per-process instance nonce, a per-shard monotonic sequence number,
+// and the incremental CollectorState since the shard's previous acknowledged
+// push (DiffStates output — count diffs for v2, report suffixes for v1).
 //
 // The sequence number is what makes retries idempotent: the aggregator
 // applies seq == last+1, acknowledges seq == last without re-applying (the
 // retry of a push whose ACK was lost), and rejects anything else with 409 —
 // so a delta can never be double-counted no matter how many times the
 // transport replays it.
+//
+// The nonce is what makes the sequence trustworthy across process lifetimes:
+// every shard incarnation draws a fresh random nonce, so the aggregator can
+// tell "the same instance retrying seq N" (same nonce — acknowledge, don't
+// re-apply) apart from "a restarted or duplicate instance colliding on seq N"
+// (different nonce — restart over from seq 1, or reject mid-sequence with
+// ErrShardConflict). Without it, a restarted shard's first push would be
+// silently swallowed as a duplicate of its previous life's.
 type PushEnvelope struct {
 	Shard string
+	Nonce uint64
 	Seq   uint64
 	Delta privmdr.CollectorState
 }
@@ -26,19 +35,23 @@ type PushEnvelope struct {
 // pushMagic leads every binary push envelope.
 var pushMagic = [4]byte{'P', 'M', 'D', 'P'}
 
-// pushVersion is the envelope's wire-format version byte.
-const pushVersion = 1
+// pushVersion is the envelope's wire-format version byte. Version 2 added
+// the instance nonce between the shard ID and the sequence number.
+const pushVersion = 2
 
 // maxShardID bounds the shard-ID field, so a hostile length prefix cannot
 // drive a large allocation.
 const maxShardID = 128
 
 // Validate checks the envelope's structural invariants: a bounded non-empty
-// shard ID, a positive sequence number (sequences start at 1), and a
-// structurally valid delta state.
+// shard ID, a non-zero instance nonce, a positive sequence number (sequences
+// start at 1), and a structurally valid delta state.
 func (e PushEnvelope) Validate() error {
 	if len(e.Shard) == 0 || len(e.Shard) > maxShardID {
 		return fmt.Errorf("dist: push shard ID length %d outside [1,%d]", len(e.Shard), maxShardID)
+	}
+	if e.Nonce == 0 {
+		return fmt.Errorf("dist: push instance nonce must be non-zero")
 	}
 	if e.Seq == 0 {
 		return fmt.Errorf("dist: push sequence numbers start at 1")
@@ -51,6 +64,7 @@ func (e PushEnvelope) Validate() error {
 //	4 bytes  magic "PMDP"
 //	1 byte   version
 //	uvarint  shard-ID length, then the ID bytes
+//	uvarint  instance nonce
 //	uvarint  sequence number
 //	...      the delta CollectorState's binary encoding (self-delimiting)
 func (e PushEnvelope) AppendBinary(dst []byte) ([]byte, error) {
@@ -61,6 +75,7 @@ func (e PushEnvelope) AppendBinary(dst []byte) ([]byte, error) {
 	dst = append(dst, pushVersion)
 	dst = binary.AppendUvarint(dst, uint64(len(e.Shard)))
 	dst = append(dst, e.Shard...)
+	dst = binary.AppendUvarint(dst, e.Nonce)
 	dst = binary.AppendUvarint(dst, e.Seq)
 	return e.Delta.AppendBinary(dst)
 }
@@ -112,6 +127,15 @@ func (e *PushEnvelope) UnmarshalBinary(data []byte) error {
 	}
 	out := PushEnvelope{Shard: string(data[:idLen])}
 	data = data[idLen:]
+	nonce, n, err := uvarintStrict(data, "push instance nonce")
+	if err != nil {
+		return err
+	}
+	if nonce == 0 {
+		return fmt.Errorf("dist: push instance nonce must be non-zero")
+	}
+	out.Nonce = nonce
+	data = data[n:]
 	seq, n, err := uvarintStrict(data, "push sequence number")
 	if err != nil {
 		return err

@@ -45,7 +45,7 @@ func sampleDelta(t testing.TB) privmdr.CollectorState {
 }
 
 func TestPushEnvelopeRoundTrip(t *testing.T) {
-	env := PushEnvelope{Shard: "edge-7", Seq: 42, Delta: sampleDelta(t)}
+	env := PushEnvelope{Shard: "edge-7", Nonce: 1 << 50, Seq: 42, Delta: sampleDelta(t)}
 	blob, err := env.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ func TestPushEnvelopeRoundTrip(t *testing.T) {
 	if err := back.UnmarshalBinary(blob); err != nil {
 		t.Fatal(err)
 	}
-	if back.Shard != env.Shard || back.Seq != env.Seq {
+	if back.Shard != env.Shard || back.Nonce != env.Nonce || back.Seq != env.Seq {
 		t.Fatalf("round trip changed header: %+v", back)
 	}
 	if back.Delta.Received() != env.Delta.Received() {
@@ -72,22 +72,28 @@ func TestPushEnvelopeRoundTrip(t *testing.T) {
 
 func TestPushEnvelopeRejects(t *testing.T) {
 	delta := sampleDelta(t)
-	good, err := PushEnvelope{Shard: "s", Seq: 1, Delta: delta}.MarshalBinary()
+	// Nonce 7 keeps the header layout byte-addressable below:
+	// good[0:5] magic+version, good[5] ID length, good[6] 's',
+	// good[7] nonce, good[8] sequence, good[9:] the delta.
+	good, err := PushEnvelope{Shard: "s", Nonce: 7, Seq: 1, Delta: delta}.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Encoder-side validation.
-	if _, err := (PushEnvelope{Shard: "", Seq: 1, Delta: delta}).MarshalBinary(); err == nil {
+	if _, err := (PushEnvelope{Shard: "", Nonce: 7, Seq: 1, Delta: delta}).MarshalBinary(); err == nil {
 		t.Error("empty shard ID encoded")
 	}
-	if _, err := (PushEnvelope{Shard: strings.Repeat("x", maxShardID+1), Seq: 1, Delta: delta}).MarshalBinary(); err == nil {
+	if _, err := (PushEnvelope{Shard: strings.Repeat("x", maxShardID+1), Nonce: 7, Seq: 1, Delta: delta}).MarshalBinary(); err == nil {
 		t.Error("oversized shard ID encoded")
 	}
-	if _, err := (PushEnvelope{Shard: "s", Seq: 0, Delta: delta}).MarshalBinary(); err == nil {
+	if _, err := (PushEnvelope{Shard: "s", Seq: 1, Delta: delta}).MarshalBinary(); err == nil {
+		t.Error("zero instance nonce encoded")
+	}
+	if _, err := (PushEnvelope{Shard: "s", Nonce: 7, Seq: 0, Delta: delta}).MarshalBinary(); err == nil {
 		t.Error("zero sequence encoded")
 	}
-	if _, err := (PushEnvelope{Shard: "s", Seq: 1}).MarshalBinary(); err == nil {
+	if _, err := (PushEnvelope{Shard: "s", Nonce: 7, Seq: 1}).MarshalBinary(); err == nil {
 		t.Error("zero-value delta encoded")
 	}
 
@@ -104,10 +110,14 @@ func TestPushEnvelopeRejects(t *testing.T) {
 		{"zero-length shard ID", append(append([]byte{}, good[:5]...), 0)},
 		{"oversized shard ID length", append(append([]byte{}, good[:5]...), 0xff, 0xff, 0x01)},
 		{"overlong varint length", append(append([]byte{}, good[:5]...), 0x81, 0x00)},
+		{"truncated at nonce", good[:7]},
+		{"zero nonce", func() []byte {
+			b := append(append([]byte{}, good[:7]...), 0)
+			return append(b, good[8:]...)
+		}()},
 		{"zero sequence", func() []byte {
-			// magic+ver, len 1, 's', seq 0, then the delta.
-			b := append(append([]byte{}, good[:5]...), 1, 's', 0)
-			return append(b, good[7:]...)
+			b := append(append([]byte{}, good[:8]...), 0)
+			return append(b, good[9:]...)
 		}()},
 		{"truncated delta", good[:len(good)-2]},
 		{"trailing garbage", append(append([]byte{}, good...), 0)},
@@ -134,6 +144,8 @@ func TestErrStatus(t *testing.T) {
 		{"wrapped stale seq", fmt.Errorf("dist: shard %q: %w", "s", ErrStaleSeq), http.StatusConflict},
 		{"seq gap", ErrSeqGap, http.StatusConflict},
 		{"wrapped seq gap", fmt.Errorf("dist: %w", ErrSeqGap), http.StatusConflict},
+		{"shard conflict", ErrShardConflict, http.StatusConflict},
+		{"wrapped shard conflict", fmt.Errorf("dist: shard %q: %w", "s", ErrShardConflict), http.StatusConflict},
 		{"stale epoch", ErrStaleEpoch, http.StatusConflict},
 		{"state mismatch", privmdr.ErrStateMismatch, http.StatusConflict},
 		{"wrapped state mismatch", fmt.Errorf("mech: %w", privmdr.ErrStateMismatch), http.StatusConflict},
