@@ -1,0 +1,129 @@
+// batchfold_test.go pins the batched-ingest contract at the mechanism
+// level: for every mechanism, submitting the deployment's reports as
+// shuffled, arbitrarily-cut batches from concurrent goroutines must
+// finalize to answers bit-identical to one collector fed the same reports
+// one at a time in user order. The folded statistics are integer count
+// vectors, so every partition and arrival order folds to the same integers
+// — the invariant the run-partitioned batch fold (PROTOCOL.md, "Batched
+// ingestion") is required to preserve. Run with -race this also exercises
+// concurrent SubmitBatch against the per-group stripe locks.
+package privmdr_test
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"privmdr"
+)
+
+func TestBatchedSubmitMatchesPerReport(t *testing.T) {
+	ds := protocolDataset(t)
+	qs, err := privmdr.RandomWorkload(15, 2, ds.D(), ds.C, 0.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD, err := privmdr.RandomWorkload(5, 1, ds.D(), ds.C, 0.5, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = append(qs, oneD...)
+	const eps, seed = 1.0, 77
+	mechs := []privmdr.Mechanism{
+		privmdr.NewUni(),
+		privmdr.NewMSW(),
+		privmdr.NewCALM(),
+		privmdr.NewHIO(),
+		privmdr.NewLHIO(),
+		privmdr.NewTDG(),
+		privmdr.NewHDG(),
+	}
+	for _, m := range mechs {
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			p := privmdr.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: eps, Seed: seed}
+			proto, err := m.Protocol(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := makeReports(t, proto, ds)
+
+			// Reference: one collector, one report at a time, user order.
+			ref, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range reports {
+				if err := ref.Submit(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			refEst, err := ref.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := privmdr.Answers(refEst, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Batched: shuffle the stream, cut it into random-size batches
+			// (including singletons and empty cuts), and submit the batches
+			// from several goroutines at once.
+			rng := rand.New(rand.NewPCG(123, uint64(len(reports))))
+			shuffled := append([]privmdr.Report(nil), reports...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			var batches [][]privmdr.Report
+			for lo := 0; lo < len(shuffled); {
+				hi := lo + rng.IntN(700) // 0 → an empty batch now and then
+				if hi > len(shuffled) {
+					hi = len(shuffled)
+				}
+				batches = append(batches, shuffled[lo:hi])
+				lo = hi
+			}
+			batched, err := proto.NewCollector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers = 4
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(batches); i += workers {
+						if err := batched.SubmitBatch(batches[i]); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- nil
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			batchedEst, err := batched.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := privmdr.Answers(batchedEst, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("query %d: batched answer %v != per-report answer %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -8,7 +8,7 @@
 //	privmdr-bench -exp fig1 -scale default
 //	privmdr-bench -exp all -scale smoke -csv out/
 //	privmdr-bench -exp fig3 -mechs HDG,TDG,CALM -n 50000 -reps 2
-//	privmdr-bench -perf BENCH_PR5.json -scale smoke
+//	privmdr-bench -perf BENCH_PR7.json -scale smoke
 //
 // Scales: smoke (CI-sized), default (laptop-sized, n = 10⁵), paper
 // (n = 10⁶, 10 repeats, |Q| = 200 — hours of compute).
@@ -36,7 +36,7 @@ func main() {
 		seed    = flag.Uint64("seed", 2020, "root random seed")
 		mechs   = flag.String("mechs", "", "comma-separated mechanism filter (e.g. HDG,TDG)")
 		csvDir  = flag.String("csv", "", "also write one CSV per panel into this directory")
-		perf    = flag.String("perf", "", "run the collector perf harness and write its JSON report to this path")
+		perf    = flag.String("perf", "", "run the collector perf + HTTP saturation harness and write its JSON report to this path")
 	)
 	flag.Parse()
 

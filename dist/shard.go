@@ -68,6 +68,10 @@ type Shard struct {
 type shardTenant struct {
 	name string
 	qs   *privmdr.QueryServer
+	// handler is the tenant's QueryServer behind its /v1/{tenant} prefix
+	// strip, built once so the ingest hot path (POST /reports) doesn't
+	// allocate a fresh delegating handler per request.
+	handler http.Handler
 
 	// pushMu serializes pushes (scheduled, forced, and shutdown flushes)
 	// end to end, including the retrying network round-trip. Ingestion
@@ -170,7 +174,11 @@ func NewShard(topo *Topology, opts ShardOptions) (*Shard, error) {
 			s.closeTenants()
 			return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
 		}
-		s.tenants[tc.Name] = &shardTenant{name: tc.Name, qs: qs}
+		s.tenants[tc.Name] = &shardTenant{
+			name:    tc.Name,
+			qs:      qs,
+			handler: http.StripPrefix("/v1/"+tc.Name, qs),
+		}
 		s.names = append(s.names, tc.Name)
 	}
 	mux := http.NewServeMux()
@@ -404,7 +412,7 @@ func (s *Shard) delegate(w http.ResponseWriter, r *http.Request) {
 		unknownTenant(w, name)
 		return
 	}
-	http.StripPrefix("/v1/"+name, t.qs).ServeHTTP(w, r)
+	t.handler.ServeHTTP(w, r)
 }
 
 func (s *Shard) handleHealthz(w http.ResponseWriter, r *http.Request) {

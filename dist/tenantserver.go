@@ -19,7 +19,11 @@ import (
 //	GET /v1/tenants           — every tenant's name and ServerStatus
 //	/v1/{tenant}/{endpoint}   — the tenant's QueryServer endpoint
 type TenantServer struct {
-	tenants   map[string]*privmdr.QueryServer
+	tenants map[string]*privmdr.QueryServer
+	// handlers holds each tenant's prefix-stripped QueryServer, built once
+	// at construction so routing doesn't allocate a delegating handler per
+	// request.
+	handlers  map[string]http.Handler
 	snapshots map[string]string
 	names     []string
 	mux       *http.ServeMux
@@ -41,6 +45,7 @@ func NewTenantServer(topo *Topology, opts privmdr.LiveOptions) (*TenantServer, e
 	}
 	s := &TenantServer{
 		tenants:   make(map[string]*privmdr.QueryServer, len(topo.Tenants)),
+		handlers:  make(map[string]http.Handler, len(topo.Tenants)),
 		snapshots: make(map[string]string),
 	}
 	for _, tc := range topo.Tenants {
@@ -50,6 +55,7 @@ func NewTenantServer(topo *Topology, opts privmdr.LiveOptions) (*TenantServer, e
 			return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
 		}
 		s.tenants[tc.Name] = qs
+		s.handlers[tc.Name] = http.StripPrefix("/v1/"+tc.Name, qs)
 		s.names = append(s.names, tc.Name)
 		if tc.Snapshot != "" {
 			s.snapshots[tc.Name] = tc.Snapshot
@@ -122,12 +128,12 @@ func (s *TenantServer) SaveSnapshots() error {
 // prefix stripped.
 func (s *TenantServer) route(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("tenant")
-	qs, ok := s.tenants[name]
+	h, ok := s.handlers[name]
 	if !ok {
 		unknownTenant(w, name)
 		return
 	}
-	http.StripPrefix("/v1/"+name, qs).ServeHTTP(w, r)
+	h.ServeHTTP(w, r)
 }
 
 func (s *TenantServer) handleTenants(w http.ResponseWriter, r *http.Request) {

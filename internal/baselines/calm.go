@@ -119,9 +119,9 @@ func (pr *calmProtocol) NewCollector() (mech.Collector, error) {
 		return nil, err
 	}
 	specs := make([]mech.GroupSpec, pr.NumGroups())
-	fold := func(r mech.Report, counts []int64) { folder.Fold(r.FO(), counts) }
+	spec := mech.FolderSpec(folder)
 	for g := range specs {
-		specs[g] = mech.GroupSpec{Len: folder.StatLen(), Fold: fold}
+		specs[g] = spec
 	}
 	ing, err := mech.NewCountIngest(pr, mech.OracleCheck(pr.oracle), specs)
 	if err != nil {

@@ -105,9 +105,17 @@ func (pr *mswProtocol) NewCollector() (mech.Collector, error) {
 		return nil
 	}
 	specs := make([]mech.GroupSpec, pr.p.D)
-	fold := func(r mech.Report, counts []int64) { counts[r.Value]++ }
+	spec := mech.GroupSpec{
+		Len:  pr.wave.B,
+		Fold: func(r mech.Report, counts []int64) { counts[r.Value]++ },
+		FoldBatch: func(rs []mech.Report, counts []int64) {
+			for i := range rs {
+				counts[rs[i].Value]++
+			}
+		},
+	}
 	for g := range specs {
-		specs[g] = mech.GroupSpec{Len: pr.wave.B, Fold: fold}
+		specs[g] = spec
 	}
 	ing, err := mech.NewCountIngest(pr, check, specs)
 	if err != nil {
@@ -151,11 +159,7 @@ func (c *mswCollector) estimate(byGroup []mech.GroupCounts) (mech.Estimator, err
 	// distribution, so a 1-D range answer is one subtraction.
 	cdf := make([][]float64, d)
 	for a := 0; a < d; a++ {
-		buckets := make([]int, pr.wave.B)
-		for i, c := range byGroup[a].Counts {
-			buckets[i] = int(c)
-		}
-		dist, err := pr.wave.Reconstruct(buckets, sw.EMOptions{MaxIters: pr.opts.EMIters, Smooth: !pr.opts.NoSmooth})
+		dist, err := pr.wave.Reconstruct64(byGroup[a].Counts, sw.EMOptions{MaxIters: pr.opts.EMIters, Smooth: !pr.opts.NoSmooth})
 		if err != nil {
 			return nil, err
 		}

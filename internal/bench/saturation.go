@@ -1,0 +1,231 @@
+// Sustained-load saturation runner: the second half of `privmdr-bench
+// -perf`. Where perf.go measures the collector in isolation, this file
+// drives the full HTTP ingest path — pre-encoded report frames POSTed to
+// /reports by concurrent clients against a live (epoch-serving) QueryServer
+// whose background refresher keeps sealing epochs under load — and reports
+// the saturated throughput in reports/s and reports/s/core plus the p50/p99
+// submit latency a client observes. This is the end-to-end number the
+// batch-fold work is accountable to: frame decode, vetting, run
+// partitioning, and per-run folding all sit on the measured path.
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"privmdr"
+	"privmdr/internal/dataset"
+	"privmdr/internal/mech"
+)
+
+// SaturationPoint is one sustained-load measurement against a live server.
+type SaturationPoint struct {
+	Mech string `json:"mech"`
+	// Clients is the number of concurrent HTTP submitters.
+	Clients int `json:"clients"`
+	// BatchSize is the number of reports per POST /reports frame.
+	BatchSize int `json:"batch_size"`
+	// Cores is GOMAXPROCS at measurement time, the divisor for the
+	// per-core rate.
+	Cores int `json:"cores"`
+	// DurationSecs is the measured wall-clock window.
+	DurationSecs float64 `json:"duration_secs"`
+
+	// Accepted is the total number of reports the server ingested inside
+	// the window; ReportsPerSec is Accepted over the window.
+	Accepted             int     `json:"accepted"`
+	ReportsPerSec        float64 `json:"reports_per_sec"`
+	ReportsPerSecPerCore float64 `json:"reports_per_sec_per_core"`
+
+	// Submit latency distribution over every POST /reports round trip.
+	P50SubmitMicros float64 `json:"p50_submit_micros"`
+	P99SubmitMicros float64 `json:"p99_submit_micros"`
+
+	// EpochsSealed counts serving epochs the background refresher sealed
+	// during the window — proof the measurement ran against a server that
+	// was concurrently rebuilding estimators, not an idle sink.
+	EpochsSealed uint64 `json:"epochs_sealed"`
+}
+
+// saturationPlan picks the load shape per scale: how long to sustain the
+// load and how often the live refresher seals epochs underneath it.
+func saturationPlan(scale Scale) (d time.Duration, refresh time.Duration) {
+	switch scale {
+	case Smoke:
+		return 1500 * time.Millisecond, 250 * time.Millisecond
+	case Paper:
+		return 10 * time.Second, 500 * time.Millisecond
+	default:
+		return 4 * time.Second, 500 * time.Millisecond
+	}
+}
+
+// saturationBatch is the reports-per-frame a well-behaved shard client
+// ships: large enough to amortize the HTTP round trip, small enough that a
+// frame stays a fraction of a socket buffer (~13 B/report → ~6.5 KiB).
+const saturationBatch = 512
+
+// RunSaturation drives the named mechanism's live HTTP ingest path to
+// saturation and returns the measured point. Reports are pre-generated and
+// pre-encoded so the measurement window contains only the server-side path
+// plus the HTTP round trip; clients re-submit the same sanitized frames,
+// which the protocol accepts (an LDP aggregator cannot tell a re-submission
+// from a like-minded user, and the folding cost is identical).
+func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
+	m, err := newMech(name)
+	if err != nil {
+		return nil, err
+	}
+	duration, refresh := saturationPlan(cfg.scale())
+	const d, c = 3, 64
+	// Enough distinct reports to cycle through several frames per client
+	// without regenerating; the protocol params use a larger nominal n so
+	// group populations stay realistic.
+	n := 64 * saturationBatch
+	ds, err := dataset.Normal(dataset.GenOptions{N: n, D: d, C: c, Seed: cfg.Seed + 7, Rho: 0.7})
+	if err != nil {
+		return nil, err
+	}
+	p := mech.Params{N: n, D: d, C: c, Eps: paperEps, Seed: cfg.Seed + 8}
+	proto, err := m.Protocol(p)
+	if err != nil {
+		return nil, err
+	}
+	record := make([]int, d)
+	reports := make([]mech.Report, n)
+	for u := 0; u < n; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			return nil, err
+		}
+		for i := range record {
+			record[i] = ds.Value(i, u)
+		}
+		reports[u], err = proto.ClientReport(a, record, mech.ClientRand(p, u))
+		if err != nil {
+			return nil, err
+		}
+	}
+	frames := make([][]byte, 0, n/saturationBatch)
+	for lo := 0; lo+saturationBatch <= n; lo += saturationBatch {
+		frame, err := mech.EncodeReports(reports[lo : lo+saturationBatch])
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame)
+	}
+
+	qs, err := privmdr.NewLiveQueryServer(proto, privmdr.LiveOptions{Refresh: refresh, MinNewReports: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer qs.Close()
+	srv := httptest.NewServer(qs)
+	defer srv.Close()
+
+	clients := runtime.GOMAXPROCS(0)
+	if clients < 2 {
+		clients = 2
+	}
+	transport := &http.Transport{MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2}
+	defer transport.CloseIdleConnections()
+	httpc := &http.Client{Transport: transport}
+	url := srv.URL + "/reports"
+
+	// Warm the path (connection setup, pools, first-touch allocations)
+	// before the window opens.
+	if err := postFrame(httpc, url, frames[0]); err != nil {
+		return nil, err
+	}
+
+	type clientStats struct {
+		latencies []time.Duration
+		err       error
+	}
+	stats := make([]clientStats, clients)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	startEpoch := qs.Status().Epoch
+	startReceived := qs.Received()
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.latencies = make([]time.Duration, 0, 4096)
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				frame := frames[i%len(frames)]
+				t0 := time.Now()
+				if err := postFrame(httpc, url, frame); err != nil {
+					st.err = err
+					return
+				}
+				st.latencies = append(st.latencies, time.Since(t0))
+			}
+		}(w)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	accepted := qs.Received() - startReceived
+	epochs := qs.Status().Epoch - startEpoch
+
+	var lat []time.Duration
+	for i := range stats {
+		if stats[i].err != nil {
+			return nil, fmt.Errorf("bench: saturation client %d: %w", i, stats[i].err)
+		}
+		lat = append(lat, stats[i].latencies...)
+	}
+	if len(lat) == 0 {
+		return nil, fmt.Errorf("bench: saturation window completed zero submissions")
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i].Microseconds())
+	}
+	cores := runtime.GOMAXPROCS(0)
+	pt := &SaturationPoint{
+		Mech:            m.Name(),
+		Clients:         clients,
+		BatchSize:       saturationBatch,
+		Cores:           cores,
+		DurationSecs:    elapsed.Seconds(),
+		Accepted:        accepted,
+		ReportsPerSec:   float64(accepted) / elapsed.Seconds(),
+		P50SubmitMicros: pct(0.50),
+		P99SubmitMicros: pct(0.99),
+		EpochsSealed:    epochs,
+	}
+	pt.ReportsPerSecPerCore = pt.ReportsPerSec / float64(cores)
+	return pt, nil
+}
+
+// postFrame POSTs one pre-encoded report frame and drains the response.
+func postFrame(httpc *http.Client, url string, frame []byte) error {
+	resp, err := httpc.Post(url, "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /reports: status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+func TestRunSaturationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sustains load for over a second")
+	}
+	pt, err := RunSaturation("TDG", RunConfig{Scale: Smoke, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Accepted <= 0 || pt.ReportsPerSec <= 0 {
+		t.Fatalf("saturation accepted nothing: %+v", pt)
+	}
+	if pt.Accepted%saturationBatch != 0 {
+		t.Errorf("accepted %d not a multiple of the frame size %d", pt.Accepted, saturationBatch)
+	}
+	if pt.P99SubmitMicros < pt.P50SubmitMicros {
+		t.Errorf("p99 %g below p50 %g", pt.P99SubmitMicros, pt.P50SubmitMicros)
+	}
+	if pt.EpochsSealed == 0 {
+		t.Errorf("no epochs sealed during the window — the live refresher did not run")
+	}
+	if pt.Cores <= 0 || pt.ReportsPerSecPerCore <= 0 {
+		t.Errorf("per-core accounting missing: %+v", pt)
+	}
+}

@@ -189,24 +189,20 @@ func (pr *hdgProtocol) NewCollector() (mech.Collector, error) {
 	if err != nil {
 		return nil, err
 	}
+	spec1, spec2 := mech.FolderSpec(f1), mech.FolderSpec(f2)
 	specs := make([]mech.GroupSpec, pr.NumGroups())
 	for g := range specs {
-		f := f1
-		if g >= pr.p.D {
-			f = f2
+		if g < pr.p.D {
+			specs[g] = spec1
+		} else {
+			specs[g] = spec2
 		}
-		specs[g] = mech.GroupSpec{Len: f.StatLen(), Fold: oracleFold(f)}
 	}
 	ing, err := mech.NewCountIngest(pr, check, specs)
 	if err != nil {
 		return nil, err
 	}
 	return &hdgCollector{CountIngest: ing, pr: pr, f1: f1, f2: f2}, nil
-}
-
-// oracleFold adapts a frequency-oracle folder to the GroupSpec signature.
-func oracleFold(f *fo.Folder) func(mech.Report, []int64) {
-	return func(r mech.Report, counts []int64) { f.Fold(r.FO(), counts) }
 }
 
 // hdgCollector is the aggregator side of an HDG deployment.

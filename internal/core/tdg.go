@@ -186,9 +186,9 @@ func (pr *tdgProtocol) NewCollector() (mech.Collector, error) {
 		return nil, err
 	}
 	specs := make([]mech.GroupSpec, pr.NumGroups())
-	fold := oracleFold(f2)
+	spec := mech.FolderSpec(f2)
 	for g := range specs {
-		specs[g] = mech.GroupSpec{Len: f2.StatLen(), Fold: fold}
+		specs[g] = spec
 	}
 	ing, err := mech.NewCountIngest(pr, mech.OracleCheck(pr.o2), specs)
 	if err != nil {

@@ -158,6 +158,15 @@ type OLH struct {
 	g   int     // compressed domain size c'
 	gw  uint64  // g as the precomputed multiply-shift (Lemire) reducer word
 	p   float64 // e^ε/(e^ε+g−1)
+
+	// hv is the per-domain-value inner hash table — SplitMix64(v + φ) for
+	// every v in [0, c) — shared by Support and the streaming folder so the
+	// two aggregation paths evaluate the exact same hash family and cannot
+	// drift. Built lazily: report-retaining callers (HIO) construct OLH
+	// oracles over interval domains far too large to materialize O(c) state,
+	// and they only ever use Hash/EstimateOne.
+	hvOnce sync.Once
+	hv     []uint64
 }
 
 // NewOLH returns an OLH oracle for domain size c under budget eps.
@@ -195,6 +204,21 @@ func (o *OLH) Hash(seed uint64, v uint64) int {
 	return int(h)
 }
 
+// valueHashes returns the precomputed inner hash per domain value, i.e.
+// hv[v] = SplitMix64(v + φ), so Hash(seed, v) ≡ Lemire(SplitMix64(seed ^
+// hv[v]), g). Every enumerating aggregation path (Support, the folder)
+// reads this one table.
+func (o *OLH) valueHashes() []uint64 {
+	o.hvOnce.Do(func() {
+		hv := make([]uint64, o.c)
+		for v := range hv {
+			hv[v] = ldprand.SplitMix64(uint64(v) + 0x9e3779b97f4a7c15)
+		}
+		o.hv = hv
+	})
+	return o.hv
+}
+
 // Perturb implements Oracle.
 func (o *OLH) Perturb(v int, rng *rand.Rand) Report {
 	seed := rng.Uint64()
@@ -227,6 +251,7 @@ func (o *OLH) CheckReport(r Report) error {
 // the result is deterministic regardless of parallelism.
 func (o *OLH) Support(reports []Report) []float64 {
 	counts := make([]float64, o.c)
+	o.valueHashes() // build the shared table before the workers fan out
 	workers := runtime.GOMAXPROCS(0)
 	if o.c < 64 || len(reports) < 1024 || workers < 2 {
 		o.supportRange(reports, counts, 0, o.c)
@@ -251,11 +276,12 @@ func (o *OLH) Support(reports []Report) []float64 {
 
 func (o *OLH) supportRange(reports []Report, counts []float64, lo, hi int) {
 	g := o.gw
+	hv := o.valueHashes()
 	for v := lo; v < hi; v++ {
-		hv := ldprand.SplitMix64(uint64(v) + 0x9e3779b97f4a7c15)
+		h := hv[v]
 		n := 0
-		for _, r := range reports {
-			if h, _ := bits.Mul64(ldprand.SplitMix64(r.Seed^hv), g); int(h) == r.Value {
+		for i := range reports {
+			if hb, _ := bits.Mul64(ldprand.SplitMix64(reports[i].Seed^h), g); int(hb) == reports[i].Value {
 				n++
 			}
 		}

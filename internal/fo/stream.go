@@ -28,14 +28,15 @@ import (
 // multiset (EstimateCounts on each oracle states the argument).
 
 // Folder folds one oracle's reports into its integer sufficient statistic.
-// Build one per oracle with NewFolder and share it across groups: Fold is
-// stateless (all state lives in the caller's count vector), so a Folder is
-// safe for concurrent use as long as concurrent calls target distinct count
-// vectors.
+// Build one per oracle with NewFolder and share it across groups: Fold and
+// FoldBatch are stateless (all state lives in the caller's count vector), so
+// a Folder is safe for concurrent use as long as concurrent calls target
+// distinct count vectors.
 type Folder struct {
-	statLen  int
-	fold     func(Report, []int64)
-	estimate func([]int64, int) []float64
+	statLen   int
+	fold      func(Report, []int64)
+	foldBatch func([]Report, []int64)
+	estimate  func([]int64, int) []float64
 }
 
 // NewFolder returns the streaming statistic for a counting oracle. Every
@@ -47,50 +48,99 @@ func NewFolder(o Oracle) (*Folder, error) {
 	switch o := o.(type) {
 	case *GRR:
 		return &Folder{
-			statLen: o.c,
-			fold: func(r Report, counts []int64) {
-				// Mirrors EstimateAll's guard: an out-of-range value
-				// contributes to n but to no bucket.
-				if r.Value >= 0 && r.Value < o.c {
-					counts[r.Value]++
-				}
-			},
-			estimate: o.EstimateCounts,
+			statLen:   o.c,
+			fold:      func(r Report, counts []int64) { grrFold(r, counts, o.c) },
+			foldBatch: func(rs []Report, counts []int64) { grrFoldBatch(rs, counts, o.c) },
+			estimate:  o.EstimateCounts,
 		}, nil
 	case *OLH:
-		// Precompute the per-value inner hashes once: folding then costs one
-		// splitmix round plus one multiply per domain value, exactly the
-		// predicate supportRange evaluates at finalize.
-		hv := make([]uint64, o.c)
-		for v := range hv {
-			hv[v] = ldprand.SplitMix64(uint64(v) + 0x9e3779b97f4a7c15)
-		}
+		// The per-value inner hashes live on the oracle (valueHashes), so the
+		// folder evaluates exactly the predicate Support evaluates at
+		// finalize — one table, two readers, no way to drift.
+		hv := o.valueHashes()
 		g := o.gw
 		return &Folder{
-			statLen: o.c,
-			fold: func(r Report, counts []int64) {
-				for v, h := range hv {
-					if hb, _ := bits.Mul64(ldprand.SplitMix64(r.Seed^h), g); int(hb) == r.Value {
-						counts[v]++
-					}
-				}
-			},
-			estimate: o.EstimateCounts,
+			statLen:   o.c,
+			fold:      func(r Report, counts []int64) { olhFold(r, counts, hv, g) },
+			foldBatch: func(rs []Report, counts []int64) { olhFoldBatch(rs, counts, hv, g) },
+			estimate:  o.EstimateCounts,
 		}, nil
 	case *Hadamard:
 		k := uint64(o.k)
 		return &Folder{
-			statLen: o.k,
-			fold: func(r Report, counts []int64) {
-				// Mirrors EstimateAll's guard on the row index.
-				if r.Seed < k {
-					counts[r.Seed] += int64(1 - 2*r.Value)
-				}
-			},
-			estimate: o.EstimateCounts,
+			statLen:   o.k,
+			fold:      func(r Report, counts []int64) { hadamardFold(r, counts, k) },
+			foldBatch: func(rs []Report, counts []int64) { hadamardFoldBatch(rs, counts, k) },
+			estimate:  o.EstimateCounts,
 		}, nil
 	}
 	return nil, fmt.Errorf("fo: oracle %s has no streaming sufficient statistic", o.Name())
+}
+
+// grrFold mirrors EstimateAll's guard: an out-of-range value contributes to
+// n but to no bucket.
+func grrFold(r Report, counts []int64, c int) {
+	if r.Value >= 0 && r.Value < c {
+		counts[r.Value]++
+	}
+}
+
+// grrFoldBatch is the batch-native GRR fold: one increment per report in a
+// tight loop with no per-report closure dispatch.
+func grrFoldBatch(rs []Report, counts []int64, c int) {
+	for i := range rs {
+		if v := rs[i].Value; v >= 0 && v < c {
+			counts[v]++
+		}
+	}
+}
+
+// olhFold adds one report's support contribution: for each domain value v,
+// counts[v]++ iff the report's seeded hash lands on its value.
+func olhFold(r Report, counts []int64, hv []uint64, g uint64) {
+	seed, val := r.Seed, r.Value
+	counts = counts[:len(hv)] // hoist the bounds check out of the loop
+	for v, h := range hv {
+		if hb, _ := bits.Mul64(ldprand.SplitMix64(seed^h), g); int(hb) == val {
+			counts[v]++
+		}
+	}
+}
+
+// olhFoldBatch folds a whole same-oracle run value-outer/report-inner — the
+// same cache order supportRange uses at finalize: for each domain value the
+// inner loop streams sequentially through the run with the value's inner
+// hash and the Lemire reducer in registers, and the per-value tally lands
+// in counts once instead of once per matching report. Bit-identical to
+// folding the run report by report (integer adds commute).
+func olhFoldBatch(rs []Report, counts []int64, hv []uint64, g uint64) {
+	counts = counts[:len(hv)] // hoist the bounds check out of the loop nest
+	for v, h := range hv {
+		n := int64(0)
+		for i := range rs {
+			if hb, _ := bits.Mul64(ldprand.SplitMix64(rs[i].Seed^h), g); int(hb) == rs[i].Value {
+				n++
+			}
+		}
+		counts[v] += n
+	}
+}
+
+// hadamardFold mirrors EstimateAll's guard on the row index.
+func hadamardFold(r Report, counts []int64, k uint64) {
+	if r.Seed < k {
+		counts[r.Seed] += int64(1 - 2*r.Value)
+	}
+}
+
+// hadamardFoldBatch is the batch-native Hadamard fold: one signed increment
+// per report.
+func hadamardFoldBatch(rs []Report, counts []int64, k uint64) {
+	for i := range rs {
+		if rs[i].Seed < k {
+			counts[rs[i].Seed] += int64(1 - 2*rs[i].Value)
+		}
+	}
 }
 
 // StatLen is the length of the count vector Fold expects.
@@ -100,6 +150,14 @@ func (f *Folder) StatLen() int { return f.statLen }
 // report must have passed the oracle's CheckReport — Fold trusts its fields
 // the same way EstimateAll trusts a collected report.
 func (f *Folder) Fold(r Report, counts []int64) { f.fold(r, counts) }
+
+// FoldBatch adds a whole run of (vetted) reports to counts in one call —
+// the batch-native ingest path. The result is bit-identical to calling Fold
+// on each report in order: every statistic is a vector of commuting integer
+// adds. What changes is the loop shape: the per-report closure dispatch
+// disappears, bounds checks hoist out of the inner loops, and OLH flips to
+// the value-outer/report-inner nest Support uses at finalize.
+func (f *Folder) FoldBatch(rs []Report, counts []int64) { f.foldBatch(rs, counts) }
 
 // Estimate converts a folded statistic over n reports into frequency
 // estimates — bit-identical to EstimateAll over any report multiset that

@@ -79,6 +79,94 @@ func TestFolderMatchesEstimateAll(t *testing.T) {
 	}
 }
 
+// TestFoldBatchMatchesFold is the batch-ingest property: for every counting
+// oracle, FoldBatch over ANY partition of a shuffled report multiset is
+// bit-identical to folding each report one at a time. This is the lemma the
+// run-partitioned SubmitBatch path rests on — the statistic is a vector of
+// commuting integer adds, so chunking and reordering cannot change it.
+func TestFoldBatchMatchesFold(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (Oracle, error)
+	}{
+		{"grr", func() (Oracle, error) { return NewGRR(1.0, 16) }},
+		{"olh", func() (Oracle, error) { return NewOLH(0.8, 64) }},
+		{"hadamard", func() (Oracle, error) { return NewHadamard(1.2, 100) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := NewFolder(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := ldprand.New(21)
+			reports := perturbed(o, 3000, rng)
+			want := foldAll(f, reports)
+			for trial := 0; trial < 5; trial++ {
+				shuffled := append([]Report(nil), reports...)
+				rng.Shuffle(len(shuffled), func(i, j int) {
+					shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+				})
+				got := make([]int64, f.StatLen())
+				for len(shuffled) > 0 {
+					k := 1 + rng.IntN(len(shuffled)) // random chunk, incl. whole rest
+					f.FoldBatch(shuffled[:k], got)
+					shuffled = shuffled[k:]
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d slot %d: batch fold %d != sequential fold %d", trial, i, got[i], want[i])
+					}
+				}
+			}
+			// Empty runs are no-ops.
+			got := foldAll(f, reports)
+			f.FoldBatch(nil, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("slot %d changed by empty FoldBatch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestOLHSupportMatchesFold pins the shared inner-hash table: the integer
+// support tallies the finalize-time Support scan computes must equal the
+// counts the streaming folder accumulates (and Fold-then-Estimate must
+// equal the Support-based EstimateAll), so the two readers of the oracle's
+// valueHashes cannot drift apart.
+func TestOLHSupportMatchesFold(t *testing.T) {
+	o, err := NewOLH(1.0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFolder(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := perturbed(o, 4000, ldprand.New(31))
+	support := o.Support(reports)
+	folded := make([]int64, f.StatLen())
+	f.FoldBatch(reports, folded)
+	for v := range support {
+		if support[v] != float64(folded[v]) {
+			t.Fatalf("value %d: Support tally %v != folded count %d", v, support[v], folded[v])
+		}
+	}
+	wantEst := o.EstimateAll(reports)
+	gotEst := f.Estimate(folded, len(reports))
+	for v := range wantEst {
+		if gotEst[v] != wantEst[v] {
+			t.Fatalf("value %d: folded estimate %v != Support estimate %v", v, gotEst[v], wantEst[v])
+		}
+	}
+}
+
 // TestFolderEmpty pins the n = 0 convention: all-zero estimates, exactly
 // like EstimateAll over no reports.
 func TestFolderEmpty(t *testing.T) {
@@ -160,21 +248,50 @@ func BenchmarkOLHSupport(b *testing.B) {
 	}
 }
 
-// BenchmarkFolderFold measures the per-report streaming fold cost.
+// BenchmarkFolderFold measures the streaming fold cost per report for each
+// counting oracle, one report at a time ("seq") versus the batch-native
+// path ("batch") — the ≥1.5x claim on the same-group batched ingest path
+// lives here for OLH, whose Θ(c)-per-report fold dominates real ingest.
 func BenchmarkFolderFold(b *testing.B) {
-	o, err := NewOLH(1.0, 256)
-	if err != nil {
-		b.Fatal(err)
+	oracles := []struct {
+		name string
+		mk   func() (Oracle, error)
+	}{
+		{"olh256", func() (Oracle, error) { return NewOLH(1.0, 256) }},
+		{"grr16", func() (Oracle, error) { return NewGRR(1.0, 16) }},
+		{"hadamard1024", func() (Oracle, error) { return NewHadamard(1.0, 1000) }},
 	}
-	f, err := NewFolder(o)
-	if err != nil {
-		b.Fatal(err)
-	}
-	reports := perturbed(o, 1024, ldprand.New(12))
-	counts := make([]int64, f.StatLen())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f.Fold(reports[i%len(reports)], counts)
+	const batch = 1024
+	for _, oc := range oracles {
+		o, err := oc.mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := NewFolder(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reports := perturbed(o, batch, ldprand.New(12))
+		counts := make([]int64, f.StatLen())
+		b.Run(oc.name+"/seq", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Fold(reports[i%batch], counts)
+			}
+		})
+		b.Run(oc.name+"/batch", func(b *testing.B) {
+			// Whole-run folds, normalized to per-report cost via b.N.
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batch {
+				k := batch
+				if rem := b.N - done; rem < k {
+					k = rem
+				}
+				f.FoldBatch(reports[:k], counts)
+			}
+		})
 	}
 }
 

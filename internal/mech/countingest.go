@@ -41,6 +41,17 @@ type CountIngest struct {
 	mu     sync.RWMutex
 	done   bool
 	groups []countGroup
+
+	// scratch recycles the run-partitioning buffers SubmitBatch uses to
+	// regroup a batch into same-group runs, so the warm batched ingest path
+	// performs zero allocations per frame.
+	scratch sync.Pool
+}
+
+// batchScratch is one SubmitBatch's pooled partitioning state.
+type batchScratch struct {
+	perm   []Report // the batch regrouped into one run per group
+	starts []int    // run offsets into perm, len groups+1
 }
 
 // countGroup is one group's statistic under its own stripe lock.
@@ -55,9 +66,18 @@ type countGroup struct {
 // contribution. A Len of 0 with a nil Fold marks a group whose reports
 // carry no information beyond their arrival (Uni, LHIO's root level) — only
 // the group's report tally is tracked.
+//
+// FoldBatch, when non-nil, folds a whole same-group run in one call and
+// must be bit-identical to folding each report with Fold in run order
+// (every statistic is a vector of commuting integer adds, so any
+// implementation built on them is). SubmitBatch partitions each vetted
+// batch into same-group runs and prefers FoldBatch under a single stripe
+// acquisition; groups without one fall back to per-report Fold inside the
+// same single acquisition.
 type GroupSpec struct {
-	Len  int
-	Fold func(r Report, counts []int64)
+	Len       int
+	Fold      func(r Report, counts []int64)
+	FoldBatch func(rs []Report, counts []int64)
 }
 
 // NewCountIngest prepares a streaming store for pr's groups. check, when
@@ -78,10 +98,14 @@ func NewCountIngest(pr Protocol, check func(Report) error, specs []GroupSpec) (*
 		if spec.Len < 0 || (spec.Len > 0 && spec.Fold == nil) {
 			return nil, fmt.Errorf("mech: group %d spec needs a fold for %d counts", g, spec.Len)
 		}
+		if spec.FoldBatch != nil && spec.Fold == nil {
+			return nil, fmt.Errorf("mech: group %d spec has a batch fold but no per-report fold", g)
+		}
 		if spec.Len > 0 {
 			ci.groups[g].counts = make([]int64, spec.Len)
 		}
 	}
+	ci.scratch.New = func() any { return new(batchScratch) }
 	return ci, nil
 }
 
@@ -128,6 +152,13 @@ func (ci *CountIngest) Submit(r Report) error {
 // SubmitBatch ingests a batch atomically: every report is vetted before the
 // first one folds, so a malformed report in a network frame cannot leave
 // the collector partially updated.
+//
+// The vetted batch is partitioned into same-group runs (a counting sort
+// over pooled scratch — O(len(rs) + groups), zero allocations warm) and
+// each group's stripe lock is taken once per run instead of once per
+// report, with the run handed to the group's batch fold. The folded result
+// is bit-identical to submitting the reports one at a time in any order:
+// every group statistic is a vector of commuting integer adds.
 func (ci *CountIngest) SubmitBatch(rs []Report) error {
 	for i, r := range rs {
 		if err := ci.vet(r); err != nil {
@@ -139,11 +170,88 @@ func (ci *CountIngest) SubmitBatch(rs []Report) error {
 	if ci.done {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
-	for _, r := range rs {
-		ci.fold(r)
+	if len(rs) <= 1 {
+		for _, r := range rs {
+			ci.fold(r)
+		}
+	} else {
+		sc := ci.scratch.Get().(*batchScratch)
+		ci.foldRuns(rs, sc)
+		if cap(sc.perm) > maxPooledRunScratch {
+			// One oversized frame must not pin O(frame) scratch on the
+			// collector forever; outsized buffers go back to the GC and
+			// normal-sized frames stay zero-alloc.
+			sc.perm = nil
+		}
+		ci.scratch.Put(sc)
 	}
 	ci.received.Add(int64(len(rs)))
 	return nil
+}
+
+// foldRuns partitions a vetted batch into same-group runs and folds each
+// run under a single stripe acquisition. Callers hold ci.mu shared.
+func (ci *CountIngest) foldRuns(rs []Report, sc *batchScratch) {
+	numG := len(ci.groups)
+	if cap(sc.starts) < numG+1 {
+		sc.starts = make([]int, numG+1)
+	}
+	starts := sc.starts[:numG+1]
+	clear(starts)
+	// Tally run sizes; remember whether the batch already arrives in
+	// ascending group order, in which case the scatter pass is skipped and
+	// the runs are folded straight out of the caller's slice.
+	sorted := true
+	prev := rs[0].Group
+	for i := range rs {
+		g := rs[i].Group
+		starts[g+1]++
+		if g < prev {
+			sorted = false
+		}
+		prev = g
+	}
+	for g := 0; g < numG; g++ {
+		starts[g+1] += starts[g]
+	}
+	runs := rs
+	if !sorted {
+		// Stable counting-sort scatter into the pooled buffer, so each run
+		// preserves the batch's relative report order.
+		if cap(sc.perm) < len(rs) {
+			sc.perm = make([]Report, len(rs))
+		}
+		runs = sc.perm[:len(rs)]
+		next := starts[:numG] // consumed as scatter cursors, rebuilt below
+		for i := range rs {
+			g := rs[i].Group
+			runs[next[g]] = rs[i]
+			next[g]++
+		}
+		// next[g] has advanced to the run's end == starts[g+1]; shift back.
+		copy(starts[1:], next)
+		starts[0] = 0
+	}
+	for g := 0; g < numG; g++ {
+		lo, hi := starts[g], starts[g+1]
+		if lo == hi {
+			continue
+		}
+		run := runs[lo:hi]
+		grp := &ci.groups[g]
+		spec := &ci.specs[g]
+		grp.mu.Lock()
+		grp.n += int64(len(run))
+		switch {
+		case spec.FoldBatch != nil:
+			spec.FoldBatch(run, grp.counts)
+		case spec.Fold != nil:
+			for i := range run {
+				spec.Fold(run[i], grp.counts)
+			}
+		}
+		grp.mu.Unlock()
+	}
 }
 
 // Received reports how many reports have been accepted so far. It is a
@@ -281,10 +389,25 @@ func (ci *CountIngest) mergeReports(st CollectorState) error {
 	if ci.done {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
-	for _, rs := range st.Groups {
-		for _, r := range rs {
-			ci.fold(r)
+	// A v1 state already arrives partitioned by group, so each group's
+	// replay is one run: a single stripe acquisition and a batch fold.
+	for g, rs := range st.Groups {
+		if len(rs) == 0 {
+			continue
 		}
+		grp := &ci.groups[g]
+		spec := &ci.specs[g]
+		grp.mu.Lock()
+		grp.n += int64(len(rs))
+		switch {
+		case spec.FoldBatch != nil:
+			spec.FoldBatch(rs, grp.counts)
+		case spec.Fold != nil:
+			for i := range rs {
+				spec.Fold(rs[i], grp.counts)
+			}
+		}
+		grp.mu.Unlock()
 	}
 	ci.received.Add(int64(total))
 	return nil

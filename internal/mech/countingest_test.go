@@ -260,6 +260,187 @@ func TestCountIngestV1FoldEquivalence(t *testing.T) {
 	}
 }
 
+// batchCountSpecs is countSpecs plus the batch-native fold, the shape real
+// mechanisms wire through GroupSpec.FoldBatch.
+func batchCountSpecs(groups int) []GroupSpec {
+	specs := countSpecs(groups)
+	for g := range specs {
+		specs[g].FoldBatch = func(rs []Report, counts []int64) {
+			for i := range rs {
+				counts[rs[i].Value%8]++
+			}
+		}
+	}
+	return specs
+}
+
+// TestSubmitBatchPartitionIdentity is the batch-ingest invariant at the
+// store level: any partition of a shuffled report multiset submitted
+// through SubmitBatch drains bit-identical to per-report Submit — with and
+// without a GroupSpec.FoldBatch, so the run-partitioned path, the Fold
+// fallback, and the per-report path all agree.
+func TestSubmitBatchPartitionIdentity(t *testing.T) {
+	pr := testProtocol()
+	reports := make([]Report, 999)
+	for i := range reports {
+		reports[i] = Report{Group: (i * 7) % pr.NumGroups(), Value: (i * 13) % 8}
+	}
+	want := func(specs []GroupSpec) []GroupCounts {
+		ci, err := NewCountIngest(pr, nil, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reports {
+			if err := ci.Submit(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts, err := ci.DrainCounts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}(countSpecs(pr.NumGroups()))
+
+	for _, tc := range []struct {
+		name  string
+		specs []GroupSpec
+	}{
+		{"fold-only", countSpecs(pr.NumGroups())},
+		{"fold-batch", batchCountSpecs(pr.NumGroups())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, chunk := range []int{1, 3, 64, len(reports)} {
+				ci, err := NewCountIngest(pr, nil, tc.specs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for lo := 0; lo < len(reports); lo += chunk {
+					hi := min(lo+chunk, len(reports))
+					if err := ci.SubmitBatch(reports[lo:hi]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, err := ci.DrainCounts()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for g := range want {
+					if got[g].N != want[g].N {
+						t.Fatalf("chunk %d group %d: n %d, want %d", chunk, g, got[g].N, want[g].N)
+					}
+					for i := range want[g].Counts {
+						if got[g].Counts[i] != want[g].Counts[i] {
+							t.Fatalf("chunk %d group %d slot %d: %d, want %d",
+								chunk, g, i, got[g].Counts[i], want[g].Counts[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubmitBatchSortedRuns covers the in-place fast path: a batch already
+// in ascending group order folds without the scatter pass, identically to
+// the shuffled path.
+func TestSubmitBatchSortedRuns(t *testing.T) {
+	pr := testProtocol()
+	sorted := []Report{
+		{Group: 0, Value: 1}, {Group: 0, Value: 2},
+		{Group: 1, Value: 3}, {Group: 2, Value: 4}, {Group: 2, Value: 4},
+	}
+	ci, err := NewCountIngest(pr, nil, batchCountSpecs(pr.NumGroups()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.SubmitBatch(sorted); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := ci.DrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0].N != 2 || counts[1].N != 1 || counts[2].N != 2 {
+		t.Fatalf("sorted-run tallies %+v", counts)
+	}
+	if counts[0].Counts[1] != 1 || counts[0].Counts[2] != 1 || counts[2].Counts[4] != 2 {
+		t.Fatalf("sorted-run histograms %+v", counts)
+	}
+}
+
+// TestSubmitBatchZeroAlloc pins the warm batched ingest path end to end:
+// once the partitioning scratch is pooled, SubmitBatch performs zero
+// allocations per frame — the fold-side continuation of the server's
+// zero-alloc decode pin.
+func TestSubmitBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	pr := testProtocol()
+	ci, err := NewCountIngest(pr, nil, batchCountSpecs(pr.NumGroups()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Report, 512)
+	for i := range batch {
+		batch[i] = Report{Group: (i * 5) % pr.NumGroups(), Value: i % 8}
+	}
+	if err := ci.SubmitBatch(batch); err != nil { // warm the scratch pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := ci.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm SubmitBatch allocates %g objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSubmitBatch is the satellite regression benchmark: the batched
+// path against the per-report Submit baseline, for a same-group frame (one
+// run, one stripe acquisition) and a shuffled frame (counting-sort
+// partition, still one acquisition per group).
+func BenchmarkSubmitBatch(b *testing.B) {
+	pr := testProtocol()
+	const batch = 4096
+	same := make([]Report, batch)
+	shuffled := make([]Report, batch)
+	for i := range same {
+		same[i] = Report{Group: 1, Value: i % 8}
+		shuffled[i] = Report{Group: (i * 5) % pr.NumGroups(), Value: i % 8}
+	}
+	run := func(b *testing.B, rs []Report, perReport bool) {
+		ci, err := NewCountIngest(pr, nil, batchCountSpecs(pr.NumGroups()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += batch {
+			k := batch
+			if rem := b.N - done; rem < k {
+				k = rem
+			}
+			if perReport {
+				for i := 0; i < k; i++ {
+					if err := ci.Submit(rs[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else if err := ci.SubmitBatch(rs[:k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("samegroup/perreport", func(b *testing.B) { run(b, same, true) })
+	b.Run("samegroup/batch", func(b *testing.B) { run(b, same, false) })
+	b.Run("shuffled/perreport", func(b *testing.B) { run(b, shuffled, true) })
+	b.Run("shuffled/batch", func(b *testing.B) { run(b, shuffled, false) })
+}
+
 // TestCountIngestMergeOrderIrrelevant pins the vector-add merge: shards
 // merged in any order drain to the same statistic.
 func TestCountIngestMergeOrderIrrelevant(t *testing.T) {

@@ -1,0 +1,47 @@
+package mech
+
+import (
+	"sync"
+
+	"privmdr/internal/fo"
+)
+
+// foRunPool recycles the []fo.Report buffers FolderSpec's batch fold
+// unwraps wire reports into, so the warm batched ingest path allocates
+// nothing per run. Reports hold no pointers, so a pooled buffer retains no
+// references between uses.
+var foRunPool = sync.Pool{New: func() any { return new([]fo.Report) }}
+
+// maxPooledRunScratch caps the per-report scratch the batch-ingest pools
+// retain, in reports. Typical network frames (hundreds to a few thousand
+// reports) stay far under it and run zero-alloc warm; a one-off giant batch
+// allocates transiently — amortized over its own length — instead of
+// pinning O(batch) pool memory for the process lifetime.
+const maxPooledRunScratch = 8192
+
+// FolderSpec is the GroupSpec for a group that streams through a
+// frequency-oracle folder: the per-report path folds one unwrapped report,
+// and the batch path unwraps a whole same-group run into a pooled buffer
+// and hands it to the folder's batch-native FoldBatch (value-outer inner
+// loops, hoisted bounds checks). It is the one adapter between the wire
+// Report and fo.Report shapes, shared by every oracle-backed mechanism
+// (HDG, TDG, CALM).
+func FolderSpec(f *fo.Folder) GroupSpec {
+	return GroupSpec{
+		Len:  f.StatLen(),
+		Fold: func(r Report, counts []int64) { f.Fold(r.FO(), counts) },
+		FoldBatch: func(rs []Report, counts []int64) {
+			bp := foRunPool.Get().(*[]fo.Report)
+			run := (*bp)[:0]
+			for i := range rs {
+				run = append(run, fo.Report{Seed: rs[i].Seed, Value: rs[i].Value})
+			}
+			f.FoldBatch(run, counts)
+			if cap(run) > maxPooledRunScratch {
+				run = nil
+			}
+			*bp = run[:0]
+			foRunPool.Put(bp)
+		},
+	}
+}

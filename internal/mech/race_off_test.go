@@ -1,0 +1,5 @@
+//go:build !race
+
+package mech
+
+const raceEnabled = false

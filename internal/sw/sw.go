@@ -128,6 +128,19 @@ type EMOptions struct {
 // Reconstruct runs EM (or EMS when opts.Smooth) over bucketized report
 // counts and returns the estimated value distribution (length C, sums to 1).
 func (s *SW) Reconstruct(bucketCounts []int, opts EMOptions) ([]float64, error) {
+	counts := make([]int64, len(bucketCounts))
+	for i, c := range bucketCounts {
+		counts[i] = int64(c)
+	}
+	return s.Reconstruct64(counts, opts)
+}
+
+// Reconstruct64 is Reconstruct over the int64 bucket histogram a streaming
+// collector folds at ingest (see the MSW collector), so the EM loop reads
+// the folded statistic directly with no per-epoch copy. Bit-identical to
+// Reconstruct over the same tallies: the only use of the counts is the
+// exact float64 conversion of each bucket's integer.
+func (s *SW) Reconstruct64(bucketCounts []int64, opts EMOptions) ([]float64, error) {
 	if len(bucketCounts) != s.B {
 		return nil, fmt.Errorf("sw: got %d bucket counts, want %d", len(bucketCounts), s.B)
 	}
@@ -137,7 +150,7 @@ func (s *SW) Reconstruct(bucketCounts []int, opts EMOptions) ([]float64, error) 
 	if opts.Tol <= 0 {
 		opts.Tol = 1e-7
 	}
-	n := 0
+	n := int64(0)
 	for _, c := range bucketCounts {
 		n += c
 	}

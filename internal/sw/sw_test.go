@@ -240,3 +240,40 @@ func TestPerturbDistributionMatchesDensities(t *testing.T) {
 		t.Errorf("in-band fraction %g, want %g", got, want)
 	}
 }
+
+func TestReconstruct64MatchesReconstruct(t *testing.T) {
+	// The int64 path a streaming collector folds must be bit-identical to
+	// the []int path over the same tallies.
+	s, err := New(1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := ldprand.New(11)
+	values := make([]int, 20_000)
+	for i := range values {
+		values[i] = rng.IntN(32)
+	}
+	counts := s.PerturbAll(values, rng)
+	counts64 := make([]int64, len(counts))
+	for i, c := range counts {
+		counts64[i] = int64(c)
+	}
+	for _, opts := range []EMOptions{{}, {Smooth: true}, {MaxIters: 50, Smooth: true}} {
+		a, err := s.Reconstruct(counts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Reconstruct64(counts64, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("opts %+v: f[%d] differs: %v vs %v", opts, v, a[v], b[v])
+			}
+		}
+	}
+	if _, err := s.Reconstruct64(make([]int64, s.B+1), EMOptions{}); err == nil {
+		t.Fatal("Reconstruct64 accepted wrong-length histogram")
+	}
+}

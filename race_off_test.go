@@ -1,0 +1,5 @@
+//go:build !race
+
+package privmdr
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package privmdr
+
+// raceEnabled reports that this binary was built with the race detector,
+// under which sync.Pool deliberately drops items to shake out races — so
+// strict zero-allocation pins must be skipped (the CI alloc gate runs
+// them without -race).
+const raceEnabled = true

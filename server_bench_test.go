@@ -70,3 +70,85 @@ func BenchmarkReportsDecode(b *testing.B) {
 		decodeFrame(b, src, fr)
 	}
 }
+
+// ingestFixture builds a live TDG collector plus one encoded frame of n
+// valid reports for it — the full POST /reports steady state: body read,
+// batch decode, vet, run-partition, batch fold.
+func ingestFixture(tb testing.TB, n int) (Collector, []byte) {
+	tb.Helper()
+	m, err := mechByName("TDG")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p := Params{N: n, D: 3, C: 64, Eps: 1, Seed: 9}
+	proto, err := m.Protocol(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	record := []int{5, 17, 42}
+	rs := make([]Report, n)
+	for u := range rs {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		rs[u], err = proto.ClientReport(a, record, mech.ClientRand(p, u))
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	frame, err := mech.EncodeReports(rs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return coll, frame
+}
+
+// TestBatchedIngestZeroAlloc pins the whole warm ingest path — frame read,
+// batch decode, vetting, run partitioning, and per-run batch folding into a
+// streaming (TDG) collector — at zero allocations per request. This is the
+// end-to-end guarantee behind the saturation numbers: once the pools are
+// warm, sustained POST /reports traffic creates no garbage.
+func TestBatchedIngestZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	coll, frame := ingestFixture(t, 4096)
+	src := bytes.NewReader(frame)
+	fr := &reportFrame{}
+	submit := func() {
+		src.Reset(frame)
+		decodeFrame(t, src, fr)
+		if err := coll.SubmitBatch(fr.batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit() // warm the buffers and pools once
+
+	allocs := testing.AllocsPerRun(50, submit)
+	if allocs != 0 {
+		t.Errorf("warm batched ingest allocates %g objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkBatchedIngest measures the warm decode+submit path end to end
+// for one 4096-report frame against a streaming TDG collector.
+func BenchmarkBatchedIngest(b *testing.B) {
+	coll, frame := ingestFixture(b, 4096)
+	src := bytes.NewReader(frame)
+	fr := &reportFrame{}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(frame)
+		decodeFrame(b, src, fr)
+		if err := coll.SubmitBatch(fr.batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
