@@ -978,3 +978,168 @@ func TestTopologyValidate(t *testing.T) {
 		t.Fatal("malformed topology JSON accepted")
 	}
 }
+
+// TestShardPushHTTPStatus pins the POST /push status contract: the handler
+// routes push failures through errStatus, so a shard-instance conflict
+// surfaces as 409 Conflict (like every other sequencing verdict), and only a
+// genuine aggregator-leg failure — the transport gave up — is 502 Bad
+// Gateway. Before the fix every failure collapsed to 502, so an operator
+// could not tell a usurped shard ID (re-deploy bug, page someone) from a
+// transient aggregator outage (wait for the retry).
+func TestShardPushHTTPStatus(t *testing.T) {
+	p := privmdr.Params{N: 300, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, distDataset(t, p.N))
+
+	t.Run("conflict is 409", func(t *testing.T) {
+		agg, err := NewAggregator(topo, SealOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = agg.Close() })
+		tsAgg := httptest.NewServer(agg)
+		t.Cleanup(tsAgg.Close)
+
+		newShard := func() (*Shard, *privmdr.QueryServer) {
+			t.Helper()
+			sh, err := NewShard(topo, ShardOptions{ID: "edge-1", Aggregator: tsAgg.URL})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = sh.Close() })
+			qs, _ := sh.Tenant("census")
+			return sh, qs
+		}
+		shardA, qsA := newShard()
+		shardB, qsB := newShard()
+
+		if err := qsA.SubmitBatch(reports[:100]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shardA.FlushTenant(context.Background(), "census"); err != nil {
+			t.Fatal(err)
+		}
+		// B usurps the cursor; A's next delta must conflict — over HTTP.
+		if err := qsB.SubmitBatch(reports[100:200]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shardB.FlushTenant(context.Background(), "census"); err != nil {
+			t.Fatal(err)
+		}
+		if err := qsA.SubmitBatch(reports[200:]); err != nil {
+			t.Fatal(err)
+		}
+		tsA := httptest.NewServer(shardA)
+		t.Cleanup(tsA.Close)
+		code, body := postBytes(t, tsA.URL+"/v1/census/push", "application/json", nil)
+		if code != http.StatusConflict {
+			t.Fatalf("forced push on a usurped shard: %d %s, want 409", code, body)
+		}
+	})
+
+	t.Run("unreachable aggregator is 502", func(t *testing.T) {
+		dead := httptest.NewServer(http.NotFoundHandler())
+		deadURL := dead.URL
+		dead.Close() // the port now refuses connections
+		sh, err := NewShard(topo, ShardOptions{ID: "edge-9", Aggregator: deadURL, Timeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sh.Close() })
+		qs, _ := sh.Tenant("census")
+		if err := qs.SubmitBatch(reports[:100]); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(sh)
+		t.Cleanup(ts.Close)
+		code, body := postBytes(t, ts.URL+"/v1/census/push", "application/json", nil)
+		if code != http.StatusBadGateway {
+			t.Fatalf("forced push with the aggregator down: %d %s, want 502", code, body)
+		}
+	})
+}
+
+// TestShardPushErrorClearedWhenCaughtUp pins the healthz staleness contract:
+// ShardStatus.LastPushError is empty once the shard is caught up. A push
+// that observes nothing pending and no frozen in-flight envelope clears a
+// retained error from an earlier transient failure; a thresholded skip with
+// un-shipped reports does NOT clear it, because the stuck data the error
+// describes is still stuck.
+func TestShardPushErrorClearedWhenCaughtUp(t *testing.T) {
+	p := privmdr.Params{N: 300, D: 3, C: 16, Eps: 1.0, Seed: 210}
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+	proto, err := privmdr.ProtocolByName("Uni", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, distDataset(t, p.N))
+
+	agg, err := NewAggregator(topo, SealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg.Close() })
+	tsAgg := httptest.NewServer(agg)
+	t.Cleanup(tsAgg.Close)
+	topo.Aggregator = tsAgg.URL
+
+	shard, err := NewShard(topo, ShardOptions{ID: "edge-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	qs, _ := shard.Tenant("census")
+	if err := qs.SubmitBatch(reports[:200]); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := shard.FlushTenant(context.Background(), "census"); err != nil || res.Seq != 1 {
+		t.Fatalf("first flush: %+v, %v", res, err)
+	}
+	tn := shard.tenants["census"]
+	seedErr := func() {
+		tn.mu.Lock()
+		tn.lastErr = "injected: transient aggregator outage"
+		tn.mu.Unlock()
+	}
+
+	// Caught up (nothing pending, nothing in flight): the next push — even a
+	// thresholded scheduled one — observes a drained shard and clears the
+	// stale error instead of echoing it forever.
+	seedErr()
+	res, err := shard.push(context.Background(), tn, 50)
+	if err != nil || !res.Skipped {
+		t.Fatalf("caught-up push: %+v, %v, want a clean skip", res, err)
+	}
+	if st := shard.status(tn); st.LastPushError != "" {
+		t.Fatalf("caught-up shard still reports %q, want the stale error cleared", st.LastPushError)
+	}
+
+	// Pending reports below the threshold: the skip must retain the error —
+	// un-shipped data is still stuck behind whatever failed.
+	if err := qs.SubmitBatch(reports[200:]); err != nil {
+		t.Fatal(err)
+	}
+	seedErr()
+	if res, err := shard.push(context.Background(), tn, 1000); err != nil || !res.Skipped {
+		t.Fatalf("thresholded push: %+v, %v, want a skip", res, err)
+	}
+	if st := shard.status(tn); st.LastPushError == "" {
+		t.Fatal("thresholded skip with pending reports cleared the error, want it retained")
+	}
+
+	// Draining clears it through the success path, and HTTP healthz agrees.
+	if res, err := shard.FlushTenant(context.Background(), "census"); err != nil || res.Seq != 2 {
+		t.Fatalf("drain flush: %+v, %v", res, err)
+	}
+	ts := httptest.NewServer(shard)
+	t.Cleanup(ts.Close)
+	var hs ShardStatus
+	getJSON(t, ts.URL+"/v1/census/healthz", &hs)
+	if hs.Pending != 0 || hs.LastPushError != "" {
+		t.Fatalf("healthz after drain: %+v, want caught up with no error", hs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -121,9 +122,12 @@ type ShardStatus struct {
 	// acknowledged; Pending is the un-shipped remainder.
 	PushedReports int `json:"pushed_reports"`
 	Pending       int `json:"pending"`
-	// LastPushError is the most recent push failure, empty once a later
-	// push succeeds — a persistent value means the aggregator is
-	// unreachable and this shard's lag is growing.
+	// LastPushError is the most recent push failure. It is empty once the
+	// shard is caught up: a later successful push clears it, and so does a
+	// push that finds nothing pending and nothing frozen in flight — a
+	// persistent value therefore always means un-shipped data is stuck
+	// behind a failing aggregator leg, never a stale echo of a drained
+	// transient.
 	LastPushError string `json:"last_push_error,omitempty"`
 }
 
@@ -293,6 +297,17 @@ type pushAck struct {
 	Error   string `json:"error,omitempty"`
 }
 
+// upstreamError marks a push failure caused by the aggregator leg — the
+// transport gave up, or the aggregator answered something the push protocol
+// has no meaning for. POST /push reports these as 502 Bad Gateway; protocol
+// conflicts (stale/gapped sequences, shard-instance conflicts) and
+// malformed local state are NOT upstream errors and keep their own
+// statuses.
+type upstreamError struct{ err error }
+
+func (e *upstreamError) Error() string { return e.err.Error() }
+func (e *upstreamError) Unwrap() error { return e.err }
+
 // push ships one tenant's delta since the last acknowledged push. min > 0
 // makes it a thresholded scheduled push; 0 forces (but an empty delta is
 // always skipped).
@@ -332,7 +347,18 @@ func (s *Shard) push(ctx context.Context, t *shardTenant, min int) (PushResult, 
 			return PushResult{}, s.recordErr(t, err)
 		}
 		fresh := delta.Received()
-		if fresh == 0 || fresh < min {
+		if fresh == 0 {
+			// Caught up: nothing pending and no frozen in-flight envelope,
+			// so a retained error from an earlier transient failure no
+			// longer describes this tenant's push health — clear it instead
+			// of alarming healthz forever (ShardStatus.LastPushError is
+			// documented to be empty once the shard is caught up).
+			t.mu.Lock()
+			t.lastErr = ""
+			t.mu.Unlock()
+			return PushResult{Tenant: t.name, Seq: seq, Skipped: true}, nil
+		}
+		if fresh < min {
 			return PushResult{Tenant: t.name, Seq: seq, Skipped: true}, nil
 		}
 		inflight = &inflightPush{
@@ -353,7 +379,7 @@ func (s *Shard) push(ctx context.Context, t *shardTenant, min int) (PushResult, 
 			// The envelope stays frozen in flight: the next push retries
 			// these exact bytes, so an applied-but-unacknowledged delta can
 			// only ever be duplicate-ACKed, never recomputed.
-			return PushResult{}, s.recordErr(t, err)
+			return PushResult{}, s.recordErr(t, &upstreamError{err})
 		}
 		if status >= 200 && status < 300 {
 			t.mu.Lock()
@@ -390,7 +416,24 @@ func (s *Shard) push(ctx context.Context, t *shardTenant, min int) (PushResult, 
 			t.mu.Unlock()
 			continue
 		}
-		return PushResult{}, s.recordErr(t, fmt.Errorf("dist: push rejected: %d %s", status, body))
+		if status == http.StatusConflict {
+			// Surface the aggregator's sequencing verdict as the matching
+			// sentinel, so callers (and POST /push via errStatus) see the
+			// same 409-class error the aggregator raised instead of an
+			// opaque gateway failure.
+			var reason error
+			switch ack.Code {
+			case "stale":
+				reason = ErrStaleSeq
+			case "gap":
+				reason = ErrSeqGap
+			}
+			if reason != nil {
+				return PushResult{}, s.recordErr(t, fmt.Errorf("dist: push seq %d: %w — aggregator said: %s",
+					inflight.env.Seq, reason, ack.Error))
+			}
+		}
+		return PushResult{}, s.recordErr(t, &upstreamError{fmt.Errorf("dist: push rejected: %d %s", status, body)})
 	}
 }
 
@@ -452,8 +495,21 @@ func (s *Shard) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.push(r.Context(), t, 0)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, err)
+		writeError(w, pushErrStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// pushErrStatus maps a forced push's failure to the status POST /push
+// reports, extending errStatus with the gateway case: an unreachable (or
+// nonsensical) aggregator is 502 Bad Gateway, while protocol conflicts
+// (ErrShardConflict, ErrStaleSeq, ErrSeqGap — 409) and malformed local
+// state (400) keep the statuses PROTOCOL.md documents for them.
+func pushErrStatus(err error) int {
+	var up *upstreamError
+	if errors.As(err, &up) {
+		return http.StatusBadGateway
+	}
+	return errStatus(err)
 }

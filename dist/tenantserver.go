@@ -15,6 +15,10 @@ import (
 // surface (reports, state, refresh, query, healthz — prefix-stripped and
 // delegated verbatim), so a deployment can start multi-tenant on one box
 // and split into shards/aggregator/replicas later without clients noticing.
+// Tenants ingest independently (separate collectors), and within one tenant
+// concurrent report frames scale across cores on the collector's sharded
+// count stripes — the single-box topology saturates hardware, not a lock,
+// before a split becomes necessary.
 //
 //	GET /v1/tenants           — every tenant's name and ServerStatus
 //	/v1/{tenant}/{endpoint}   — the tenant's QueryServer endpoint

@@ -41,16 +41,20 @@ type PerfPoint struct {
 	HeapRatioStoreVsCount float64 `json:"heap_ratio_store_vs_count"`
 }
 
-// PerfReport is the perf-harness JSON payload (BENCH_PR7.json in CI).
+// PerfReport is the perf-harness JSON payload (BENCH_PR8.json in CI).
 // Version 2 added estimate_ms, the epoch-refresh latency; version 3 added
 // the sustained-load saturation points (see saturation.go), measured over
 // the full HTTP ingest path with a live refresher sealing epochs under
-// load.
+// load; version 4 added the writer-scaling sweep — the same saturation
+// window repeated at 1x/2x/4x GOMAXPROCS submitters, the curve that proves
+// the per-P sharded counters scale with writers instead of flattening on a
+// stripe lock.
 type PerfReport struct {
-	Version    int               `json:"version"`
-	Scale      string            `json:"scale"`
-	Points     []PerfPoint       `json:"points"`
-	Saturation []SaturationPoint `json:"saturation,omitempty"`
+	Version       int               `json:"version"`
+	Scale         string            `json:"scale"`
+	Points        []PerfPoint       `json:"points"`
+	Saturation    []SaturationPoint `json:"saturation,omitempty"`
+	WriterScaling []SaturationPoint `json:"writer_scaling,omitempty"`
 }
 
 // perfNs picks the user counts per scale. The paper scale reaches n = 10⁶,
@@ -96,7 +100,7 @@ func RunPerf(w io.Writer, cfg RunConfig) (*PerfReport, error) {
 	if len(mechs) == 0 {
 		mechs = []string{"HDG", "TDG"}
 	}
-	report := &PerfReport{Version: 3, Scale: string(cfg.scale())}
+	report := &PerfReport{Version: 4, Scale: string(cfg.scale())}
 	for _, name := range mechs {
 		for _, n := range perfNs(cfg.scale()) {
 			pt, err := perfPoint(name, n, cfg.Seed)
@@ -119,6 +123,18 @@ func RunPerf(w io.Writer, cfg RunConfig) (*PerfReport, error) {
 		fmt.Fprintf(w, "%-5s saturation: %8.0f reports/s (%.0f /s/core, %d cores, %d clients x %d/frame)  submit p50 %6.0f us  p99 %6.0f us  epochs sealed %d\n",
 			sp.Mech, sp.ReportsPerSec, sp.ReportsPerSecPerCore, sp.Cores, sp.Clients, sp.BatchSize,
 			sp.P50SubmitMicros, sp.P99SubmitMicros, sp.EpochsSealed)
+	}
+	for _, name := range mechs {
+		sweep, err := RunWriterScaling(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.WriterScaling = append(report.WriterScaling, sweep...)
+		for _, sp := range sweep {
+			fmt.Fprintf(w, "%-5s writers %dx (%d clients / %d cores): %8.0f reports/s  submit p50 %6.0f us  p99 %6.0f us  epochs sealed %d\n",
+				sp.Mech, sp.ClientsPerCore, sp.Clients, sp.Cores, sp.ReportsPerSec,
+				sp.P50SubmitMicros, sp.P99SubmitMicros, sp.EpochsSealed)
+		}
 	}
 	return report, nil
 }

@@ -5,14 +5,22 @@
 // whose background refresher keeps sealing epochs under load — and reports
 // the saturated throughput in reports/s and reports/s/core plus the p50/p99
 // submit latency a client observes. This is the end-to-end number the
-// batch-fold work is accountable to: frame decode, vetting, run
-// partitioning, and per-run folding all sit on the measured path.
+// batch-fold and sharded-counter work is accountable to: frame decode,
+// vetting, run partitioning, and per-stripe folding all sit on the measured
+// path.
+//
+// RunWriterScaling repeats the measurement at 1x/2x/4x GOMAXPROCS
+// submitters — the writer-scaling curve that distinguishes a collector
+// whose hot groups serialize writers on a stripe mutex (throughput
+// flatlines as submitters grow) from the per-P sharded layout (reports/s
+// keeps growing until the cores, not the locks, are the ceiling).
 package bench
 
 import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -30,10 +38,15 @@ type SaturationPoint struct {
 	Mech string `json:"mech"`
 	// Clients is the number of concurrent HTTP submitters.
 	Clients int `json:"clients"`
+	// ClientsPerCore is Clients over Cores — 1, 2, 4 along the
+	// writer-scaling sweep, 1 for the standalone saturation point.
+	ClientsPerCore int `json:"clients_per_core"`
 	// BatchSize is the number of reports per POST /reports frame.
 	BatchSize int `json:"batch_size"`
 	// Cores is GOMAXPROCS at measurement time, the divisor for the
-	// per-core rate.
+	// per-core rate. The submitter count is always a multiple of it, so
+	// the per-core rate is computed against the same parallelism the
+	// window actually ran with.
 	Cores int `json:"cores"`
 	// DurationSecs is the measured wall-clock window.
 	DurationSecs float64 `json:"duration_secs"`
@@ -44,7 +57,8 @@ type SaturationPoint struct {
 	ReportsPerSec        float64 `json:"reports_per_sec"`
 	ReportsPerSecPerCore float64 `json:"reports_per_sec_per_core"`
 
-	// Submit latency distribution over every POST /reports round trip.
+	// Submit latency distribution over every POST /reports round trip,
+	// nearest-rank (ceil) percentiles.
 	P50SubmitMicros float64 `json:"p50_submit_micros"`
 	P99SubmitMicros float64 `json:"p99_submit_micros"`
 
@@ -72,13 +86,45 @@ func saturationPlan(scale Scale) (d time.Duration, refresh time.Duration) {
 // frame stays a fraction of a socket buffer (~13 B/report → ~6.5 KiB).
 const saturationBatch = 512
 
-// RunSaturation drives the named mechanism's live HTTP ingest path to
-// saturation and returns the measured point. Reports are pre-generated and
-// pre-encoded so the measurement window contains only the server-side path
-// plus the HTTP round trip; clients re-submit the same sanitized frames,
-// which the protocol accepts (an LDP aggregator cannot tell a re-submission
-// from a like-minded user, and the folding cost is identical).
-func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
+// writerScalingMultiples is the submitter sweep RunWriterScaling drives:
+// 1x, 2x, and 4x GOMAXPROCS concurrent clients.
+var writerScalingMultiples = []int{1, 2, 4}
+
+// nearestRank returns the q-quantile of the sorted latency sample by the
+// nearest-rank method: the smallest element whose rank covers at least a q
+// fraction of the sample, i.e. index ceil(q·len)-1. Truncating
+// int(q·(len-1)) instead biases high quantiles low — on a 100-sample
+// window it reports the 98th as the p99.
+func nearestRank(sorted []time.Duration, q float64) time.Duration {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// saturationHarness is the pre-built load fixture shared by every window of
+// one mechanism's sweep: the protocol, the pre-encoded report frames, and
+// the per-scale plan. Each measured point runs against its own fresh
+// server, so earlier windows never warm a later one's collector.
+type saturationHarness struct {
+	m        mech.Mechanism
+	proto    mech.Protocol
+	frames   [][]byte
+	duration time.Duration
+	refresh  time.Duration
+}
+
+// newSaturationHarness generates and pre-encodes the report frames for one
+// mechanism. Reports are encoded before any window opens, so a measurement
+// covers only the server-side path plus the HTTP round trip; clients
+// re-submit the same sanitized frames, which the protocol accepts (an LDP
+// aggregator cannot tell a re-submission from a like-minded user, and the
+// folding cost is identical).
+func newSaturationHarness(name string, cfg RunConfig) (*saturationHarness, error) {
 	m, err := newMech(name)
 	if err != nil {
 		return nil, err
@@ -121,8 +167,46 @@ func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
 		}
 		frames = append(frames, frame)
 	}
+	return &saturationHarness{m: m, proto: proto, frames: frames, duration: duration, refresh: refresh}, nil
+}
 
-	qs, err := privmdr.NewLiveQueryServer(proto, privmdr.LiveOptions{Refresh: refresh, MinNewReports: 1})
+// RunSaturation drives the named mechanism's live HTTP ingest path to
+// saturation with one submitter per core and returns the measured point.
+func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
+	h, err := newSaturationHarness(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.run(1)
+}
+
+// RunWriterScaling measures the named mechanism's writer-scaling curve:
+// one sustained-load window per submitter multiple (1x, 2x, 4x GOMAXPROCS
+// concurrent clients), each against a fresh live server but re-using the
+// same pre-encoded frames. On a collector whose writes shard per P, the
+// reports/s column grows with the submitter count until the cores saturate;
+// a flatline across the sweep is the signature of writers serializing on a
+// shared stripe lock.
+func RunWriterScaling(name string, cfg RunConfig) ([]SaturationPoint, error) {
+	h, err := newSaturationHarness(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SaturationPoint, 0, len(writerScalingMultiples))
+	for _, mult := range writerScalingMultiples {
+		pt, err := h.run(mult)
+		if err != nil {
+			return nil, fmt.Errorf("bench: writer scaling at %dx: %w", mult, err)
+		}
+		points = append(points, *pt)
+	}
+	return points, nil
+}
+
+// run sustains one measurement window with mult × GOMAXPROCS concurrent
+// submitters against a fresh live server.
+func (h *saturationHarness) run(mult int) (*SaturationPoint, error) {
+	qs, err := privmdr.NewLiveQueryServer(h.proto, privmdr.LiveOptions{Refresh: h.refresh, MinNewReports: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +214,12 @@ func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
 	srv := httptest.NewServer(qs)
 	defer srv.Close()
 
-	clients := runtime.GOMAXPROCS(0)
-	if clients < 2 {
-		clients = 2
-	}
+	// The submitter count is an exact multiple of the core count, so the
+	// per-core divisor below describes the same parallelism the window ran
+	// with — no floor that would quietly measure 2 clients on a 1-core
+	// runner while dividing by 1.
+	cores := runtime.GOMAXPROCS(0)
+	clients := cores * mult
 	transport := &http.Transport{MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2}
 	defer transport.CloseIdleConnections()
 	httpc := &http.Client{Transport: transport}
@@ -141,7 +227,7 @@ func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
 
 	// Warm the path (connection setup, pools, first-touch allocations)
 	// before the window opens.
-	if err := postFrame(httpc, url, frames[0]); err != nil {
+	if err := postFrame(httpc, url, h.frames[0]); err != nil {
 		return nil, err
 	}
 
@@ -167,7 +253,7 @@ func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
 					return
 				default:
 				}
-				frame := frames[i%len(frames)]
+				frame := h.frames[i%len(h.frames)]
 				t0 := time.Now()
 				if err := postFrame(httpc, url, frame); err != nil {
 					st.err = err
@@ -177,7 +263,7 @@ func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
 			}
 		}(w)
 	}
-	time.Sleep(duration)
+	time.Sleep(h.duration)
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -195,21 +281,17 @@ func RunSaturation(name string, cfg RunConfig) (*SaturationPoint, error) {
 		return nil, fmt.Errorf("bench: saturation window completed zero submissions")
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	pct := func(q float64) float64 {
-		i := int(q * float64(len(lat)-1))
-		return float64(lat[i].Microseconds())
-	}
-	cores := runtime.GOMAXPROCS(0)
 	pt := &SaturationPoint{
-		Mech:            m.Name(),
+		Mech:            h.m.Name(),
 		Clients:         clients,
+		ClientsPerCore:  mult,
 		BatchSize:       saturationBatch,
 		Cores:           cores,
 		DurationSecs:    elapsed.Seconds(),
 		Accepted:        accepted,
 		ReportsPerSec:   float64(accepted) / elapsed.Seconds(),
-		P50SubmitMicros: pct(0.50),
-		P99SubmitMicros: pct(0.99),
+		P50SubmitMicros: float64(nearestRank(lat, 0.50).Microseconds()),
+		P99SubmitMicros: float64(nearestRank(lat, 0.99).Microseconds()),
 		EpochsSealed:    epochs,
 	}
 	pt.ReportsPerSecPerCore = pt.ReportsPerSec / float64(cores)

@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+	"time"
+)
 
 func TestRunSaturationSmoke(t *testing.T) {
 	if testing.Short() {
@@ -24,5 +28,73 @@ func TestRunSaturationSmoke(t *testing.T) {
 	}
 	if pt.Cores <= 0 || pt.ReportsPerSecPerCore <= 0 {
 		t.Errorf("per-core accounting missing: %+v", pt)
+	}
+	// The reconciled parallelism accounting: the submitter count must be
+	// the exact multiple of the core divisor the point claims.
+	if pt.Clients != pt.Cores*pt.ClientsPerCore {
+		t.Errorf("clients %d != cores %d x multiple %d", pt.Clients, pt.Cores, pt.ClientsPerCore)
+	}
+	if pt.Cores != runtime.GOMAXPROCS(0) {
+		t.Errorf("cores %d, want GOMAXPROCS %d", pt.Cores, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestWriterScalingSmoke drives the 1x/2x/4x GOMAXPROCS submitter sweep at
+// smoke scale: every point must complete, carry its multiple, and divide by
+// the same core count it ran against.
+func TestWriterScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writer scaling sustains three load windows")
+	}
+	sweep, err := RunWriterScaling("TDG", RunConfig{Scale: Smoke, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(writerScalingMultiples) {
+		t.Fatalf("sweep has %d points, want %d", len(sweep), len(writerScalingMultiples))
+	}
+	for i, pt := range sweep {
+		if pt.ClientsPerCore != writerScalingMultiples[i] {
+			t.Errorf("point %d: multiple %d, want %d", i, pt.ClientsPerCore, writerScalingMultiples[i])
+		}
+		if pt.Clients != pt.Cores*pt.ClientsPerCore {
+			t.Errorf("point %d: clients %d != cores %d x %d", i, pt.Clients, pt.Cores, pt.ClientsPerCore)
+		}
+		if pt.Accepted <= 0 || pt.EpochsSealed == 0 {
+			t.Errorf("point %d accepted nothing or sealed no epochs: %+v", i, pt)
+		}
+	}
+}
+
+// TestNearestRank pins the percentile indexing satellite fix: quantiles use
+// nearest-rank (ceil) indexing, so small samples no longer under-report the
+// tail — on a 100-sample window the p99 is the 99th-largest value, not the
+// 98th that truncating int(q·(len-1)) picked.
+func TestNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sample := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = ms(i + 1) // 1ms..n ms, sorted
+		}
+		return s
+	}
+	for _, tc := range []struct {
+		n    int
+		q    float64
+		want time.Duration
+	}{
+		{100, 0.99, ms(99)},   // truncation picked index 98·0.99=98.01→98 ⇒ 99 now
+		{10, 0.99, ms(10)},    // ceil(9.9)=10 ⇒ last element, not the 9th
+		{10, 0.50, ms(5)},     // nearest-rank median of an even sample
+		{11, 0.50, ms(6)},     // odd sample: the middle element
+		{1, 0.99, ms(1)},      // degenerate window
+		{1, 0.0, ms(1)},       // q=0 clamps to the first element
+		{100, 1.0, ms(100)},   // q=1 is the maximum
+		{1000, 0.99, ms(990)}, // large sample: exact 99th percentile rank
+	} {
+		if got := nearestRank(sample(tc.n), tc.q); got != tc.want {
+			t.Errorf("nearestRank(n=%d, q=%g) = %v, want %v", tc.n, tc.q, got, tc.want)
+		}
 	}
 }

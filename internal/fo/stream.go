@@ -31,7 +31,11 @@ import (
 // Build one per oracle with NewFolder and share it across groups: Fold and
 // FoldBatch are stateless (all state lives in the caller's count vector), so
 // a Folder is safe for concurrent use as long as concurrent calls target
-// distinct count vectors.
+// distinct count vectors. The sharded collector leans on exactly this: one
+// group's writers fold through the same Folder into per-stripe vectors in
+// parallel (any per-fold mutable state — e.g. a lazily built hash table —
+// would race, which is why OLH's valueHashes are materialized eagerly at
+// NewFolder).
 type Folder struct {
 	statLen   int
 	fold      func(Report, []int64)

@@ -2,6 +2,7 @@ package mech
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -9,15 +10,29 @@ import (
 // CountIngest is the streaming counterpart of Ingest: instead of filing raw
 // reports it folds each one into its group's sufficient statistic — a
 // fixed-size integer count vector — and drops the report. Collector memory
-// is therefore O(groups × domain) regardless of how many users report, and
-// Finalize reads the vectors instead of rescanning O(n) reports.
+// is therefore O(stripes × groups × domain) regardless of how many users
+// report, and Finalize reads the vectors instead of rescanning O(n)
+// reports.
 //
-// Concurrency is lock-striped by group: submissions take a shared read lock
-// (only to fence against Drain/State/Merge) plus the target group's own
-// mutex, so reports for different groups fold in parallel. That matters for
-// OLH groups, whose fold costs Θ(domain) hash evaluations per report — the
-// Θ(n·c) work the old finalize-time Support scan paid in one stall is spread
-// across the ingest path instead.
+// Concurrency is sharded by writer, not by group: the collector keeps a
+// small fixed pool of stripes (one per P up to a cap), each holding its own
+// full set of per-group count vectors, and every Submit/SubmitBatch folds
+// into a stripe chosen by a cheap P-affine index — the pooled scratch
+// object a writer grabs carries the stripe it was minted for, and
+// sync.Pool's per-P caching hands the same scratch (hence the same stripe)
+// back to the same P. Two writers therefore only ever contend on a stripe
+// mutex when the scheduler migrates one mid-burst; the hot path is an
+// uncontended lock and a vector add, no matter how hot a single group is.
+//
+// The read side pays for that freedom at its own cadence:
+// SnapshotCounts/DrainCounts/State take the lifecycle lock exclusively —
+// submissions hold it shared across their folds, so the exclusive
+// acquisition is a fence that waits out every in-flight write on every
+// stripe — and then sum the stripes into the canonical per-group vectors,
+// O(stripes × groups × domain) integer adds, flat in n. Bit-identity with a
+// single-stripe collector is free: every statistic is a vector of commuting
+// integer adds, so any assignment of reports to stripes sums to the same
+// totals.
 //
 // Counting mechanisms (HDG, TDG, Uni, MSW, CALM) embed CountIngest;
 // report-retaining ones (HIO, LHIO) keep Ingest because their interval
@@ -37,28 +52,63 @@ type CountIngest struct {
 	received atomic.Int64
 
 	// mu fences lifecycle operations against submissions: Submit/SubmitBatch
-	// hold it shared, Drain/State/Merge exclusively. done is guarded by mu.
-	mu     sync.RWMutex
-	done   bool
-	groups []countGroup
+	// hold it shared, Drain/Snapshot/State/Merge exclusively — the exclusive
+	// acquisition is the consistency fence over all stripes. done is guarded
+	// by mu.
+	mu      sync.RWMutex
+	done    bool
+	stripes []countStripe
+
+	// nextStripe deals stripe indices round-robin to freshly minted scratch
+	// objects; after warm-up each P keeps re-using the scratch (and stripe)
+	// it last released, so the counter is off the hot path.
+	nextStripe atomic.Uint32
 
 	// scratch recycles the run-partitioning buffers SubmitBatch uses to
-	// regroup a batch into same-group runs, so the warm batched ingest path
-	// performs zero allocations per frame.
+	// regroup a batch into same-group runs — and carries the writer's stripe
+	// affinity — so the warm ingest path performs zero allocations per
+	// frame.
 	scratch sync.Pool
 }
 
-// batchScratch is one SubmitBatch's pooled partitioning state.
+// batchScratch is one writer's pooled state: the stripe its folds target
+// plus the partitioning buffers SubmitBatch regroups batches with.
 type batchScratch struct {
+	stripe int      // index into CountIngest.stripes, fixed at mint time
 	perm   []Report // the batch regrouped into one run per group
 	starts []int    // run offsets into perm, len groups+1
 }
 
-// countGroup is one group's statistic under its own stripe lock.
-type countGroup struct {
+// countStripe is one writer's private copy of every group's statistic. The
+// mutex serializes the rare case of two goroutines sharing a stripe (pool
+// misses, P migration); the trailing pad keeps adjacent stripes' hot words
+// on separate cache lines.
+type countStripe struct {
 	mu     sync.Mutex
+	groups []stripeGroup
+	_      [96]byte
+}
+
+// stripeGroup is one group's statistic within one stripe.
+type stripeGroup struct {
 	n      int64
 	counts []int64
+}
+
+// maxStripes caps the stripe pool: past a few dozen writers the read-side
+// O(stripes × groups × domain) merge starts to matter more than residual
+// lock contention, and memory is stripes × the single-collector footprint.
+const maxStripes = 32
+
+// defaultStripes sizes the pool to the runnable parallelism: there can be
+// at most GOMAXPROCS concurrently folding writers, so more stripes than
+// that only adds merge work.
+func defaultStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxStripes {
+		n = maxStripes
+	}
+	return max(n, 1)
 }
 
 // GroupSpec describes how one group's reports fold into its count vector:
@@ -71,9 +121,14 @@ type countGroup struct {
 // must be bit-identical to folding each report with Fold in run order
 // (every statistic is a vector of commuting integer adds, so any
 // implementation built on them is). SubmitBatch partitions each vetted
-// batch into same-group runs and prefers FoldBatch under a single stripe
-// acquisition; groups without one fall back to per-report Fold inside the
-// same single acquisition.
+// batch into same-group runs and prefers FoldBatch; groups without one fall
+// back to per-report Fold.
+//
+// Both folds must be safe for concurrent calls that target distinct count
+// vectors: the sharded write path folds the same group into different
+// stripes from different writers at once. The folders this module wires
+// (FolderSpec) qualify — all their mutable state lives in the caller's
+// vector.
 type GroupSpec struct {
 	Len       int
 	Fold      func(r Report, counts []int64)
@@ -83,16 +138,27 @@ type GroupSpec struct {
 // NewCountIngest prepares a streaming store for pr's groups. check, when
 // non-nil, vets each report's payload before it is folded (the group-range
 // check is built in); specs must describe every group of the protocol.
+// Stripes are sized to the runnable parallelism at construction.
 func NewCountIngest(pr Protocol, check func(Report) error, specs []GroupSpec) (*CountIngest, error) {
+	return newCountIngestStripes(pr, check, specs, defaultStripes())
+}
+
+// newCountIngestStripes is NewCountIngest with an explicit stripe count —
+// the seam the sharded-vs-single-stripe identity tests pin bit-identity
+// through.
+func newCountIngestStripes(pr Protocol, check func(Report) error, specs []GroupSpec, stripes int) (*CountIngest, error) {
 	if len(specs) != pr.NumGroups() {
 		return nil, fmt.Errorf("mech: %d group specs for %d groups", len(specs), pr.NumGroups())
+	}
+	if stripes < 1 {
+		return nil, fmt.Errorf("mech: %d count stripes", stripes)
 	}
 	ci := &CountIngest{
 		check:    check,
 		mechName: pr.Name(),
 		params:   pr.Params(),
 		specs:    specs,
-		groups:   make([]countGroup, len(specs)),
+		stripes:  make([]countStripe, stripes),
 	}
 	for g, spec := range specs {
 		if spec.Len < 0 || (spec.Len > 0 && spec.Fold == nil) {
@@ -101,18 +167,28 @@ func NewCountIngest(pr Protocol, check func(Report) error, specs []GroupSpec) (*
 		if spec.FoldBatch != nil && spec.Fold == nil {
 			return nil, fmt.Errorf("mech: group %d spec has a batch fold but no per-report fold", g)
 		}
-		if spec.Len > 0 {
-			ci.groups[g].counts = make([]int64, spec.Len)
-		}
 	}
-	ci.scratch.New = func() any { return new(batchScratch) }
+	// Every stripe is pre-sized at construction, so the write path never
+	// allocates — the zero-alloc warm guarantee covers the sharded layout.
+	for s := range ci.stripes {
+		groups := make([]stripeGroup, len(specs))
+		for g, spec := range specs {
+			if spec.Len > 0 {
+				groups[g].counts = make([]int64, spec.Len)
+			}
+		}
+		ci.stripes[s].groups = groups
+	}
+	ci.scratch.New = func() any {
+		return &batchScratch{stripe: int(ci.nextStripe.Add(1)-1) % len(ci.stripes)}
+	}
 	return ci, nil
 }
 
 // vet validates a report without taking any lock.
 func (ci *CountIngest) vet(r Report) error {
-	if r.Group < 0 || r.Group >= len(ci.groups) {
-		return fmt.Errorf("mech: report group %d outside [0,%d)", r.Group, len(ci.groups))
+	if r.Group < 0 || r.Group >= len(ci.specs) {
+		return fmt.Errorf("mech: report group %d outside [0,%d)", r.Group, len(ci.specs))
 	}
 	if ci.check != nil {
 		if err := ci.check(r); err != nil {
@@ -122,19 +198,8 @@ func (ci *CountIngest) vet(r Report) error {
 	return nil
 }
 
-// fold adds one vetted report to its group. Callers hold ci.mu (shared or
-// exclusive); the group stripe serializes concurrent folds into one vector.
-func (ci *CountIngest) fold(r Report) {
-	grp := &ci.groups[r.Group]
-	grp.mu.Lock()
-	grp.n++
-	if f := ci.specs[r.Group].Fold; f != nil {
-		f(r, grp.counts)
-	}
-	grp.mu.Unlock()
-}
-
-// Submit ingests one report, folding it into its group's statistic.
+// Submit ingests one report, folding it into its group's statistic on the
+// caller's stripe.
 func (ci *CountIngest) Submit(r Report) error {
 	if err := ci.vet(r); err != nil {
 		return err
@@ -144,7 +209,16 @@ func (ci *CountIngest) Submit(r Report) error {
 	if ci.done {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
-	ci.fold(r)
+	sc := ci.scratch.Get().(*batchScratch)
+	st := &ci.stripes[sc.stripe]
+	st.mu.Lock()
+	grp := &st.groups[r.Group]
+	grp.n++
+	if f := ci.specs[r.Group].Fold; f != nil {
+		f(r, grp.counts)
+	}
+	st.mu.Unlock()
+	ci.scratch.Put(sc)
 	ci.received.Add(1)
 	return nil
 }
@@ -154,11 +228,11 @@ func (ci *CountIngest) Submit(r Report) error {
 // the collector partially updated.
 //
 // The vetted batch is partitioned into same-group runs (a counting sort
-// over pooled scratch — O(len(rs) + groups), zero allocations warm) and
-// each group's stripe lock is taken once per run instead of once per
-// report, with the run handed to the group's batch fold. The folded result
-// is bit-identical to submitting the reports one at a time in any order:
-// every group statistic is a vector of commuting integer adds.
+// over pooled scratch — O(len(rs) + groups), zero allocations warm) and the
+// whole frame folds into the caller's stripe under one lock acquisition,
+// with each run handed to its group's batch fold. The folded result is
+// bit-identical to submitting the reports one at a time in any order, on
+// any stripe: every group statistic is a vector of commuting integer adds.
 func (ci *CountIngest) SubmitBatch(rs []Report) error {
 	for i, r := range rs {
 		if err := ci.vet(r); err != nil {
@@ -170,29 +244,40 @@ func (ci *CountIngest) SubmitBatch(rs []Report) error {
 	if ci.done {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
-	if len(rs) <= 1 {
-		for _, r := range rs {
-			ci.fold(r)
+	if len(rs) == 0 {
+		return nil
+	}
+	sc := ci.scratch.Get().(*batchScratch)
+	st := &ci.stripes[sc.stripe]
+	if len(rs) == 1 {
+		r := rs[0]
+		st.mu.Lock()
+		grp := &st.groups[r.Group]
+		grp.n++
+		if f := ci.specs[r.Group].Fold; f != nil {
+			f(r, grp.counts)
 		}
+		st.mu.Unlock()
 	} else {
-		sc := ci.scratch.Get().(*batchScratch)
-		ci.foldRuns(rs, sc)
+		ci.foldRuns(rs, sc, st)
 		if cap(sc.perm) > maxPooledRunScratch {
 			// One oversized frame must not pin O(frame) scratch on the
 			// collector forever; outsized buffers go back to the GC and
 			// normal-sized frames stay zero-alloc.
 			sc.perm = nil
 		}
-		ci.scratch.Put(sc)
 	}
+	ci.scratch.Put(sc)
 	ci.received.Add(int64(len(rs)))
 	return nil
 }
 
-// foldRuns partitions a vetted batch into same-group runs and folds each
-// run under a single stripe acquisition. Callers hold ci.mu shared.
-func (ci *CountIngest) foldRuns(rs []Report, sc *batchScratch) {
-	numG := len(ci.groups)
+// foldRuns partitions a vetted batch into same-group runs and folds every
+// run into st under a single stripe acquisition. Callers hold ci.mu shared;
+// the partitioning itself touches only sc, so it runs outside the stripe
+// lock.
+func (ci *CountIngest) foldRuns(rs []Report, sc *batchScratch, st *countStripe) {
+	numG := len(ci.specs)
 	if cap(sc.starts) < numG+1 {
 		sc.starts = make([]int, numG+1)
 	}
@@ -232,15 +317,15 @@ func (ci *CountIngest) foldRuns(rs []Report, sc *batchScratch) {
 		copy(starts[1:], next)
 		starts[0] = 0
 	}
+	st.mu.Lock()
 	for g := 0; g < numG; g++ {
 		lo, hi := starts[g], starts[g+1]
 		if lo == hi {
 			continue
 		}
 		run := runs[lo:hi]
-		grp := &ci.groups[g]
+		grp := &st.groups[g]
 		spec := &ci.specs[g]
-		grp.mu.Lock()
 		grp.n += int64(len(run))
 		switch {
 		case spec.FoldBatch != nil:
@@ -250,8 +335,8 @@ func (ci *CountIngest) foldRuns(rs []Report, sc *batchScratch) {
 				spec.Fold(run[i], grp.counts)
 			}
 		}
-		grp.mu.Unlock()
 	}
+	st.mu.Unlock()
 }
 
 // Received reports how many reports have been accepted so far. It is a
@@ -262,7 +347,10 @@ func (ci *CountIngest) Received() int {
 
 // DrainCounts closes ingestion and hands the per-group statistics to
 // Finalize. It fails on the second call, which is what makes double-
-// Finalize an error for every collector.
+// Finalize an error for every collector. The exclusive lock fences every
+// stripe; the deferred merge folds stripes 1..k into stripe 0's vectors
+// (O(stripes × groups × domain) integer adds) and transfers those —
+// nothing is copied beyond the merge itself.
 func (ci *CountIngest) DrainCounts() ([]GroupCounts, error) {
 	ci.mu.Lock()
 	defer ci.mu.Unlock()
@@ -270,36 +358,53 @@ func (ci *CountIngest) DrainCounts() ([]GroupCounts, error) {
 		return nil, fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	ci.done = true
-	out := make([]GroupCounts, len(ci.groups))
-	for g := range ci.groups {
-		// Ownership transfers: ingestion is closed, so handing the live
-		// vectors over copies nothing.
-		out[g] = GroupCounts{N: ci.groups[g].n, Counts: ci.groups[g].counts}
-		ci.groups[g].counts = nil
+	base := ci.stripes[0].groups
+	out := make([]GroupCounts, len(ci.specs))
+	for g := range ci.specs {
+		grp := &base[g]
+		for s := 1; s < len(ci.stripes); s++ {
+			o := &ci.stripes[s].groups[g]
+			grp.n += o.n
+			for i, c := range o.counts {
+				grp.counts[i] += c
+			}
+			o.counts = nil
+		}
+		// Ownership transfers: ingestion is closed, so handing the merged
+		// stripe-0 vectors over copies nothing.
+		out[g] = GroupCounts{N: grp.n, Counts: grp.counts}
+		grp.counts = nil
 	}
 	return out, nil
 }
 
 // SnapshotCounts returns a deep copy of the per-group statistics without
 // closing ingestion — the read side of Estimate. The exclusive lock waits
-// out in-flight submissions (they hold the shared lock across their folds),
-// so the copy is a consistent point-in-time cut: it contains exactly the
-// reports whose Submit/SubmitBatch completed before the snapshot, and with
-// a single submitter that cut is always a prefix of the submission order.
-// The copy costs O(groups × domain) — flat in n, which is what makes
-// continuous re-estimation affordable for streaming collectors.
+// out in-flight submissions on every stripe (they hold the shared lock
+// across their folds), so the stripe sum is a consistent point-in-time cut:
+// it contains exactly the reports whose Submit/SubmitBatch completed before
+// the snapshot, and with a single submitter that cut is always a prefix of
+// the submission order. The copy costs O(stripes × groups × domain) — flat
+// in n, which is what makes continuous re-estimation affordable for
+// streaming collectors.
 func (ci *CountIngest) SnapshotCounts() ([]GroupCounts, error) {
 	ci.mu.Lock()
 	defer ci.mu.Unlock()
 	if ci.done {
 		return nil, fmt.Errorf("mech: %w", ErrFinalized)
 	}
-	counts := make([]GroupCounts, len(ci.groups))
-	for g := range ci.groups {
-		gc := GroupCounts{N: ci.groups[g].n}
-		if len(ci.groups[g].counts) > 0 {
-			gc.Counts = make([]int64, len(ci.groups[g].counts))
-			copy(gc.Counts, ci.groups[g].counts)
+	counts := make([]GroupCounts, len(ci.specs))
+	for g := range ci.specs {
+		gc := GroupCounts{}
+		if ci.specs[g].Len > 0 {
+			gc.Counts = make([]int64, ci.specs[g].Len)
+		}
+		for s := range ci.stripes {
+			grp := &ci.stripes[s].groups[g]
+			gc.N += grp.n
+			for i, c := range grp.counts {
+				gc.Counts[i] += c
+			}
 		}
 		counts[g] = gc
 	}
@@ -323,7 +428,9 @@ func (ci *CountIngest) State() (CollectorState, error) {
 // check Submit applies and replays through its group's fold, which is the
 // warm-restart path for snapshots written by a report-retaining collector
 // of the same mechanism. Either way the state is vetted in full before
-// anything lands, so a merge is atomic like SubmitBatch.
+// anything lands, so a merge is atomic like SubmitBatch. Merges land on
+// stripe 0 under the exclusive fence — which stripe is irrelevant, the
+// adds commute into the same read-time sum.
 func (ci *CountIngest) Merge(st CollectorState) error {
 	// States may arrive from codec-free transports (JSON), so structural
 	// validation cannot be assumed.
@@ -337,9 +444,9 @@ func (ci *CountIngest) Merge(st CollectorState) error {
 	if st.Version == StateVersion {
 		return ci.mergeReports(st)
 	}
-	if len(st.Counts) != len(ci.groups) {
+	if len(st.Counts) != len(ci.specs) {
 		return fmt.Errorf("mech: state has %d groups, collector has %d: %w",
-			len(st.Counts), len(ci.groups), ErrStateMismatch)
+			len(st.Counts), len(ci.specs), ErrStateMismatch)
 	}
 	total := int64(0)
 	for g, gc := range st.Counts {
@@ -355,7 +462,7 @@ func (ci *CountIngest) Merge(st CollectorState) error {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	for g, gc := range st.Counts {
-		grp := &ci.groups[g]
+		grp := &ci.stripes[0].groups[g]
 		grp.n += gc.N
 		for i, c := range gc.Counts {
 			grp.counts[i] += c
@@ -367,9 +474,9 @@ func (ci *CountIngest) Merge(st CollectorState) error {
 
 // mergeReports replays a v1 report state through the folds.
 func (ci *CountIngest) mergeReports(st CollectorState) error {
-	if len(st.Groups) != len(ci.groups) {
+	if len(st.Groups) != len(ci.specs) {
 		return fmt.Errorf("mech: state has %d groups, collector has %d: %w",
-			len(st.Groups), len(ci.groups), ErrStateMismatch)
+			len(st.Groups), len(ci.specs), ErrStateMismatch)
 	}
 	total := 0
 	for g, rs := range st.Groups {
@@ -390,14 +497,14 @@ func (ci *CountIngest) mergeReports(st CollectorState) error {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	// A v1 state already arrives partitioned by group, so each group's
-	// replay is one run: a single stripe acquisition and a batch fold.
+	// replay is one run: a batch fold into stripe 0 under the exclusive
+	// fence.
 	for g, rs := range st.Groups {
 		if len(rs) == 0 {
 			continue
 		}
-		grp := &ci.groups[g]
+		grp := &ci.stripes[0].groups[g]
 		spec := &ci.specs[g]
-		grp.mu.Lock()
 		grp.n += int64(len(rs))
 		switch {
 		case spec.FoldBatch != nil:
@@ -407,7 +514,6 @@ func (ci *CountIngest) mergeReports(st CollectorState) error {
 				spec.Fold(rs[i], grp.counts)
 			}
 		}
-		grp.mu.Unlock()
 	}
 	ci.received.Add(int64(total))
 	return nil

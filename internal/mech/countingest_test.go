@@ -441,6 +441,225 @@ func BenchmarkSubmitBatch(b *testing.B) {
 	b.Run("shuffled/batch", func(b *testing.B) { run(b, shuffled, false) })
 }
 
+// TestShardedStripesIdentity is the sharded-counter invariant under -race:
+// N concurrent submitters folding into a multi-stripe collector — through
+// mixed Submit/SubmitBatch paths, with mid-stream SnapshotCounts/State cuts
+// and v1/v2 Merges landing while the writers run — must drain bit-identical
+// to a single-stripe collector over the same report multiset and merged
+// states. Integer adds commute, so the stripe assignment must be
+// unobservable in every read.
+func TestShardedStripesIdentity(t *testing.T) {
+	const workers, perWorker, stripes = 8, 600, 4
+	pr := testProtocol()
+	specs := batchCountSpecs(pr.NumGroups())
+	sharded, err := newCountIngestStripes(pr, nil, specs, stripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two fixed states to merge mid-stream: a v2 count state and a v1
+	// report state, both from small side collectors.
+	v2src, err := newCountIngestStripes(pr, nil, specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v2src.SubmitBatch([]Report{{Group: 0, Value: 3}, {Group: 2, Value: 6}}); err != nil {
+		t.Fatal(err)
+	}
+	v2state, err := v2src.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1state := CollectorState{
+		Version: StateVersion, Mech: pr.Name(), Params: pr.Params(),
+		Groups: [][]Report{{{Group: 0, Value: 1}}, {}, {{Group: 2, Value: 7}, {Group: 2, Value: 7}}},
+	}
+
+	perWorkerReports := func(w int) []Report {
+		rs := make([]Report, perWorker)
+		for i := range rs {
+			rs[i] = Report{Group: (w*13 + i*7) % pr.NumGroups(), Value: (w + i*5) % 8}
+		}
+		return rs
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rs := perWorkerReports(w)
+			switch w % 3 {
+			case 0: // per-report path
+				for _, r := range rs {
+					if err := sharded.Submit(r); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			case 1: // one big shuffled frame
+				if err := sharded.SubmitBatch(rs); err != nil {
+					t.Error(err)
+				}
+			default: // small chunks, exercising the single-report batch path too
+				for lo := 0; lo < len(rs); lo += 17 {
+					if err := sharded.SubmitBatch(rs[lo:min(lo+17, len(rs))]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Merges land while the writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := sharded.Merge(v2state); err != nil {
+			t.Error(err)
+		}
+		if err := sharded.Merge(v1state); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Mid-stream cuts: every snapshot must be internally consistent — the
+	// test folds add exactly one slot count per report, so each group's
+	// slot sum must equal its tally, whatever prefix of the writers it
+	// caught.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			cut, err := sharded.SnapshotCounts()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for g, gc := range cut {
+				var slots int64
+				for _, c := range gc.Counts {
+					slots += c
+				}
+				if slots != gc.N {
+					t.Errorf("snapshot %d group %d: %d slot counts for %d reports", i, g, slots, gc.N)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The single-stripe reference ingests the same multiset sequentially.
+	single, err := newCountIngestStripes(pr, nil, specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		if err := single.SubmitBatch(perWorkerReports(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := single.Merge(v2state); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Merge(v1state); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := sharded.Received(), single.Received(); got != want {
+		t.Fatalf("sharded Received = %d, single-stripe %d", got, want)
+	}
+	// Compare through State (the snapshot path) first, then Drain.
+	shardedState, err := sharded.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleState, err := single.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range singleState.Counts {
+		a, b := shardedState.Counts[g], singleState.Counts[g]
+		if a.N != b.N {
+			t.Fatalf("state group %d: n %d vs %d", g, a.N, b.N)
+		}
+		for i := range b.Counts {
+			if a.Counts[i] != b.Counts[i] {
+				t.Fatalf("state group %d slot %d: %d vs %d", g, i, a.Counts[i], b.Counts[i])
+			}
+		}
+	}
+	got, err := sharded.DrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.DrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range want {
+		if got[g].N != want[g].N {
+			t.Fatalf("drained group %d: n %d, want %d", g, got[g].N, want[g].N)
+		}
+		for i := range want[g].Counts {
+			if got[g].Counts[i] != want[g].Counts[i] {
+				t.Fatalf("drained group %d slot %d: %d, want %d", g, i, got[g].Counts[i], want[g].Counts[i])
+			}
+		}
+	}
+}
+
+// TestSubmitZeroAlloc pins the sharded per-report write path: once the
+// stripe-affine scratch is pooled, a warm Submit performs zero allocations
+// — the stripes were pre-sized at construction, so folding never grows
+// anything.
+func TestSubmitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	pr := testProtocol()
+	ci, err := newCountIngestStripes(pr, nil, batchCountSpecs(pr.NumGroups()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Submit(Report{Group: 1, Value: 2}); err != nil { // warm the scratch pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ci.Submit(Report{Group: 1, Value: 3}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Submit allocates %g objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSubmitBatchContended measures the writer-scaling point of the
+// sharded design: GOMAXPROCS goroutines all hammering frames at the same
+// hot group, where the old per-group stripe mutex serialized every writer
+// and the per-P stripes let them fold concurrently.
+func BenchmarkSubmitBatchContended(b *testing.B) {
+	pr := testProtocol()
+	const batch = 512
+	frame := make([]Report, batch)
+	for i := range frame {
+		frame[i] = Report{Group: 1, Value: i % 8} // one hot group
+	}
+	ci, err := NewCountIngest(pr, nil, batchCountSpecs(pr.NumGroups()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := ci.SubmitBatch(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // TestCountIngestMergeOrderIrrelevant pins the vector-add merge: shards
 // merged in any order drain to the same statistic.
 func TestCountIngestMergeOrderIrrelevant(t *testing.T) {

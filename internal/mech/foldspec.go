@@ -25,7 +25,10 @@ const maxPooledRunScratch = 8192
 // and hands it to the folder's batch-native FoldBatch (value-outer inner
 // loops, hoisted bounds checks). It is the one adapter between the wire
 // Report and fo.Report shapes, shared by every oracle-backed mechanism
-// (HDG, TDG, CALM).
+// (HDG, TDG, CALM). Both closures satisfy GroupSpec's concurrency
+// contract — fo.Folder folds are stateless and foRunPool is a sync.Pool —
+// so the sharded collector may run them on the same group's different
+// stripes from concurrent writers.
 func FolderSpec(f *fo.Folder) GroupSpec {
 	return GroupSpec{
 		Len:  f.StatLen(),

@@ -40,10 +40,12 @@ import (
 //     refresh, off the query path.
 //
 // Handlers are safe for arbitrary concurrency in both modes: ingestion
-// rides the collector's own locking, refreshes serialize on their own
-// mutex without ever blocking ingestion or queries, and query batches run
-// on AnswerBatch's bounded worker pool against the immutable epoch
-// estimator.
+// rides the collector's own locking — for the streaming collector that
+// means concurrent POST /reports handlers fold into per-P sharded count
+// stripes without contending on a shared write lock, so submitter
+// throughput scales with cores — refreshes serialize on their own mutex
+// without ever blocking ingestion or queries, and query batches run on
+// AnswerBatch's bounded worker pool against the immutable epoch estimator.
 //
 // Endpoints:
 //
