@@ -136,9 +136,9 @@ examples:
   privmdr serve -params params.json -http :8080 -snapshot state.bin
   privmdr serve -params params.json -http :8080 -refresh 30s -min-new 1000
   privmdr merge -out merged.state shard0.state shard1.state
-  privmdr dist -role aggregator -topology topo.json -http :9090 -seal 30s
+  privmdr dist -role aggregator -topology topo.json -http :9090 -seal 30s -data /var/lib/privmdr
   privmdr dist -role shard -id edge-1 -topology topo.json -http :8080 -push 5s
-  privmdr dist -role replica -topology topo.json -http :9191
+  privmdr dist -role replica -topology topo.json -http :9191 -poll 15s
   privmdr dist -role server -topology topo.json -http :8080 -refresh 30s`)
 }
 
@@ -867,11 +867,14 @@ func cmdDist(args []string) error {
 	topoPath := fs.String("topology", "", "topology JSON file (tenants, aggregator URL, replica URLs)")
 	addr := fs.String("http", "", "listen address, e.g. :8080")
 	id := fs.String("id", "", "shard: this shard's stable identity (required)")
-	aggURL := fs.String("aggregator", "", "shard: override the topology's aggregator URL")
+	aggURL := fs.String("aggregator", "", "shard/replica: override the topology's aggregator URL")
 	push := fs.Duration("push", 5*time.Second, "shard: delta push interval (0 = manual pushes only)")
 	minPush := fs.Int("min-push", 0, "shard: min new reports before a scheduled push bothers")
 	seal := fs.Duration("seal", 30*time.Second, "aggregator: epoch seal interval (0 = threshold/manual only)")
 	minNew := fs.Int("min-new", 0, "aggregator: seal as soon as this many new reports merged; server: refresh threshold")
+	dataDir := fs.String("data", "", "aggregator: durability dir (journal + snapshots; empty = in-memory only)")
+	syncEvery := fs.Duration("sync", 0, "aggregator: batch journal fsyncs at this cadence (0 = fsync every push)")
+	poll := fs.Duration("poll", 15*time.Second, "replica: catch-up poll interval for the latest sealed epoch (0 = push-only)")
 	refresh := fs.Duration("refresh", 0, "server: live refresh interval per tenant")
 	timeout := fs.Duration("timeout", 10*time.Second, "outbound request timeout (pushes, fan-out)")
 	if err := fs.Parse(args); err != nil {
@@ -912,6 +915,7 @@ func cmdDist(args []string) error {
 	case "aggregator":
 		agg, err := dist.NewAggregator(topo, dist.SealOptions{
 			Interval: *seal, MinNewReports: *minNew, Timeout: *timeout,
+			DataDir: *dataDir, SyncInterval: *syncEvery,
 		})
 		if err != nil {
 			return err
@@ -928,16 +932,23 @@ func cmdDist(args []string) error {
 				}
 			}
 		}
-		fmt.Printf("dist aggregator (%d tenants, %d replicas) — sealing every %v, serving on %s\n",
-			len(topo.Tenants), len(topo.Replicas), *seal, *addr)
+		durability := "in-memory"
+		if *dataDir != "" {
+			durability = "journaling to " + *dataDir
+		}
+		fmt.Printf("dist aggregator (%d tenants, %d replicas, %s) — sealing every %v, serving on %s\n",
+			len(topo.Tenants), len(topo.Replicas), durability, *seal, *addr)
 	case "replica":
-		rep, err := dist.NewReplica(topo)
+		rep, err := dist.NewReplica(topo, dist.ReplicaOptions{
+			Aggregator: *aggURL, Poll: *poll, Timeout: *timeout,
+		})
 		if err != nil {
 			return err
 		}
+		defer rep.Close()
 		handler = rep
-		fmt.Printf("dist replica (%d tenants) — serving on %s, waiting for sealed epochs\n",
-			len(topo.Tenants), *addr)
+		fmt.Printf("dist replica (%d tenants) — serving on %s, catching up from %s every %v\n",
+			len(topo.Tenants), *addr, cmpOr(*aggURL, topo.Aggregator), *poll)
 	case "server":
 		srv, err := dist.NewTenantServer(topo, privmdr.LiveOptions{Refresh: *refresh, MinNewReports: *minNew})
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -24,6 +25,54 @@ type SealOptions struct {
 	MinNewReports int
 	// Timeout bounds each outbound fan-out request (default 10s).
 	Timeout time.Duration
+	// DataDir, when set, makes the aggregator crash-durable: every applied
+	// push delta is journaled (per-tenant WAL under <DataDir>/<tenant>/)
+	// before it is acknowledged, and sealing compacts the journal into a
+	// snapshot. NewAggregator over a non-empty DataDir replays
+	// snapshot + journal, recovering the merged state, the epoch counter,
+	// the last sealed blob (GET /epoch/latest keeps serving), and every
+	// shard's sequence cursor — shards resume at their next seq with no
+	// re-baseline. Empty means in-memory only (a crash drops unsealed
+	// deltas and shards re-baseline).
+	DataDir string
+	// SyncInterval relaxes journal durability: zero (the default) fsyncs
+	// every journaled delta before its push is acknowledged; a positive
+	// interval batches fsyncs in the background at that cadence, so a
+	// crash loses at most the deltas acknowledged inside the un-fsynced
+	// window (see PROTOCOL.md "Durability & recovery" for how shards
+	// resync past such a loss). Ignored without DataDir.
+	SyncInterval time.Duration
+}
+
+// fanDeadAfter is the consecutive-failure count at which the fan-out stops
+// paying a full retry storm for a replica: from then on each seal sends a
+// single-attempt probe (the replica catches up via GET /epoch/latest
+// anyway), and the first probe that lands restores full service.
+const fanDeadAfter = 3
+
+// replicaFan is the aggregator's per-replica fan-out health record.
+type replicaFan struct {
+	url string
+
+	mu      sync.Mutex
+	epoch   uint64 // last epoch this replica acknowledged
+	fails   int    // consecutive fan-out failures
+	skipped uint64 // seals downgraded to a single-attempt probe
+	lastErr string
+}
+
+// ReplicaFanoutStatus is one replica's entry in the aggregator's healthz.
+type ReplicaFanoutStatus struct {
+	URL string `json:"url"`
+	// Epoch is the last epoch this replica acknowledged over the push
+	// fan-out (it may be newer via its own catch-up pulls).
+	Epoch uint64 `json:"epoch"`
+	// ConsecutiveFailures counts fan-out failures since the last success;
+	// at 3 or more the replica is probed once per seal instead of retried.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Skipped counts the seals downgraded to a single-attempt probe.
+	Skipped   uint64 `json:"skipped,omitempty"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // Aggregator is the epoch coordinator: per tenant it merges shard push
@@ -42,7 +91,7 @@ type SealOptions struct {
 type Aggregator struct {
 	tenants  map[string]*aggTenant
 	names    []string
-	replicas []string
+	replicas []*replicaFan
 	mux      *http.ServeMux
 	tr       *transport
 
@@ -70,6 +119,8 @@ type shardCursor struct {
 type aggTenant struct {
 	name  string
 	proto privmdr.Protocol
+	// store is the tenant's durability layer (nil without a DataDir).
+	store *tenantStore
 
 	// mu guards everything below. Pushes, seals, and state exports all
 	// serialize on it; the collector itself is only touched under mu.
@@ -77,12 +128,37 @@ type aggTenant struct {
 	coll privmdr.StatefulCollector
 	// shards is each shard's sequencing cursor.
 	shards map[string]shardCursor
+	// recovered marks shards whose cursor came from a restart recovery and
+	// has not been confirmed by a live push yet. For such a shard — and
+	// only such a shard — a gapped sequence is accepted with a cursor jump
+	// instead of rejected: in relaxed-sync mode the crash may have lost
+	// the acknowledged un-fsynced tail, and the shard cannot re-ship those
+	// deltas (its baseline has moved past them), so rejecting the gap
+	// would wedge it forever. The jump bounds the loss to that tail and
+	// counts it in gapsAccepted; any applied push clears the mark.
+	recovered map[string]bool
+	// gapsAccepted counts post-recovery gap jumps — each one is a bounded,
+	// crash-caused delta loss an operator should know about.
+	gapsAccepted uint64
 	// epoch is the last sealed epoch number (0 before the first seal);
 	// sealedReports is how many reports that epoch included.
 	epoch         uint64
 	sealedReports int
 	lastSealErr   string
+	// sealedBlob is the last sealed epoch's encoded PMSS snapshot — what
+	// GET /epoch/latest serves to catching-up replicas (nil before the
+	// first seal; restored from the snapshot file on recovery).
+	sealedBlob []byte
 }
+
+// journalError marks a push that could not be made durable: the delta was
+// NOT merged, and the push is answered 503 so the shard's transport retries
+// it — a disk problem must look like a transient outage, not a protocol
+// verdict.
+type journalError struct{ err error }
+
+func (e *journalError) Error() string { return "dist: journal: " + e.err.Error() }
+func (e *journalError) Unwrap() error { return e.err }
 
 // AggregatorStatus is one tenant's GET /healthz reply on the aggregator.
 type AggregatorStatus struct {
@@ -102,6 +178,16 @@ type AggregatorStatus struct {
 	// LastSealError is the most recent seal or fan-out failure, empty once
 	// a later seal fully succeeds.
 	LastSealError string `json:"last_seal_error,omitempty"`
+	// Durable reports whether applied deltas are journaled to disk.
+	Durable bool `json:"durable"`
+	// RecoveredGaps counts post-restart sequence gaps accepted from shards
+	// whose acknowledged deltas were lost in a crash (relaxed-sync mode);
+	// each one is a bounded delta loss.
+	RecoveredGaps uint64 `json:"recovered_gaps,omitempty"`
+	// Replicas is the per-replica fan-out health: last delivered epoch,
+	// consecutive failures, and whether the replica is being probed
+	// instead of retried.
+	Replicas []ReplicaFanoutStatus `json:"replicas,omitempty"`
 }
 
 // SealResult reports one seal attempt.
@@ -121,8 +207,11 @@ type SealResult struct {
 }
 
 // NewAggregator builds the aggregator role over a topology. Replicas for
-// the epoch fan-out come from the topology. Call Close when the aggregator
-// is discarded.
+// the epoch fan-out come from the topology. With SealOptions.DataDir set,
+// the aggregator recovers its merged state, epoch counter, sealed blob, and
+// per-shard sequence cursors from the last snapshot plus the journal before
+// serving — a restart is invisible to shards except for the downtime. Call
+// Close when the aggregator is discarded.
 func NewAggregator(topo *Topology, opts SealOptions) (*Aggregator, error) {
 	protos, err := topo.protocols()
 	if err != nil {
@@ -130,11 +219,13 @@ func NewAggregator(topo *Topology, opts SealOptions) (*Aggregator, error) {
 	}
 	a := &Aggregator{
 		tenants:  make(map[string]*aggTenant, len(topo.Tenants)),
-		replicas: append([]string(nil), topo.Replicas...),
 		tr:       newTransport(opts.Timeout),
 		interval: opts.Interval,
 		minNew:   opts.MinNewReports,
 		stop:     make(chan struct{}),
+	}
+	for _, rep := range topo.Replicas {
+		a.replicas = append(a.replicas, &replicaFan{url: rep})
 	}
 	for _, tc := range topo.Tenants {
 		proto := protos[tc.Name]
@@ -142,18 +233,27 @@ func NewAggregator(topo *Topology, opts SealOptions) (*Aggregator, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
 		}
-		a.tenants[tc.Name] = &aggTenant{
-			name:   tc.Name,
-			proto:  proto,
-			coll:   coll.(privmdr.StatefulCollector),
-			shards: make(map[string]shardCursor),
+		t := &aggTenant{
+			name:      tc.Name,
+			proto:     proto,
+			coll:      coll.(privmdr.StatefulCollector),
+			shards:    make(map[string]shardCursor),
+			recovered: make(map[string]bool),
 		}
+		if opts.DataDir != "" {
+			if err := t.recover(filepath.Join(opts.DataDir, tc.Name), opts.SyncInterval); err != nil {
+				a.closeStores()
+				return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
+			}
+		}
+		a.tenants[tc.Name] = t
 		a.names = append(a.names, tc.Name)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/{tenant}/push", a.handlePush)
 	mux.HandleFunc("POST /v1/{tenant}/seal", a.handleSeal)
 	mux.HandleFunc("GET /v1/{tenant}/state", a.handleState)
+	mux.HandleFunc("GET /v1/{tenant}/epoch/latest", a.handleEpochLatest)
 	mux.HandleFunc("GET /v1/{tenant}/params", a.handleParams)
 	mux.HandleFunc("GET /v1/{tenant}/healthz", a.handleHealthz)
 	a.mux = mux
@@ -164,18 +264,101 @@ func NewAggregator(topo *Topology, opts SealOptions) (*Aggregator, error) {
 	return a, nil
 }
 
+// recover opens the tenant's durability dir and replays snapshot + journal
+// into the fresh collector: the snapshot restores the sealed baseline
+// (state, epoch, cursors, sealed blob), then every journaled envelope is
+// re-applied through the same sequencing rules as a live push — records the
+// snapshot already covers are sequencing no-ops, so any crash point between
+// snapshot write and journal compaction replays correctly.
+func (t *aggTenant) recover(dir string, syncInterval time.Duration) error {
+	store, snap, records, _, err := openTenantStore(dir, syncInterval)
+	if err != nil {
+		return err
+	}
+	t.store = store
+	if snap != nil {
+		st, epoch, err := privmdr.DecodeSnapshot(snap.sealed)
+		if err != nil {
+			return fmt.Errorf("dist: recovering snapshot: %w", err)
+		}
+		if epoch != snap.epoch {
+			return fmt.Errorf("dist: snapshot epoch %d disagrees with its sealed blob (%d)", snap.epoch, epoch)
+		}
+		if st.Received() > 0 || snap.epoch > 0 {
+			if err := t.coll.Merge(st); err != nil {
+				return fmt.Errorf("dist: recovering snapshot state: %w", err)
+			}
+		}
+		for id, cur := range snap.cursors {
+			t.shards[id] = cur
+		}
+		t.epoch = snap.epoch
+		t.sealedReports = int(snap.sealedReports)
+		t.sealedBlob = snap.sealed
+	}
+	for _, raw := range records {
+		var env PushEnvelope
+		if err := env.UnmarshalBinary(raw); err != nil {
+			// CRC-valid but undecodable: the journal only ever holds
+			// envelopes that decoded once, so this is real corruption.
+			return fmt.Errorf("dist: journal record: %w", err)
+		}
+		t.replay(env)
+	}
+	// Every recovered cursor is unconfirmed until its shard pushes again;
+	// see aggTenant.recovered for the gap-acceptance rule this enables.
+	for id := range t.shards {
+		t.recovered[id] = true
+	}
+	return nil
+}
+
+// replay re-applies one journaled envelope during recovery. Sequencing is
+// tolerant where live apply is strict: everything in the journal was
+// validated and applied (or was about to be) when it was written, so a
+// record at or below the cursor is simply covered by the snapshot (or a
+// crash-retry duplicate) and skipped, a stale-incarnation record is
+// skipped, and an in-order record is merged.
+func (t *aggTenant) replay(env PushEnvelope) {
+	cur, known := t.shards[env.Shard]
+	if known && cur.nonce != env.Nonce {
+		if env.Seq != 1 {
+			return // a dead incarnation's record, already superseded
+		}
+		// A restarted shard's fresh seq-1: replaces the cursor, like live.
+	} else if known && env.Seq <= cur.seq {
+		return // covered by the snapshot, or a journal-retry duplicate
+	}
+	if err := t.coll.Merge(env.Delta); err != nil {
+		// The record was journaled ahead of a merge that then failed (or
+		// would have); the live path returned the error to the shard
+		// without advancing the cursor, so skipping mirrors it exactly.
+		return
+	}
+	t.shards[env.Shard] = shardCursor{nonce: env.Nonce, seq: env.Seq}
+}
+
+func (a *Aggregator) closeStores() {
+	for _, t := range a.tenants {
+		if t.store != nil {
+			_ = t.store.Close()
+		}
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
 
-// Close stops the background sealer and waits for any in-flight threshold
-// seals. Shut the HTTP listener down first so no new pushes can spawn seals
-// while Close drains.
+// Close stops the background sealer, waits for any in-flight threshold
+// seals, and flushes and closes the per-tenant journals. Shut the HTTP
+// listener down first so no new pushes can spawn seals while Close drains.
 func (a *Aggregator) Close() error {
 	a.stopOnce.Do(func() { close(a.stop) })
 	if a.done != nil {
 		<-a.done
 	}
 	a.sealWG.Wait()
+	a.closeStores()
 	return nil
 }
 
@@ -210,7 +393,18 @@ func (a *Aggregator) sealLoop() {
 // only be a duplicate shard ID (or a replay from a dead incarnation) and is
 // rejected with ErrShardConflict — never duplicate-ACKed, which would make
 // the pusher silently drop the delta as "already merged".
-func (t *aggTenant) apply(env PushEnvelope) (applied bool, last uint64, err error) {
+//
+// One exception to the gap rule: a shard whose cursor was recovered from
+// disk and not yet confirmed by a live push may gap forward once (see
+// aggTenant.recovered) — a relaxed-sync crash can have lost the
+// acknowledged tail, and the shard cannot re-ship deltas its baseline
+// already moved past.
+//
+// A durable tenant journals the envelope's canonical bytes — append +
+// fsync per the sync policy — BEFORE merging, so an acknowledged delta is
+// never memory-only: if the journal write fails the delta is not merged
+// and the push fails with a retryable journalError.
+func (t *aggTenant) apply(env PushEnvelope, raw []byte) (applied bool, last uint64, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cur, known := t.shards[env.Shard]
@@ -220,6 +414,7 @@ func (t *aggTenant) apply(env PushEnvelope) (applied bool, last uint64, err erro
 		return false, last, fmt.Errorf("dist: shard %q pushed seq %d under a new instance nonce (last applied %d from a previous instance — restarted shard or duplicate shard ID): %w",
 			env.Shard, env.Seq, last, ErrShardConflict)
 	}
+	gapJump := false
 	if !restart {
 		switch {
 		case known && env.Seq == last:
@@ -230,14 +425,26 @@ func (t *aggTenant) apply(env PushEnvelope) (applied bool, last uint64, err erro
 			return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
 				env.Shard, env.Seq, last, ErrStaleSeq)
 		case env.Seq > last+1:
-			return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
-				env.Shard, env.Seq, last, ErrSeqGap)
+			if !t.recovered[env.Shard] {
+				return false, last, fmt.Errorf("dist: shard %q pushed seq %d, last applied %d: %w",
+					env.Shard, env.Seq, last, ErrSeqGap)
+			}
+			gapJump = true
+		}
+	}
+	if t.store != nil {
+		if jerr := t.store.Append(raw); jerr != nil {
+			return false, last, &journalError{jerr}
 		}
 	}
 	if err := t.coll.Merge(env.Delta); err != nil {
 		return false, last, err
 	}
 	t.shards[env.Shard] = shardCursor{nonce: env.Nonce, seq: env.Seq}
+	delete(t.recovered, env.Shard)
+	if gapJump {
+		t.gapsAccepted++
+	}
 	return true, env.Seq, nil
 }
 
@@ -258,8 +465,15 @@ func (a *Aggregator) handlePush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	applied, last, err := t.apply(env)
+	applied, last, err := t.apply(env, body)
 	if err != nil {
+		var jerr *journalError
+		if errors.As(err, &jerr) {
+			// A disk failure is a transient outage from the shard's point of
+			// view: 503 keeps the envelope frozen in flight and retrying.
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeJSON(w, errStatus(err), pushAck{Last: last, Code: ackCode(err), Error: err.Error()})
 		return
 	}
@@ -298,6 +512,11 @@ func ackCode(err error) string {
 // report arrived since the last epoch (and, for an empty tenant, even a
 // zero-report first epoch so replicas can start serving priors); a
 // scheduled seal (force=false) additionally requires MinNewReports.
+//
+// Sealing is also the durability compaction point: the sealed blob plus the
+// shard cursors as of the export are persisted as the tenant's snapshot and
+// the journal prefix they cover is dropped — so the journal only ever holds
+// the deltas merged since the last sealed epoch.
 func (a *Aggregator) Seal(ctx context.Context, tenant string, force bool) (SealResult, error) {
 	t, ok := a.tenants[tenant]
 	if !ok {
@@ -323,6 +542,18 @@ func (a *Aggregator) Seal(ctx context.Context, tenant string, force bool) (SealR
 	t.epoch++
 	epoch := t.epoch
 	t.sealedReports = st.Received()
+	// Cursors and journal offset are captured under the same lock as the
+	// state export, so the snapshot is exactly consistent with it: every
+	// journal byte below off describes a delta already inside st.
+	var cursors map[string]shardCursor
+	var off int64
+	if t.store != nil {
+		cursors = make(map[string]shardCursor, len(t.shards))
+		for id, cur := range t.shards {
+			cursors[id] = cur
+		}
+		off = t.store.Offset()
+	}
 	t.mu.Unlock()
 
 	blob, err := privmdr.EncodeSnapshot(st, epoch)
@@ -330,8 +561,19 @@ func (a *Aggregator) Seal(ctx context.Context, tenant string, force bool) (SealR
 		t.setSealErr(err.Error())
 		return SealResult{}, err
 	}
+	t.mu.Lock()
+	t.sealedBlob = blob
+	t.mu.Unlock()
+	if t.store != nil {
+		snap := aggSnapshot{epoch: epoch, sealedReports: uint64(st.Received()), cursors: cursors, sealed: blob}
+		if err := t.store.Compact(snap, off); err != nil {
+			// The epoch is sealed and served either way; a failed compaction
+			// only means a longer journal replay next restart.
+			t.setSealErr(fmt.Sprintf("epoch %d: compaction: %s", epoch, err))
+		}
+	}
 	res := SealResult{Tenant: tenant, Sealed: true, Epoch: epoch, Reports: st.Received()}
-	res.Fanout, res.Errors = a.fanout(ctx, tenant, blob)
+	res.Fanout, res.Errors = a.fanout(ctx, tenant, blob, epoch)
 	if len(res.Errors) > 0 {
 		t.setSealErr(fmt.Sprintf("epoch %d: %s", epoch, res.Errors[0]))
 	} else {
@@ -349,7 +591,12 @@ func (t *aggTenant) setSealErr(msg string) {
 // fanout pushes a sealed snapshot to every replica concurrently. A 409 from
 // a replica counts as success: it already serves this epoch or a newer one
 // (a racing seal won), either way it is not behind.
-func (a *Aggregator) fanout(ctx context.Context, tenant string, blob []byte) (ok int, errs []string) {
+//
+// A replica at fanDeadAfter consecutive failures is probed with a single
+// attempt instead of the transport's full retry schedule, so one dead
+// replica cannot slow every seal by four timeouts — it catches up through
+// GET /epoch/latest, and the first probe that lands restores full retries.
+func (a *Aggregator) fanout(ctx context.Context, tenant string, blob []byte, epoch uint64) (ok int, errs []string) {
 	if len(a.replicas) == 0 {
 		return 0, nil
 	}
@@ -359,22 +606,67 @@ func (a *Aggregator) fanout(ctx context.Context, tenant string, blob []byte) (ok
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			url := rep + "/v1/" + tenant + "/epoch"
-			status, body, err := a.tr.post(ctx, url, "application/octet-stream", blob)
-			mu.Lock()
-			defer mu.Unlock()
+			rep.mu.Lock()
+			attempts := 0 // transport default
+			if rep.fails >= fanDeadAfter {
+				attempts = 1
+				rep.skipped++
+			}
+			rep.mu.Unlock()
+			url := rep.url + "/v1/" + tenant + "/epoch"
+			status, body, err := a.tr.postN(ctx, url, "application/octet-stream", blob, attempts)
+			var failure string
 			switch {
 			case err != nil:
-				errs = append(errs, err.Error())
+				failure = err.Error()
 			case status >= 200 && status < 300, status == http.StatusConflict:
-				ok++
 			default:
-				errs = append(errs, fmt.Sprintf("dist: %s: %d %s", url, status, body))
+				failure = fmt.Sprintf("dist: %s: %d %s", url, status, body)
+			}
+			rep.mu.Lock()
+			if failure == "" {
+				rep.fails = 0
+				rep.lastErr = ""
+				if epoch > rep.epoch {
+					rep.epoch = epoch
+				}
+			} else {
+				rep.fails++
+				rep.lastErr = failure
+			}
+			rep.mu.Unlock()
+			mu.Lock()
+			defer mu.Unlock()
+			if failure == "" {
+				ok++
+			} else {
+				errs = append(errs, failure)
 			}
 		}()
 	}
 	wg.Wait()
 	return ok, errs
+}
+
+// handleEpochLatest serves the last sealed epoch's PMSS blob — the replica
+// catch-up path: a cold-started or fan-out-missed replica pulls it and
+// installs through its strictly-newer epoch gate. 404 before the first seal.
+func (a *Aggregator) handleEpochLatest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	t, ok := a.tenants[name]
+	if !ok {
+		unknownTenant(w, name)
+		return
+	}
+	t.mu.Lock()
+	blob := t.sealedBlob
+	t.mu.Unlock()
+	if blob == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("dist: tenant %q has no sealed epoch yet", name))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(blob)
 }
 
 // State exports a tenant's merged collector state.
@@ -457,7 +749,20 @@ func (a *Aggregator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Staleness:     t.coll.Received() - t.sealedReports,
 		Shards:        shards,
 		LastSealError: t.lastSealErr,
+		Durable:       t.store != nil,
+		RecoveredGaps: t.gapsAccepted,
 	}
 	t.mu.Unlock()
+	for _, rep := range a.replicas {
+		rep.mu.Lock()
+		status.Replicas = append(status.Replicas, ReplicaFanoutStatus{
+			URL:                 rep.url,
+			Epoch:               rep.epoch,
+			ConsecutiveFailures: rep.fails,
+			Skipped:             rep.skipped,
+			LastError:           rep.lastErr,
+		})
+		rep.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, status)
 }

@@ -1,0 +1,360 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"hash/fnv"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"privmdr"
+)
+
+// chaosProxy is the fault-injection harness: a seeded, deterministic HTTP
+// middleware standing between the dist roles, injecting the partition
+// repertoire — connection drops (aborted before the handler runs), 5xx
+// answers, added latency, and response truncation (the handler DID run, the
+// client never learns) — plus a "down" window while the role behind it is
+// killed and restarted. Every probability roll comes from one seeded PCG
+// stream under a mutex, so a failing run replays with the same seed
+// (PRIVMDR_CHAOS_SEED overrides the default).
+type chaosProxy struct {
+	srv *httptest.Server
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	on  bool
+
+	inner atomicHandler
+}
+
+// atomicHandler is a swappable handler slot; nil means the role is down.
+type atomicHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (a *atomicHandler) load() http.Handler {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.h
+}
+
+func (a *atomicHandler) store(h http.Handler) {
+	a.mu.Lock()
+	a.h = h
+	a.mu.Unlock()
+}
+
+func newChaosProxy(t *testing.T, seed uint64) *chaosProxy {
+	t.Helper()
+	c := &chaosProxy{rng: rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15)), on: true}
+	c.srv = httptest.NewServer(c)
+	t.Cleanup(c.srv.Close)
+	return c
+}
+
+// quiet turns all fault injection off (the verification phase).
+func (c *chaosProxy) quiet() {
+	c.mu.Lock()
+	c.on = false
+	c.mu.Unlock()
+}
+
+// faults per-request, from the seeded stream.
+const (
+	chaosAbort    = 0.06 // drop the connection before the handler runs
+	chaos503      = 0.08 // answer 503 without running the handler
+	chaosTruncate = 0.05 // run the handler, send half the response, drop
+	chaosLatency  = 0.20 // add 0.5–2.5 ms before the handler
+)
+
+func (c *chaosProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h := c.inner.load()
+	if h == nil {
+		http.Error(w, "injected: role is down for restart", http.StatusServiceUnavailable)
+		return
+	}
+	var abort, e503, trunc bool
+	var delay time.Duration
+	c.mu.Lock()
+	if c.on {
+		roll := c.rng.Float64()
+		switch {
+		case roll < chaosAbort:
+			abort = true
+		case roll < chaosAbort+chaos503:
+			e503 = true
+		case roll < chaosAbort+chaos503+chaosTruncate:
+			trunc = true
+		case roll < chaosAbort+chaos503+chaosTruncate+chaosLatency:
+			delay = 500*time.Microsecond + time.Duration(c.rng.Int64N(int64(2*time.Millisecond)))
+		}
+	}
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch {
+	case abort:
+		panic(http.ErrAbortHandler) // the client sees a dropped connection
+	case e503:
+		http.Error(w, "injected: 503 burst", http.StatusServiceUnavailable)
+	case trunc:
+		// The cruelest fault: the request WAS processed (a push may have
+		// been applied and journaled), but the response is cut mid-body, so
+		// the client cannot tell — it must retry the identical envelope and
+		// rely on duplicate-ACK idempotency.
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		for k, v := range rec.Header() {
+			w.Header()[k] = v
+		}
+		w.Header().Del("Content-Length")
+		w.WriteHeader(rec.Code)
+		body := rec.Body.Bytes()
+		_, _ = w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	default:
+		h.ServeHTTP(w, r)
+	}
+}
+
+// chaosSeed derives the per-mechanism seed, overridable for replay with
+// PRIVMDR_CHAOS_SEED.
+func chaosSeed(t *testing.T, mech string) uint64 {
+	base := uint64(20260808)
+	if s := os.Getenv("PRIVMDR_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("PRIVMDR_CHAOS_SEED=%q: %v", s, err)
+		}
+		base = v
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(mech))
+	return base ^ h.Sum64()
+}
+
+// TestChaosTopology drives the full topology through injected faults, per
+// mechanism under -race: two shards push a partitioned report stream through
+// a chaos middleware to a crash-durable aggregator that is killed and
+// restarted from disk twice mid-traffic, the replica is killed and
+// cold-restarted (catching up over its own chaotic leg), and one shard
+// restarts after a flush (its bounded-loss contract: only already-flushed
+// reports survive a shard death, so the harness flushes first). When the
+// dust settles, the aggregator must hold every report exactly once and both
+// the surviving replica and a cold-started one must answer the workload
+// bit-identically to a monolithic collector — the golden invariant, now
+// under fire.
+func TestChaosTopology(t *testing.T) {
+	const (
+		n       = 600
+		nShards = 2
+		batch   = 60
+	)
+	ds := distDataset(t, n)
+	workload := distWorkload(t, ds.D(), ds.C)
+	queryBody, err := json.Marshal(privmdr.QueryRequest{Queries: workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range privmdr.Mechanisms() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			p := privmdr.Params{N: n, D: ds.D(), C: ds.C, Eps: 1.0, Seed: 210}
+			proto, err := m.Protocol(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := clientReports(t, proto, ds)
+			dataDir := t.TempDir()
+			topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: m.Name(), Params: p}}}
+
+			seed := chaosSeed(t, m.Name())
+			aggChaos := newChaosProxy(t, seed)
+			repChaos := newChaosProxy(t, seed+1)
+			topo.Aggregator = aggChaos.srv.URL
+			topo.Replicas = []string{repChaos.srv.URL}
+
+			// The replica pulls its catch-up through the aggregator's chaos
+			// leg, so both directions of its traffic are under fire.
+			repOpts := ReplicaOptions{Aggregator: aggChaos.srv.URL, Poll: 25 * time.Millisecond}
+			rep, err := NewReplica(topo, repOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repChaos.inner.store(rep)
+
+			agg, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			aggChaos.inner.store(agg)
+
+			// Shard goroutines: ingest a batch, flush it (retrying through
+			// the chaos), repeat. Shard 0 kills and restarts itself midway —
+			// after a flush, per the bounded-loss contract.
+			flushChaos := func(s *Shard) bool {
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					if err := s.Flush(context.Background()); err == nil {
+						return true
+					} else if time.Now().After(deadline) {
+						t.Errorf("flush never succeeded through the chaos: %v", err)
+						return false
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < nShards; i++ {
+				part := reports[i*n/nShards : (i+1)*n/nShards]
+				wg.Add(1)
+				go func(i int, part []privmdr.Report) {
+					defer wg.Done()
+					shard, err := NewShard(topo, ShardOptions{ID: "edge-" + strconv.Itoa(i)})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer func() { _ = shard.Close() }()
+					srv := httptest.NewServer(shard)
+					defer func() { srv.Close() }()
+					nBatches := (len(part) + batch - 1) / batch
+					for b := 0; b < nBatches; b++ {
+						ingestHTTP(t, srv.URL, "census", part[b*batch:min((b+1)*batch, len(part))])
+						if !flushChaos(shard) {
+							return
+						}
+						if i == 0 && b == nBatches/2 {
+							// Kill this shard and restart it: a fresh
+							// instance nonce, an empty local collector, and
+							// a seq-1 push the aggregator must accept as a
+							// legitimate restart, not a duplicate.
+							_ = shard.Close()
+							srv.Close()
+							shard, err = NewShard(topo, ShardOptions{ID: "edge-0"})
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							srv = httptest.NewServer(shard)
+						}
+						time.Sleep(15 * time.Millisecond)
+					}
+				}(i, part)
+			}
+
+			// The reaper: kill and restart the aggregator twice mid-traffic,
+			// with a mid-run seal (compaction + chaotic fan-out) between the
+			// kills, and kill/cold-restart the replica once.
+			for cycle := 0; cycle < 2; cycle++ {
+				time.Sleep(40 * time.Millisecond)
+				aggChaos.inner.store(nil) // down: new pushes bounce as 503
+				time.Sleep(20 * time.Millisecond)
+				_ = agg.Close() // release journal fds; in-flight appends finish or fail first
+				agg, err = NewAggregator(topo, SealOptions{DataDir: dataDir})
+				if err != nil {
+					t.Fatalf("aggregator restart %d: %v", cycle, err)
+				}
+				aggChaos.inner.store(agg)
+				if cycle == 0 {
+					_, _ = agg.Seal(context.Background(), "census", true)
+					// Replica kill: a cold instance must rebuild entirely
+					// from its catch-up poll.
+					repChaos.inner.store(nil)
+					_ = rep.Close()
+					rep, err = NewReplica(topo, repOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					repChaos.inner.store(rep)
+				}
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+			t.Cleanup(func() { _ = agg.Close() })
+			t.Cleanup(func() { _ = rep.Close() })
+
+			// Verification, with the chaos quieted: every report exactly
+			// once, no crash-caused gaps (strict fsync mode), and the final
+			// epoch bit-identical on both a pushed-to and a cold replica.
+			aggChaos.quiet()
+			repChaos.quiet()
+			st, err := agg.State("census")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Received() != n {
+				t.Fatalf("aggregator holds %d reports after the chaos, want %d (lost or double-counted)", st.Received(), n)
+			}
+			res, err := agg.Seal(context.Background(), "census", true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Reports != n {
+				t.Fatalf("final epoch %d covers %d reports, want %d", res.Epoch, res.Reports, n)
+			}
+			var hs AggregatorStatus
+			getJSON(t, aggChaos.srv.URL+"/v1/census/healthz", &hs)
+			if hs.RecoveredGaps != 0 {
+				t.Fatalf("strict-mode chaos run accepted %d recovered gaps, want 0", hs.RecoveredGaps)
+			}
+
+			want := monolithicAnswers(t, proto, reports, workload)
+			check := func(label string, r *Replica) {
+				t.Helper()
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					if cur := r.tenants["census"].cur.Load(); cur != nil && cur.epoch >= res.Epoch {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("%s never reached epoch %d", label, res.Epoch)
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				srv := httptest.NewServer(r)
+				defer srv.Close()
+				code, body := postBytes(t, srv.URL+"/v1/census/query", "application/json", queryBody)
+				if code != http.StatusOK {
+					t.Fatalf("%s query: %d %s", label, code, body)
+				}
+				var qr privmdr.QueryResponse
+				if err := json.Unmarshal(body, &qr); err != nil {
+					t.Fatal(err)
+				}
+				for q := range want {
+					if qr.Answers[q] != want[q] {
+						t.Fatalf("%s query %d: %v != monolithic %v — invariant broken under chaos",
+							label, q, qr.Answers[q], want[q])
+					}
+				}
+			}
+			check("surviving replica", rep)
+
+			cold, err := NewReplica(topo, ReplicaOptions{Aggregator: aggChaos.srv.URL})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = cold.Close() })
+			if err := cold.CatchUp(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			check("cold replica", cold)
+		})
+	}
+}

@@ -5,18 +5,20 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"time"
 )
 
 // transport is the retrying HTTP client every role uses for its outbound
-// legs (shard→aggregator pushes, aggregator→replica fan-out). It retries
-// transport failures and 5xx responses with exponential backoff — the cases
-// where the receiver either never saw the request or refused it temporarily
-// — and returns 4xx responses to the caller untouched, since those are
-// protocol answers (duplicate ACKs, stale sequences) the caller must
-// interpret. Retried requests are safe by construction: every dist push is
-// idempotent under its sequence number or epoch.
+// legs (shard→aggregator pushes, aggregator→replica fan-out, replica
+// catch-up pulls). It retries transport failures and 5xx responses with
+// exponential backoff — the cases where the receiver either never saw the
+// request or refused it temporarily — and returns 4xx responses to the
+// caller untouched, since those are protocol answers (duplicate ACKs, stale
+// sequences) the caller must interpret. Retried requests are safe by
+// construction: every dist push is idempotent under its sequence number or
+// epoch, and the GETs are reads.
 type transport struct {
 	c        *http.Client
 	attempts int
@@ -24,7 +26,7 @@ type transport struct {
 }
 
 // newTransport builds the default transport: per-request timeout, 4
-// attempts, 50 ms backoff doubling between them.
+// attempts, full-jitter backoff over a 50 ms cap doubling between them.
 func newTransport(timeout time.Duration) *transport {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
@@ -40,22 +42,53 @@ func newTransport(timeout time.Duration) *transport {
 // the final response's status and (bounded) body; err is non-nil only when
 // every attempt failed at the transport level or the context ended.
 func (t *transport) post(ctx context.Context, url, contentType string, body []byte) (int, []byte, error) {
+	return t.do(ctx, http.MethodPost, url, contentType, body, t.attempts)
+}
+
+// postN is post with an explicit attempt budget (≤ 0 means the transport
+// default) — the fan-out uses 1 to probe a replica it believes dead.
+func (t *transport) postN(ctx context.Context, url, contentType string, body []byte, attempts int) (int, []byte, error) {
+	return t.do(ctx, http.MethodPost, url, contentType, body, attempts)
+}
+
+// get fetches url with the same retry schedule as post.
+func (t *transport) get(ctx context.Context, url string) (int, []byte, error) {
+	return t.do(ctx, http.MethodGet, url, "", nil, t.attempts)
+}
+
+// do is the shared retry loop. Between attempts it sleeps a "full jitter"
+// backoff: uniform in (0, cap], with the cap doubling per attempt. Plain
+// doubling without jitter synchronizes every client that failed together —
+// all shards retrying a restarted aggregator would wake in lockstep at
+// 50/100/200 ms and collide again; the jitter spreads each wave over the
+// whole window.
+func (t *transport) do(ctx context.Context, method, url, contentType string, body []byte, attempts int) (int, []byte, error) {
+	if attempts <= 0 {
+		attempts = t.attempts
+	}
 	var lastErr error
-	delay := t.backoff
-	for attempt := 0; attempt < t.attempts; attempt++ {
+	cap := t.backoff
+	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			delay := time.Duration(1 + rand.Int64N(int64(cap)))
 			select {
 			case <-ctx.Done():
 				return 0, nil, ctx.Err()
 			case <-time.After(delay):
 			}
-			delay *= 2
+			cap *= 2
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
 		if err != nil {
 			return 0, nil, err
 		}
-		req.Header.Set("Content-Type", contentType)
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
 		resp, err := t.c.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -64,7 +97,7 @@ func (t *transport) post(ctx context.Context, url, contentType string, body []by
 			lastErr = err
 			continue
 		}
-		payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
 		resp.Body.Close()
 		if err != nil {
 			lastErr = err
@@ -76,5 +109,5 @@ func (t *transport) post(ctx context.Context, url, contentType string, body []by
 		}
 		return resp.StatusCode, payload, nil
 	}
-	return 0, nil, fmt.Errorf("dist: %s unreachable after %d attempts: %w", url, t.attempts, lastErr)
+	return 0, nil, fmt.Errorf("dist: %s unreachable after %d attempts: %w", url, attempts, lastErr)
 }

@@ -142,7 +142,7 @@ func TestDistributedTopologyInvariant(t *testing.T) {
 			// Two stateless query replicas.
 			var replicaURLs []string
 			for i := 0; i < 2; i++ {
-				rep, err := NewReplica(topo)
+				rep, err := NewReplica(topo, ReplicaOptions{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -668,7 +668,7 @@ func TestThresholdSealAsync(t *testing.T) {
 	}
 	reports := clientReports(t, proto, distDataset(t, p.N))
 
-	rep, err := NewReplica(topo)
+	rep, err := NewReplica(topo, ReplicaOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -725,7 +725,7 @@ func TestThresholdSealAsync(t *testing.T) {
 func TestReplicaEpochOrdering(t *testing.T) {
 	p := privmdr.Params{N: 10, D: 3, C: 16, Eps: 1.0, Seed: 210}
 	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
-	rep, err := NewReplica(topo)
+	rep, err := NewReplica(topo, ReplicaOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -815,7 +815,7 @@ func TestUnknownTenant(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = agg.Close() })
-	rep, err := NewReplica(topo)
+	rep, err := NewReplica(topo, ReplicaOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,629 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privmdr"
+)
+
+// swapServer is a stable HTTP frontage over a swappable handler — the test
+// stand-in for a fixed address whose process is killed and restarted behind
+// it. While no handler is installed (the "down" window) it answers 503,
+// which is exactly what a connecting client sees as a transient outage.
+func swapServer(t *testing.T) (*httptest.Server, *atomic.Pointer[http.Handler]) {
+	t.Helper()
+	var cur atomic.Pointer[http.Handler]
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := cur.Load()
+		if h == nil {
+			http.Error(w, "down for restart", http.StatusServiceUnavailable)
+			return
+		}
+		(*h).ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &cur
+}
+
+func setHandler(p *atomic.Pointer[http.Handler], h http.Handler) {
+	if h == nil {
+		p.Store(nil)
+		return
+	}
+	p.Store(&h)
+}
+
+// monolithicAnswers is the golden reference: one collector over the whole
+// report multiset, finalized and queried.
+func monolithicAnswers(t *testing.T, proto privmdr.Protocol, reports []privmdr.Report, queries []privmdr.Query) []float64 {
+	t.Helper()
+	mono, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mono.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	est, err := mono.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := privmdr.AnswerBatch(est, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestAggregatorRestartDurable is the kill-and-restart contract, per
+// mechanism under -race and in both recovery shapes (journal-only, and
+// snapshot + journal when an epoch sealed before the kill): an aggregator
+// restarted from its data dir must hold exactly the acknowledged reports,
+// shards must resume at their prior sequence cursor — the post-restart push
+// carries the next seq and a delta-sized report count, never a cumulative
+// re-baseline — and the next sealed epoch must be bit-identical to a
+// monolithic collector over the same report multiset.
+func TestAggregatorRestartDurable(t *testing.T) {
+	const n = 900
+	ds := distDataset(t, n)
+	workload := distWorkload(t, ds.D(), ds.C)
+	queryBody, err := json.Marshal(privmdr.QueryRequest{Queries: workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range privmdr.Mechanisms() {
+		m := m
+		for _, sealBeforeKill := range []bool{false, true} {
+			name := m.Name() + "/journal-only"
+			if sealBeforeKill {
+				name = m.Name() + "/snapshot+journal"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				p := privmdr.Params{N: n, D: ds.D(), C: ds.C, Eps: 1.0, Seed: 210}
+				proto, err := m.Protocol(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reports := clientReports(t, proto, ds)
+				dataDir := t.TempDir()
+				topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: m.Name(), Params: p}}}
+
+				rep, err := NewReplica(topo, ReplicaOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { _ = rep.Close() })
+				repSrv := httptest.NewServer(rep)
+				t.Cleanup(repSrv.Close)
+				topo.Replicas = []string{repSrv.URL}
+
+				aggSrv, aggCur := swapServer(t)
+				topo.Aggregator = aggSrv.URL
+				agg1, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				setHandler(aggCur, agg1)
+
+				shard, err := NewShard(topo, ShardOptions{ID: "edge-0"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { _ = shard.Close() })
+				shardSrv := httptest.NewServer(shard)
+				t.Cleanup(shardSrv.Close)
+
+				// Two acknowledged deltas before the kill.
+				third := n / 3
+				ingestHTTP(t, shardSrv.URL, "census", reports[:third])
+				if res, err := shard.FlushTenant(context.Background(), "census"); err != nil || res.Seq != 1 {
+					t.Fatalf("first flush: %+v, %v", res, err)
+				}
+				if sealBeforeKill {
+					code, body := postBytes(t, aggSrv.URL+"/v1/census/seal", "application/json", nil)
+					if code != http.StatusOK {
+						t.Fatalf("pre-kill seal: %d %s", code, body)
+					}
+				}
+				ingestHTTP(t, shardSrv.URL, "census", reports[third:2*third])
+				if res, err := shard.FlushTenant(context.Background(), "census"); err != nil || res.Seq != 2 {
+					t.Fatalf("second flush: %+v, %v", res, err)
+				}
+
+				// Kill: abandon the instance without Close — strict-mode
+				// durability means every acknowledged delta is already
+				// fsynced, so a clean shutdown must not be needed.
+				setHandler(aggCur, nil)
+				oldStore := agg1.tenants["census"].store
+				agg2, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { _ = agg2.Close() })
+				_ = oldStore.Close() // release the dead instance's fds only after recovery
+				setHandler(aggCur, agg2)
+
+				// Recovery must hold every acknowledged report and the cursor.
+				var hs AggregatorStatus
+				getJSON(t, aggSrv.URL+"/v1/census/healthz", &hs)
+				if hs.Received != 2*third {
+					t.Fatalf("recovered %d reports, want %d", hs.Received, 2*third)
+				}
+				if !hs.Durable || hs.RecoveredGaps != 0 {
+					t.Fatalf("recovered healthz: durable=%v gaps=%d", hs.Durable, hs.RecoveredGaps)
+				}
+				if hs.Shards["edge-0"] != 2 {
+					t.Fatalf("recovered cursor %d, want 2", hs.Shards["edge-0"])
+				}
+				if sealBeforeKill && hs.Epoch != 1 {
+					t.Fatalf("recovered epoch %d, want 1", hs.Epoch)
+				}
+
+				// The shard resumes at its next seq with a delta-sized push —
+				// a cumulative re-baseline would double-count everything.
+				ingestHTTP(t, shardSrv.URL, "census", reports[2*third:])
+				res, err := shard.FlushTenant(context.Background(), "census")
+				if err != nil {
+					t.Fatalf("post-restart flush: %v", err)
+				}
+				if res.Seq != 3 {
+					t.Fatalf("post-restart push sealed seq %d, want 3 (re-baseline?)", res.Seq)
+				}
+				if want := n - 2*third; res.Reports != want {
+					t.Fatalf("post-restart push carried %d reports, want the %d-report delta", res.Reports, want)
+				}
+
+				// Seal; the fanned-out epoch must answer bit-identically to
+				// the monolithic collector.
+				var sealed SealResult
+				code, body := postBytes(t, aggSrv.URL+"/v1/census/seal", "application/json", nil)
+				if code != http.StatusOK {
+					t.Fatalf("final seal: %d %s", code, body)
+				}
+				if err := json.Unmarshal(body, &sealed); err != nil {
+					t.Fatal(err)
+				}
+				if !sealed.Sealed || sealed.Reports != n || sealed.Fanout != 1 {
+					t.Fatalf("final seal: %+v", sealed)
+				}
+				want := monolithicAnswers(t, proto, reports, workload)
+				var resp privmdr.QueryResponse
+				code, body = postBytes(t, repSrv.URL+"/v1/census/query", "application/json", queryBody)
+				if code != http.StatusOK {
+					t.Fatalf("replica query: %d %s", code, body)
+				}
+				if err := json.Unmarshal(body, &resp); err != nil {
+					t.Fatal(err)
+				}
+				for q := range want {
+					if resp.Answers[q] != want[q] {
+						t.Fatalf("query %d: %v != monolithic %v — invariant broken after restart",
+							q, resp.Answers[q], want[q])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEpochLatestAndReplicaCatchUp pins the replica catch-up path: 404
+// before the first seal, a decodable stamped snapshot after it, a
+// cold-started replica serving via an explicit CatchUp (no fan-out needed),
+// a polling replica converging on its own, and the blob surviving an
+// aggregator restart.
+func TestEpochLatestAndReplicaCatchUp(t *testing.T) {
+	const n = 600
+	ds := distDataset(t, n)
+	p := privmdr.Params{N: n, D: ds.D(), C: ds.C, Eps: 1.0, Seed: 210}
+	proto, err := privmdr.NewHDG().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, ds)
+	workload := distWorkload(t, ds.D(), ds.C)
+	queryBody, err := json.Marshal(privmdr.QueryRequest{Queries: workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "HDG", Params: p}}}
+
+	aggSrv, aggCur := swapServer(t)
+	topo.Aggregator = aggSrv.URL // no Replicas: catch-up is the only path out
+	agg, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setHandler(aggCur, agg)
+
+	// Before any seal: 404, and a catch-up finds nothing but is not an error.
+	resp, err := http.Get(aggSrv.URL + "/v1/census/epoch/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("epoch/latest before first seal: %d, want 404", resp.StatusCode)
+	}
+	early, err := NewReplica(topo, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = early.Close() })
+	if err := early.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch-up before first seal: %v", err)
+	}
+
+	shard, err := NewShard(topo, ShardOptions{ID: "edge-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	shardSrv := httptest.NewServer(shard)
+	t.Cleanup(shardSrv.Close)
+	ingestHTTP(t, shardSrv.URL, "census", reports)
+	if _, err := shard.FlushTenant(context.Background(), "census"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := postBytes(t, aggSrv.URL+"/v1/census/seal", "application/json", nil)
+	if code != http.StatusOK {
+		t.Fatalf("seal: %d %s", code, body)
+	}
+
+	// The served blob is the stamped PMSS snapshot.
+	resp, err = http.Get(aggSrv.URL + "/v1/census/epoch/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch/latest after seal: %d", resp.StatusCode)
+	}
+	st, epoch, err := privmdr.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || st.Received() != n {
+		t.Fatalf("epoch/latest blob: epoch %d, %d reports; want 1, %d", epoch, st.Received(), n)
+	}
+
+	want := monolithicAnswers(t, proto, reports, workload)
+	checkReplica := func(label string, rep *Replica) {
+		t.Helper()
+		srv := httptest.NewServer(rep)
+		defer srv.Close()
+		var qr privmdr.QueryResponse
+		code, body := postBytes(t, srv.URL+"/v1/census/query", "application/json", queryBody)
+		if code != http.StatusOK {
+			t.Fatalf("%s query: %d %s", label, code, body)
+		}
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		for q := range want {
+			if qr.Answers[q] != want[q] {
+				t.Fatalf("%s query %d: %v != monolithic %v", label, q, qr.Answers[q], want[q])
+			}
+		}
+	}
+
+	// A cold replica catches up explicitly — no fan-out ever reached it.
+	cold, err := NewReplica(topo, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cold.Close() })
+	if err := cold.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	checkReplica("cold replica", cold)
+
+	// A polling replica converges without any explicit call.
+	polling, err := NewReplica(topo, ReplicaOptions{Poll: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = polling.Close() })
+	deadline := time.Now().Add(5 * time.Second)
+	for polling.tenants["census"].cur.Load() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("polling replica never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	checkReplica("polling replica", polling)
+
+	// Restart the aggregator: the sealed blob must come back from the
+	// snapshot file so catch-up keeps working with no new seal.
+	setHandler(aggCur, nil)
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	agg2, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg2.Close() })
+	setHandler(aggCur, agg2)
+	rebooted, err := NewReplica(topo, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rebooted.Close() })
+	if err := rebooted.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	checkReplica("post-restart cold replica", rebooted)
+}
+
+// TestFanoutSkipsDeadReplica pins the fan-out health contract: a replica
+// that keeps failing is downgraded to a single-attempt probe after
+// fanDeadAfter consecutive failures (no more full retry storms per seal),
+// its state shows in healthz, and the first successful probe restores it.
+func TestFanoutSkipsDeadReplica(t *testing.T) {
+	const n = 400
+	ds := distDataset(t, n)
+	p := privmdr.Params{N: n, D: ds.D(), C: ds.C, Eps: 1.0, Seed: 210}
+	proto, err := privmdr.NewUni().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, ds)
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+
+	live, err := NewReplica(topo, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = live.Close() })
+	liveSrv := httptest.NewServer(live)
+	t.Cleanup(liveSrv.Close)
+
+	// The flaky replica: down (fast 500s) until revived.
+	var revived atomic.Bool
+	flaky, err := NewReplica(topo, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = flaky.Close() })
+	flakySrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !revived.Load() {
+			http.Error(w, "injected: replica down", http.StatusInternalServerError)
+			return
+		}
+		flaky.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flakySrv.Close)
+	topo.Replicas = []string{liveSrv.URL, flakySrv.URL}
+
+	agg, err := NewAggregator(topo, SealOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg.Close() })
+	aggSrv := httptest.NewServer(agg)
+	t.Cleanup(aggSrv.Close)
+	topo.Aggregator = aggSrv.URL
+
+	shard, err := NewShard(topo, ShardOptions{ID: "edge-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	shardSrv := httptest.NewServer(shard)
+	t.Cleanup(shardSrv.Close)
+
+	// One seal per slice: the dead replica burns its failure budget. One
+	// slice of reports is held back for the post-revival seal.
+	slice := n / (fanDeadAfter + 2)
+	for i := 0; i < fanDeadAfter+1; i++ {
+		ingestHTTP(t, shardSrv.URL, "census", reports[i*slice:(i+1)*slice])
+		if _, err := shard.FlushTenant(context.Background(), "census"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := agg.Seal(context.Background(), "census", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fanout != 1 || len(res.Errors) != 1 {
+			t.Fatalf("seal %d: fanout=%d errors=%v, want the live replica only", i, res.Fanout, res.Errors)
+		}
+	}
+	var hs AggregatorStatus
+	getJSON(t, aggSrv.URL+"/v1/census/healthz", &hs)
+	if len(hs.Replicas) != 2 {
+		t.Fatalf("healthz lists %d replicas, want 2", len(hs.Replicas))
+	}
+	byURL := map[string]ReplicaFanoutStatus{}
+	for _, r := range hs.Replicas {
+		byURL[r.URL] = r
+	}
+	if s := byURL[liveSrv.URL]; s.ConsecutiveFailures != 0 || s.Epoch != uint64(fanDeadAfter+1) || s.LastError != "" {
+		t.Fatalf("live replica status: %+v", s)
+	}
+	if s := byURL[flakySrv.URL]; s.ConsecutiveFailures < fanDeadAfter || s.Skipped == 0 || s.LastError == "" {
+		t.Fatalf("dead replica status: %+v (want ≥%d failures, ≥1 skipped, an error)", s, fanDeadAfter)
+	}
+
+	// Revive: the next seal's single probe restores full service.
+	revived.Store(true)
+	ingestHTTP(t, shardSrv.URL, "census", reports[(fanDeadAfter+1)*slice:])
+	if _, err := shard.FlushTenant(context.Background(), "census"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Seal(context.Background(), "census", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fanout != 2 || len(res.Errors) != 0 {
+		t.Fatalf("post-revival seal: %+v", res)
+	}
+	var after AggregatorStatus // fresh value: omitempty fields must prove empty
+	getJSON(t, aggSrv.URL+"/v1/census/healthz", &after)
+	for _, r := range after.Replicas {
+		if r.ConsecutiveFailures != 0 || r.LastError != "" {
+			t.Fatalf("post-revival replica status: %+v", r)
+		}
+	}
+}
+
+// TestJournalTornTailBoundedLoss pins the relaxed-sync loss contract: when a
+// crash destroys the acknowledged-but-unfsynced journal tail, the restarted
+// aggregator comes back at the truncated prefix, and the shard's next push —
+// a sequence gap, because its baseline moved past the lost delta — is
+// accepted once with a cursor jump and surfaced as recovered_gaps, instead
+// of wedging the shard forever.
+func TestJournalTornTailBoundedLoss(t *testing.T) {
+	const n = 600
+	ds := distDataset(t, n)
+	p := privmdr.Params{N: n, D: ds.D(), C: ds.C, Eps: 1.0, Seed: 210}
+	proto, err := privmdr.NewUni().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, ds)
+	dataDir := t.TempDir()
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+
+	aggSrv, aggCur := swapServer(t)
+	topo.Aggregator = aggSrv.URL
+	agg1, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setHandler(aggCur, agg1)
+
+	shard, err := NewShard(topo, ShardOptions{ID: "edge-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	shardSrv := httptest.NewServer(shard)
+	t.Cleanup(shardSrv.Close)
+
+	third := n / 3
+	ingestHTTP(t, shardSrv.URL, "census", reports[:third])
+	if _, err := shard.FlushTenant(context.Background(), "census"); err != nil {
+		t.Fatal(err)
+	}
+	ingestHTTP(t, shardSrv.URL, "census", reports[third:2*third])
+	if _, err := shard.FlushTenant(context.Background(), "census"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the aggregator and destroy the last journal record — the
+	// acknowledged tail a relaxed-sync crash would lose.
+	setHandler(aggCur, nil)
+	_ = agg1.tenants["census"].store.Close()
+	wal := filepath.Join(dataDir, "census", "journal.wal")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int
+	for at := 0; at < len(data); {
+		_, k, err := decodeJournalRecord(data[at:])
+		if err != nil {
+			t.Fatalf("journal corrupt before the test touched it: %v", err)
+		}
+		offsets = append(offsets, at)
+		at += k
+	}
+	if len(offsets) != 2 {
+		t.Fatalf("journal holds %d records, want 2", len(offsets))
+	}
+	if err := os.Truncate(wal, int64(offsets[1])); err != nil {
+		t.Fatal(err)
+	}
+
+	agg2, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg2.Close() })
+	setHandler(aggCur, agg2)
+
+	var hs AggregatorStatus
+	getJSON(t, aggSrv.URL+"/v1/census/healthz", &hs)
+	if hs.Received != third || hs.Shards["edge-0"] != 1 {
+		t.Fatalf("after tail loss: received=%d cursor=%d, want %d and 1", hs.Received, hs.Shards["edge-0"], third)
+	}
+
+	// The shard (still at seq 2) pushes seq 3: a gap against the recovered
+	// cursor at 1, accepted exactly because the cursor is recovery-born.
+	ingestHTTP(t, shardSrv.URL, "census", reports[2*third:])
+	res, err := shard.FlushTenant(context.Background(), "census")
+	if err != nil {
+		t.Fatalf("post-loss flush must be accepted (gap rule): %v", err)
+	}
+	if res.Seq != 3 {
+		t.Fatalf("post-loss push seq %d, want 3", res.Seq)
+	}
+	getJSON(t, aggSrv.URL+"/v1/census/healthz", &hs)
+	if want := third + (n - 2*third); hs.Received != want { // lost exactly delta 2
+		t.Fatalf("after gap jump: received=%d, want %d (bounded loss of the lost delta only)", hs.Received, want)
+	}
+	if hs.RecoveredGaps != 1 {
+		t.Fatalf("recovered_gaps=%d, want 1", hs.RecoveredGaps)
+	}
+	if hs.Shards["edge-0"] != 3 {
+		t.Fatalf("cursor after gap jump %d, want 3", hs.Shards["edge-0"])
+	}
+
+	// Gap acceptance only covers recovery-born cursors: a shard the recovery
+	// never saw gets the normal strict gap rejection for a mid-air sequence.
+	env := PushEnvelope{Shard: "edge-new", Nonce: 12345, Seq: 9, Delta: sampleDeltaFor(t, proto)}
+	raw, err := env.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := postBytes(t, aggSrv.URL+"/v1/census/push", "application/octet-stream", raw)
+	if code != http.StatusConflict {
+		t.Fatalf("unrecovered shard's gapped push: %d %s, want 409", code, body)
+	}
+	var ack pushAck
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Code != "gap" {
+		t.Fatalf("unrecovered shard's gapped push ack: %s (err %v), want code \"gap\"", body, err)
+	}
+}
+
+// sampleDeltaFor builds a tiny one-report delta under proto, for crafting
+// hand-rolled envelopes.
+func sampleDeltaFor(t *testing.T, proto privmdr.Protocol) privmdr.CollectorState {
+	t.Helper()
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := proto.Assignment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := make([]int, proto.Params().D)
+	rep, err := proto.ClientReport(a, record, privmdr.ClientRand(proto.Params(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Submit(rep); err != nil {
+		t.Fatal(err)
+	}
+	st, err := coll.(privmdr.StatefulCollector).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,11 +1,14 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"privmdr"
 )
@@ -28,7 +31,32 @@ import (
 //	GET  /v1/{tenant}/healthz — ReplicaStatus
 type Replica struct {
 	tenants map[string]*replicaTenant
+	names   []string
 	mux     *http.ServeMux
+
+	// aggregator is the catch-up pull base URL (empty disables pulling).
+	aggregator string
+	tr         *transport
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{} // closed when the poller exits; nil without one
+}
+
+// ReplicaOptions configure the replica's catch-up behaviour.
+type ReplicaOptions struct {
+	// Aggregator overrides the topology's aggregator base URL as the
+	// catch-up source. With neither set the replica never pulls and serves
+	// only what the fan-out pushes at it.
+	Aggregator string
+	// Poll is the slow-poll interval for GET /v1/{tenant}/epoch/latest.
+	// Any positive interval starts a background poller that also pulls once
+	// immediately, so a cold-started replica begins answering without
+	// waiting for the aggregator's next seal. Zero disables polling;
+	// CatchUp can still be called explicitly.
+	Poll time.Duration
+	// Timeout bounds each catch-up request (default 10s).
+	Timeout time.Duration
 }
 
 // replicaTenant is one tenant's serving slot.
@@ -38,6 +66,9 @@ type replicaTenant struct {
 	// mu serializes installs; queries never take it (they load cur).
 	mu  sync.Mutex
 	cur atomic.Pointer[replicaEpoch]
+	// lastPullErr is the most recent catch-up failure (atomic string via
+	// pointer; empty once a pull succeeds or finds nothing newer).
+	lastPullErr atomic.Pointer[string]
 }
 
 // replicaEpoch is one installed epoch: the warmed immutable estimator and
@@ -59,17 +90,34 @@ type ReplicaStatus struct {
 	// EstimatorReports is how many reports it includes.
 	Epoch            uint64 `json:"epoch"`
 	EstimatorReports int    `json:"estimator_reports"`
+	// LastCatchUpError is the most recent catch-up pull failure, empty once
+	// a pull succeeds (or when pulling is disabled).
+	LastCatchUpError string `json:"last_catchup_error,omitempty"`
 }
 
-// NewReplica builds the replica role over a topology.
-func NewReplica(topo *Topology) (*Replica, error) {
+// NewReplica builds the replica role over a topology. With a catch-up
+// source configured (opts.Aggregator or the topology's Aggregator URL) and
+// opts.Poll > 0 the replica pulls the latest sealed epoch immediately and
+// then on every poll tick, so it serves after a cold start or a missed
+// fan-out without waiting for the next seal. Call Close when the replica is
+// discarded.
+func NewReplica(topo *Topology, opts ReplicaOptions) (*Replica, error) {
 	protos, err := topo.protocols()
 	if err != nil {
 		return nil, err
 	}
-	rep := &Replica{tenants: make(map[string]*replicaTenant, len(topo.Tenants))}
+	rep := &Replica{
+		tenants:    make(map[string]*replicaTenant, len(topo.Tenants)),
+		aggregator: opts.Aggregator,
+		tr:         newTransport(opts.Timeout),
+		stop:       make(chan struct{}),
+	}
+	if rep.aggregator == "" {
+		rep.aggregator = topo.Aggregator
+	}
 	for _, tc := range topo.Tenants {
 		rep.tenants[tc.Name] = &replicaTenant{name: tc.Name, proto: protos[tc.Name]}
+		rep.names = append(rep.names, tc.Name)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/{tenant}/epoch", rep.handleEpoch)
@@ -77,11 +125,96 @@ func NewReplica(topo *Topology) (*Replica, error) {
 	mux.HandleFunc("GET /v1/{tenant}/params", rep.handleParams)
 	mux.HandleFunc("GET /v1/{tenant}/healthz", rep.handleHealthz)
 	rep.mux = mux
+	if opts.Poll > 0 && rep.aggregator != "" {
+		rep.done = make(chan struct{})
+		go rep.pollLoop(opts.Poll)
+	}
 	return rep, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (rep *Replica) ServeHTTP(w http.ResponseWriter, r *http.Request) { rep.mux.ServeHTTP(w, r) }
+
+// Close stops the catch-up poller.
+func (rep *Replica) Close() error {
+	rep.stopOnce.Do(func() { close(rep.stop) })
+	if rep.done != nil {
+		<-rep.done
+	}
+	return nil
+}
+
+// pollLoop is the slow-poll catch-up: one immediate pull (the cold-start
+// path), then one per tick. Errors are recorded in healthz and retried next
+// tick — a replica that cannot reach the aggregator keeps serving its
+// current epoch.
+func (rep *Replica) pollLoop(interval time.Duration) {
+	defer close(rep.done)
+	_ = rep.CatchUp(context.Background())
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rep.stop:
+			return
+		case <-t.C:
+			_ = rep.CatchUp(context.Background())
+		}
+	}
+}
+
+// CatchUp pulls GET /v1/{tenant}/epoch/latest from the aggregator for every
+// tenant and installs anything strictly newer than the serving epoch. A 404
+// (nothing sealed yet) and ErrStaleEpoch (the fan-out beat the pull) are
+// not errors; the first real failure is returned after all tenants are
+// attempted.
+func (rep *Replica) CatchUp(ctx context.Context) error {
+	if rep.aggregator == "" {
+		return fmt.Errorf("dist: replica has no aggregator URL to catch up from")
+	}
+	var first error
+	for _, name := range rep.names {
+		t := rep.tenants[name]
+		if err := rep.catchUpTenant(ctx, t); err != nil {
+			msg := err.Error()
+			t.lastPullErr.Store(&msg)
+			if first == nil {
+				first = err
+			}
+		} else {
+			t.lastPullErr.Store(nil)
+		}
+	}
+	return first
+}
+
+func (rep *Replica) catchUpTenant(ctx context.Context, t *replicaTenant) error {
+	url := rep.aggregator + "/v1/" + t.name + "/epoch/latest"
+	status, body, err := rep.tr.get(ctx, url)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusNotFound {
+		return nil // nothing sealed yet — serve nothing, poll again
+	}
+	if status < 200 || status >= 300 {
+		return fmt.Errorf("dist: %s: %d %s", url, status, body)
+	}
+	st, epoch, err := privmdr.DecodeSnapshot(body)
+	if err != nil {
+		return fmt.Errorf("dist: catch-up snapshot: %w", err)
+	}
+	if epoch == 0 {
+		return fmt.Errorf("dist: catch-up snapshot carries no epoch stamp")
+	}
+	if err := t.install(st, epoch); err != nil {
+		if errors.Is(err, ErrStaleEpoch) {
+			return nil // the push fan-out (or an earlier pull) already won
+		}
+		return err
+	}
+	return nil
+}
 
 // install builds and publishes the epoch's estimator: a fresh collector,
 // one Merge of the sealed state, Estimate, and an eager warm-up so the
@@ -217,6 +350,9 @@ func (rep *Replica) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status.Serving = true
 		status.Epoch = ep.epoch
 		status.EstimatorReports = ep.reports
+	}
+	if msg := t.lastPullErr.Load(); msg != nil {
+		status.LastCatchUpError = *msg
 	}
 	writeJSON(w, http.StatusOK, status)
 }

@@ -391,7 +391,14 @@ func (s *Shard) push(ctx context.Context, t *shardTenant, min int) (PushResult, 
 			return PushResult{Tenant: t.name, Seq: inflight.env.Seq, Reports: inflight.env.Delta.Received()}, nil
 		}
 		var ack pushAck
-		_ = json.Unmarshal(body, &ack)
+		if uerr := json.Unmarshal(body, &ack); uerr != nil {
+			// An undecodable rejection body (truncated response, proxy error
+			// page) must not be read as a zero-valued ack: a 409 with a
+			// phantom last == 0 would trigger a spurious re-baseline that
+			// double-counts every already-merged report. Treat it as a broken
+			// upstream leg and keep the envelope frozen for retry.
+			return PushResult{}, s.recordErr(t, &upstreamError{fmt.Errorf("dist: push rejected: %d with undecodable ack body %q: %w", status, body, uerr)})
+		}
 		if status == http.StatusConflict && ack.Code == "conflict" {
 			return PushResult{}, s.recordErr(t, fmt.Errorf("dist: push seq %d: %w — aggregator said: %s",
 				inflight.env.Seq, ErrShardConflict, ack.Error))

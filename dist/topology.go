@@ -30,7 +30,9 @@ type TenantConfig struct {
 type Topology struct {
 	Tenants []TenantConfig `json:"tenants"`
 	// Aggregator is the aggregator's base URL (e.g. http://10.0.0.5:9090),
-	// required by shards.
+	// required by shards (push target) and used by replicas as the default
+	// catch-up source (GET /v1/{tenant}/epoch/latest on cold start and on
+	// the slow poll).
 	Aggregator string `json:"aggregator,omitempty"`
 	// Replicas are the query replicas' base URLs, used by the aggregator's
 	// epoch fan-out.

@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"privmdr"
 )
@@ -150,4 +151,81 @@ func (e *PushEnvelope) UnmarshalBinary(data []byte) error {
 	}
 	*e = out
 	return nil
+}
+
+// ── Journal record framing ───────────────────────────────────────────────
+//
+// The aggregator's write-ahead journal is a flat append-only file of framed
+// records, one per applied push, each carrying the push envelope's canonical
+// PMDP bytes verbatim. The framing exists so a crash mid-append is
+// detectable: a torn or corrupted tail fails the length or CRC check and
+// recovery stops there, replaying exactly the prefix of fully-written
+// records. Like every other dist codec it is canonical (one wire form per
+// record, minimally-encoded varints) and fuzzed (FuzzJournalRecord).
+
+// journalMagic leads every journal record.
+var journalMagic = [4]byte{'P', 'M', 'J', 'R'}
+
+// journalRecordVersion is the record framing version byte.
+const journalRecordVersion = 1
+
+// maxJournalPayload bounds a record's payload, matching the push-body cap —
+// nothing larger can ever have been journaled, so a bigger length prefix is
+// corruption, not data.
+const maxJournalPayload = maxBody
+
+// crcJournal is the record checksum polynomial (Castagnoli, the usual
+// storage CRC).
+var crcJournal = crc32.MakeTable(crc32.Castagnoli)
+
+// appendJournalRecord frames payload as one journal record and appends it
+// to dst:
+//
+//	4 bytes  magic "PMJR"
+//	1 byte   version
+//	uvarint  payload length, then the payload bytes
+//	4 bytes  CRC-32C (Castagnoli) of everything above, little-endian
+func appendJournalRecord(dst, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, journalMagic[:]...)
+	dst = append(dst, journalRecordVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(dst[start:], crcJournal))
+}
+
+// decodeJournalRecord parses the journal record at the head of data,
+// returning its payload (aliasing data) and the total framed length
+// consumed. Arbitrary input never panics and never drives an allocation;
+// any framing defect — short header, wrong magic or version, overlong or
+// oversized length, truncated payload, CRC mismatch — is an error, which
+// recovery treats as the torn tail of the file.
+func decodeJournalRecord(data []byte) (payload []byte, n int, err error) {
+	const headerMin = 4 + 1 + 1 // magic + version + at least one length byte
+	if len(data) < headerMin {
+		return nil, 0, fmt.Errorf("dist: journal record truncated at header")
+	}
+	if [4]byte(data[:4]) != journalMagic {
+		return nil, 0, fmt.Errorf("dist: journal record magic %q unknown", data[:4])
+	}
+	if data[4] != journalRecordVersion {
+		return nil, 0, fmt.Errorf("dist: unsupported journal record version %d", data[4])
+	}
+	size, ln, err := uvarintStrict(data[5:], "journal record length")
+	if err != nil {
+		return nil, 0, err
+	}
+	if size > maxJournalPayload {
+		return nil, 0, fmt.Errorf("dist: journal record claims %d bytes (cap %d)", size, maxJournalPayload)
+	}
+	head := 5 + ln
+	total := head + int(size) + 4
+	if len(data) < total {
+		return nil, 0, fmt.Errorf("dist: journal record truncated in payload")
+	}
+	want := binary.LittleEndian.Uint32(data[head+int(size):])
+	if got := crc32.Checksum(data[:head+int(size)], crcJournal); got != want {
+		return nil, 0, fmt.Errorf("dist: journal record CRC mismatch (%08x != %08x)", got, want)
+	}
+	return data[head : head+int(size)], total, nil
 }
