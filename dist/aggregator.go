@@ -122,6 +122,18 @@ type aggTenant struct {
 	// store is the tenant's durability layer (nil without a DataDir).
 	store *tenantStore
 
+	// sealMu serializes seals end to end — state export, snapshot write,
+	// journal compaction, fan-out. The journal offset a seal captures for
+	// compaction is in the current journal file's coordinates, and only
+	// another compaction ever shifts them, so two concurrent seals (ticker,
+	// threshold goroutine, manual POST /seal) could otherwise compact with
+	// a stale offset and drop acknowledged records no snapshot covers; full
+	// serialization also keeps snapshot.pmas and sealedBlob monotone in
+	// epoch and keeps the snapshot temp file single-writer. Pushes never
+	// take it — they only need mu — so a slow seal never blocks ingest.
+	// Lock order: sealMu before mu, never the reverse.
+	sealMu sync.Mutex
+
 	// mu guards everything below. Pushes, seals, and state exports all
 	// serialize on it; the collector itself is only touched under mu.
 	mu   sync.Mutex
@@ -135,7 +147,9 @@ type aggTenant struct {
 	// the acknowledged un-fsynced tail, and the shard cannot re-ship those
 	// deltas (its baseline has moved past them), so rejecting the gap
 	// would wedge it forever. The jump bounds the loss to that tail and
-	// counts it in gapsAccepted; any applied push clears the mark.
+	// counts it in gapsAccepted; any applied push clears the mark. Only a
+	// relaxed-sync recovery populates the map — a strict journal cannot
+	// lose an acknowledged delta, so its gaps stay hard rejections.
 	recovered map[string]bool
 	// gapsAccepted counts post-recovery gap jumps — each one is a bounded,
 	// crash-caused delta loss an operator should know about.
@@ -240,14 +254,17 @@ func NewAggregator(topo *Topology, opts SealOptions) (*Aggregator, error) {
 			shards:    make(map[string]shardCursor),
 			recovered: make(map[string]bool),
 		}
+		// Register before recovering: recover assigns t.store as soon as the
+		// files are open, so on any later recovery failure closeStores finds
+		// the tenant and releases its journal fd and sync goroutine.
+		a.tenants[tc.Name] = t
+		a.names = append(a.names, tc.Name)
 		if opts.DataDir != "" {
 			if err := t.recover(filepath.Join(opts.DataDir, tc.Name), opts.SyncInterval); err != nil {
 				a.closeStores()
 				return nil, fmt.Errorf("dist: tenant %q: %w", tc.Name, err)
 			}
 		}
-		a.tenants[tc.Name] = t
-		a.names = append(a.names, tc.Name)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/{tenant}/push", a.handlePush)
@@ -305,10 +322,16 @@ func (t *aggTenant) recover(dir string, syncInterval time.Duration) error {
 		}
 		t.replay(env)
 	}
-	// Every recovered cursor is unconfirmed until its shard pushes again;
-	// see aggTenant.recovered for the gap-acceptance rule this enables.
-	for id := range t.shards {
-		t.recovered[id] = true
+	// A recovered cursor is unconfirmed until its shard pushes again, but
+	// the gap-acceptance exception that enables (see aggTenant.recovered)
+	// exists only because a relaxed-sync crash can lose acknowledged
+	// deltas. In strict mode every acknowledged delta was fsynced before
+	// its ACK, so a post-restart gap is a real protocol anomaly and keeps
+	// the live rejection.
+	if syncInterval > 0 {
+		for id := range t.shards {
+			t.recovered[id] = true
+		}
 	}
 	return nil
 }
@@ -522,6 +545,10 @@ func (a *Aggregator) Seal(ctx context.Context, tenant string, force bool) (SealR
 	if !ok {
 		return SealResult{}, fmt.Errorf("dist: unknown tenant %q", tenant)
 	}
+	// One seal at a time per tenant (see aggTenant.sealMu). A seal that
+	// queued behind another re-checks freshness below and usually no-ops.
+	t.sealMu.Lock()
+	defer t.sealMu.Unlock()
 	t.mu.Lock()
 	fresh := t.coll.Received() - t.sealedReports
 	threshold := 1

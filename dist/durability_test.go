@@ -486,7 +486,8 @@ func TestFanoutSkipsDeadReplica(t *testing.T) {
 // aggregator comes back at the truncated prefix, and the shard's next push —
 // a sequence gap, because its baseline moved past the lost delta — is
 // accepted once with a cursor jump and surfaced as recovered_gaps, instead
-// of wedging the shard forever.
+// of wedging the shard forever. The gap acceptance is relaxed-mode only:
+// TestStrictModeRejectsPostRestartGap pins the strict-mode rejection.
 func TestJournalTornTailBoundedLoss(t *testing.T) {
 	const n = 600
 	ds := distDataset(t, n)
@@ -501,7 +502,11 @@ func TestJournalTornTailBoundedLoss(t *testing.T) {
 
 	aggSrv, aggCur := swapServer(t)
 	topo.Aggregator = aggSrv.URL
-	agg1, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+	// Relaxed sync: the mode whose crashes can actually lose an
+	// acknowledged tail, and the only mode whose recovery arms the
+	// gap-acceptance rule this test pins.
+	relaxed := SealOptions{DataDir: dataDir, SyncInterval: 25 * time.Millisecond}
+	agg1, err := NewAggregator(topo, relaxed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -550,7 +555,7 @@ func TestJournalTornTailBoundedLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	agg2, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+	agg2, err := NewAggregator(topo, relaxed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -598,6 +603,94 @@ func TestJournalTornTailBoundedLoss(t *testing.T) {
 	var ack pushAck
 	if err := json.Unmarshal(body, &ack); err != nil || ack.Code != "gap" {
 		t.Fatalf("unrecovered shard's gapped push ack: %s (err %v), want code \"gap\"", body, err)
+	}
+}
+
+// TestStrictModeRejectsPostRestartGap pins the flip side of the bounded-loss
+// contract: a strict-sync journal fsyncs every delta before its ACK, so no
+// crash can lose an acknowledged push — a post-restart sequence gap is then
+// a real protocol anomaly and must stay a hard 409, not be absorbed as a
+// recovery cursor jump.
+func TestStrictModeRejectsPostRestartGap(t *testing.T) {
+	const n = 600
+	ds := distDataset(t, n)
+	p := privmdr.Params{N: n, D: ds.D(), C: ds.C, Eps: 1.0, Seed: 211}
+	proto, err := privmdr.NewUni().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := clientReports(t, proto, ds)
+	dataDir := t.TempDir()
+	topo := &Topology{Tenants: []TenantConfig{{Name: "census", Mechanism: "Uni", Params: p}}}
+
+	aggSrv, aggCur := swapServer(t)
+	topo.Aggregator = aggSrv.URL
+	agg1, err := NewAggregator(topo, SealOptions{DataDir: dataDir}) // strict: SyncInterval zero
+	if err != nil {
+		t.Fatal(err)
+	}
+	setHandler(aggCur, agg1)
+
+	shard, err := NewShard(topo, ShardOptions{ID: "edge-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = shard.Close() })
+	shardSrv := httptest.NewServer(shard)
+	t.Cleanup(shardSrv.Close)
+
+	half := n / 2
+	ingestHTTP(t, shardSrv.URL, "census", reports[:half])
+	if _, err := shard.FlushTenant(context.Background(), "census"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the aggregator from disk (no tampering — a strict journal has
+	// no acknowledged tail to lose). The cursor is recovery-born either
+	// way; strict mode must not arm gap acceptance for it.
+	setHandler(aggCur, nil)
+	_ = agg1.Close()
+	agg2, err := NewAggregator(topo, SealOptions{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agg2.Close() })
+	setHandler(aggCur, agg2)
+
+	// A gapped push from the recovered shard's incarnation: seq 3 against a
+	// recovered cursor at 1 claims a delta the journal never saw — under
+	// strict sync that delta cannot have been lost, so hard-reject.
+	env := PushEnvelope{Shard: "edge-0", Nonce: shard.nonce, Seq: 3, Delta: sampleDeltaFor(t, proto)}
+	raw, err := env.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := postBytes(t, aggSrv.URL+"/v1/census/push", "application/octet-stream", raw)
+	if code != http.StatusConflict {
+		t.Fatalf("strict-mode post-restart gapped push: %d %s, want 409", code, body)
+	}
+	var ack pushAck
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Code != "gap" {
+		t.Fatalf("strict-mode gapped push ack: %s (err %v), want code \"gap\"", body, err)
+	}
+	var hs AggregatorStatus
+	getJSON(t, aggSrv.URL+"/v1/census/healthz", &hs)
+	if hs.RecoveredGaps != 0 {
+		t.Fatalf("strict-mode restart accepted %d recovered gaps, want 0", hs.RecoveredGaps)
+	}
+
+	// The in-order push still lands: recovery itself is intact.
+	ingestHTTP(t, shardSrv.URL, "census", reports[half:])
+	res, err := shard.FlushTenant(context.Background(), "census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 2 {
+		t.Fatalf("post-restart in-order push seq %d, want 2", res.Seq)
+	}
+	getJSON(t, aggSrv.URL+"/v1/census/healthz", &hs)
+	if hs.Received != n {
+		t.Fatalf("after strict restart + resume: received=%d, want %d", hs.Received, n)
 	}
 }
 

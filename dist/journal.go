@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -42,6 +43,11 @@ type journal struct {
 	size    int64
 	dirty   bool // bytes written since the last fsync
 	scratch []byte
+	// failed latches a rollback failure: a partial append that could not be
+	// truncated away leaves a torn record mid-stream, and appending past it
+	// would turn every later record into an unreachable "torn tail" at
+	// recovery — so the journal wedges and every Append fails instead.
+	failed error
 
 	// relaxed-mode background syncer (nil channels in strict mode).
 	stop chan struct{}
@@ -103,17 +109,44 @@ func openJournal(path string, syncInterval time.Duration) (j *journal, records [
 func (j *journal) Append(payload []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
 	j.scratch = appendJournalRecord(j.scratch[:0], payload)
 	n, err := j.f.Write(j.scratch)
-	j.size += int64(n)
+	if err == nil && n < len(j.scratch) {
+		err = io.ErrShortWrite
+	}
 	if err != nil {
+		// Roll the partial record back so the journal keeps a clean prefix.
+		// The failed push is answered 503 and retried, so later appends
+		// would land after the torn bytes — and recovery, which stops at
+		// the first undecodable record, would then discard every one of
+		// those acknowledged records as a "torn tail".
+		if n > 0 {
+			if rerr := j.rollback(); rerr != nil {
+				j.failed = fmt.Errorf("dist: journal wedged: torn record could not be rolled back (%v) after failed append: %w", rerr, err)
+				return j.failed
+			}
+		}
 		return err
 	}
+	j.size += int64(n)
 	if j.stop == nil {
 		return j.f.Sync()
 	}
 	j.dirty = true
 	return nil
+}
+
+// rollback truncates a partially-written record away, restoring the
+// journal to its pre-append length and write position. Caller holds mu.
+func (j *journal) rollback() error {
+	if err := j.f.Truncate(j.size); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(j.size, 0)
+	return err
 }
 
 // Size is the current journal length in bytes; records wholly below this
