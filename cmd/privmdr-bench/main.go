@@ -8,7 +8,7 @@
 //	privmdr-bench -exp fig1 -scale default
 //	privmdr-bench -exp all -scale smoke -csv out/
 //	privmdr-bench -exp fig3 -mechs HDG,TDG,CALM -n 50000 -reps 2
-//	privmdr-bench -perf BENCH_PR8.json -scale smoke
+//	privmdr-bench -perf BENCH_PR10.json -scale smoke
 //
 // Scales: smoke (CI-sized), default (laptop-sized, n = 10⁵), paper
 // (n = 10⁶, 10 repeats, |Q| = 200 — hours of compute).

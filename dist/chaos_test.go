@@ -1,14 +1,17 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"hash/fnv"
+	"io"
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -27,9 +30,10 @@ import (
 type chaosProxy struct {
 	srv *httptest.Server
 
-	mu  sync.Mutex
-	rng *rand.Rand
-	on  bool
+	mu            sync.Mutex
+	rng           *rand.Rand
+	on            bool
+	deltaVersions map[int]int // state versions of pushed deltas crossing this leg
 
 	inner atomicHandler
 }
@@ -76,6 +80,25 @@ const (
 )
 
 func (c *chaosProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Record the state version of every pushed delta crossing this leg —
+	// whether or not a fault then eats the request — so the test can assert
+	// the wire shape: now that all seven mechanisms stream, every delta is a
+	// v2 count vector and no report suffix is ever shipped.
+	if strings.HasSuffix(r.URL.Path, "/push") {
+		if body, err := io.ReadAll(r.Body); err == nil {
+			_ = r.Body.Close()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			var env PushEnvelope
+			if env.UnmarshalBinary(body) == nil {
+				c.mu.Lock()
+				if c.deltaVersions == nil {
+					c.deltaVersions = map[int]int{}
+				}
+				c.deltaVersions[env.Delta.Version]++
+				c.mu.Unlock()
+			}
+		}
+	}
 	h := c.inner.load()
 	if h == nil {
 		http.Error(w, "injected: role is down for restart", http.StatusServiceUnavailable)
@@ -345,6 +368,24 @@ func TestChaosTopology(t *testing.T) {
 				}
 			}
 			check("surviving replica", rep)
+
+			// The wire-shape half of the invariant: with HIO and LHIO
+			// streaming, every mechanism's recovery traffic is v2 count-vector
+			// deltas — no shard shipped a report suffix.
+			aggChaos.mu.Lock()
+			versions := make(map[int]int, len(aggChaos.deltaVersions))
+			for v, cnt := range aggChaos.deltaVersions {
+				versions[v] = cnt
+			}
+			aggChaos.mu.Unlock()
+			if len(versions) == 0 {
+				t.Fatal("chaos run recorded no pushed deltas")
+			}
+			for v, cnt := range versions {
+				if v != 2 {
+					t.Errorf("%d pushed deltas carried state version %d, want 2 (count vectors) for every mechanism", cnt, v)
+				}
+			}
 
 			cold, err := NewReplica(topo, ReplicaOptions{Aggregator: aggChaos.srv.URL})
 			if err != nil {

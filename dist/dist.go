@@ -7,9 +7,11 @@
 //     /v1/{tenant}/reports exactly like a QueryServer — each tenant's
 //     reports fold into the shard's local collector. A background pusher
 //     periodically ships the *delta* since the last push to the aggregator:
-//     for streaming mechanisms that is an O(groups×domain) count-vector
-//     difference (DiffStates on v2 states), for report-retaining HIO/LHIO it
-//     is the batch of reports received since the last push (v1 suffix).
+//     an O(groups×domain) count-vector difference (DiffStates on v2 states)
+//     for every mechanism — all seven stream — with one carve-out: a capped
+//     HIO deployment's over-cap groups ride the v3 delta as the report
+//     suffix received since the last push, while its other groups still
+//     diff as count vectors.
 //     Every push carries the shard's ID, a random per-incarnation instance
 //     nonce, and a monotonic sequence number, so a retried push is
 //     idempotent and a restarted shard is never confused with its previous

@@ -3,7 +3,42 @@ package dist
 import (
 	"bytes"
 	"testing"
+
+	"privmdr"
 )
+
+// streamDelta builds a small real v2 delta under the named mechanism, the
+// way an edge shard would: a few reports through a live collector.
+func streamDelta(t testing.TB, name string) privmdr.CollectorState {
+	t.Helper()
+	p := privmdr.Params{N: 12, D: 2, C: 16, Eps: 1.0, Seed: 212}
+	proto, err := privmdr.ProtocolByName(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := proto.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 3; u++ {
+		a, err := proto.Assignment(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := proto.ClientReport(a, []int{u, 15 - u}, privmdr.ClientRand(p, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Submit(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := coll.(privmdr.StatefulCollector).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
 
 // FuzzPushEnvelope is the push channel's untrusted-input contract, matching
 // the report and state codec fuzzers: the aggregator decodes envelope bytes
@@ -13,10 +48,28 @@ import (
 // accepted bytes exactly.
 func FuzzPushEnvelope(f *testing.F) {
 	delta := sampleDelta(f)
-	for _, env := range []PushEnvelope{
+	envs := []PushEnvelope{
 		{Shard: "s", Nonce: 1, Seq: 1, Delta: delta},
 		{Shard: "edge-07.rack-2", Nonce: 1<<64 - 1, Seq: 1 << 40, Delta: delta},
-	} {
+	}
+	// HIO and LHIO now push the same v2 count-vector deltas as every other
+	// mechanism; seed real ones (LHIO's include tally-only root groups) plus
+	// a hand-built v3 hybrid — the shape a capped HIO deployment pushes, with
+	// retained-report and streamed groups side by side — so the fuzzer starts
+	// inside all three state layouts the push channel accepts.
+	for i, name := range []string{"HIO", "LHIO"} {
+		envs = append(envs, PushEnvelope{Shard: "edge-" + name, Nonce: uint64(i) + 2, Seq: 7, Delta: streamDelta(f, name)})
+	}
+	envs = append(envs, PushEnvelope{Shard: "edge-capped", Nonce: 9, Seq: 9, Delta: privmdr.CollectorState{
+		Version: 3, Mech: "HIO", Params: privmdr.Params{N: 12, D: 2, C: 16, Eps: 1, Seed: 213},
+		Counts: []privmdr.GroupCounts{
+			{N: 3, Counts: []int64{2, 1}},
+			{N: 2, Reports: []privmdr.Report{{Group: 1, Seed: 77, Value: 1}, {Group: 1, Seed: 78, Value: 0}}},
+			{N: 0},
+			{N: 4, Counts: []int64{-1, 0, 5, 0}},
+		},
+	}})
+	for _, env := range envs {
 		seed, err := env.MarshalBinary()
 		if err != nil {
 			f.Fatal(err)

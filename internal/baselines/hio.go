@@ -30,6 +30,29 @@ type HIO struct {
 	// MaxCombos guards the Cartesian interval expansion per query
 	// (0 → 1<<21). Queries needing more return an error.
 	MaxCombos int
+	// MaxStreamDomain caps the per-group enumeration domain the collector
+	// folds into a streamed count vector (0 → 4096 = c² at c = 64, the
+	// largest domain LHIO ever enumerates). Streaming a group costs
+	// O(domain) memory for its vector plus O(domain) hash evaluations per
+	// folded report, so past a few thousand values the fold is strictly
+	// slower and hungrier than the report store it replaces. A d-dim level
+	// whose interval count exceeds the cap therefore falls back to
+	// retaining its raw reports — O(reports) memory and lazy, memoized
+	// estimates for that one group while every other group still streams —
+	// and the collector exports v3 (hybrid) states instead of v2. At
+	// c = 64 the default streams every group for d ≤ 2 and the shallow
+	// levels for higher d; the deepest level's domain is c^d, so no cap
+	// makes 64⁶ enumerable. Shards of a deployment must agree on the cap
+	// for their states to merge.
+	MaxStreamDomain int
+}
+
+// maxStreamDomain resolves the streaming-cap default.
+func (m *HIO) maxStreamDomain() int {
+	if m.MaxStreamDomain > 0 {
+		return m.MaxStreamDomain
+	}
+	return 4096
 }
 
 // NewHIO returns an HIO baseline with branching factor 4.
@@ -43,20 +66,33 @@ type hioKey struct {
 	id    uint64
 }
 
-// hioEstimator keeps the raw per-group reports and estimates interval
-// frequencies on demand, memoizing them under mu — estimation is a pure
-// function of the frozen reports, so concurrent Answer calls that race to
-// the same key compute the same value and the estimator stays deterministic.
+// hioEstimator answers queries over the snapshotted per-group statistics.
+// A streamed group's folded support vector yields any interval's frequency
+// as an O(1) lookup through EstimateOneCount; a retained group (domain past
+// the streaming cap) keeps its raw reports and estimates on demand,
+// memoized under a per-key sync.Once so concurrent Answer calls on distinct
+// intervals never serialize — estimation is a pure function of the frozen
+// snapshot, so whichever call wins a key computes the value every racer
+// reads, and the estimator stays deterministic.
 type hioEstimator struct {
 	c, d      int
 	tree      *hierarchy.Tree
 	levels    int // levels per attribute (h+1)
 	oracles   []*fo.OLH
-	reports   [][]fo.Report
+	counts    [][]int64     // per group: folded support vector, nil iff retained
+	ns        []int         // per group: report tally
+	retained  [][]fo.Report // per group: raw reports, non-nil iff retained
 	maxCombos int
 
-	mu   sync.Mutex
-	memo map[hioKey]float64
+	memo sync.Map // hioKey → *hioMemo, retained groups only
+}
+
+// hioMemo is one retained interval's memoized estimate: the Once runs the
+// O(n_g) report scan exactly once, and a racing Answer blocks only on its
+// own key.
+type hioMemo struct {
+	once sync.Once
+	f    float64
 }
 
 // Fit implements mech.Mechanism as a thin wrapper over the protocol path.
@@ -169,25 +205,47 @@ func (pr *hioProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.R
 	return mech.FromFO(a.Group, pr.oracles[a.Group].Perturb(int(id), rng)), nil
 }
 
-// NewCollector implements mech.Protocol.
+// NewCollector implements mech.Protocol: a streaming collector that folds
+// each group's reports into its OLH support vector at ingest. Groups whose
+// enumeration domain exceeds the streaming cap retain raw reports instead
+// (see HIO.MaxStreamDomain): every group streams for d ≤ 2 at c = 64,
+// while deeper hierarchies stream their shallow levels and retain the
+// exploding ones.
 func (pr *hioProtocol) NewCollector() (mech.Collector, error) {
 	check := func(r mech.Report) error { return pr.oracles[r.Group].CheckReport(r.FO()) }
-	return &hioCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
+	streamCap := pr.opts.maxStreamDomain()
+	specs := make([]mech.GroupSpec, len(pr.oracles))
+	for g, o := range pr.oracles {
+		if o.Domain() > streamCap {
+			specs[g] = mech.GroupSpec{Retain: true}
+			continue
+		}
+		f, err := fo.NewFolder(o)
+		if err != nil {
+			return nil, err
+		}
+		specs[g] = mech.FolderSpec(f)
+	}
+	ci, err := mech.NewCountIngest(pr, check, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &hioCollector{CountIngest: ci, pr: pr}, nil
 }
 
 // hioCollector is the aggregator side of an HIO deployment.
 type hioCollector struct {
-	*mech.Ingest
+	*mech.CountIngest
 	pr *hioProtocol
 }
 
 // Estimate implements mech.Collector: build an estimator over a
-// point-in-time snapshot of the report store, leaving ingestion open. The
-// snapshot shares report storage with the live store (reports are
-// immutable once filed), so taking it is O(groups); the O(n) estimation
-// cost is deferred to query time as always for HIO.
+// point-in-time snapshot of the folded statistics, leaving ingestion open.
+// The snapshot costs O(stripes × groups × domain) — flat in n — and so does
+// every query answered against it; the old report-store estimator paid
+// O(n_g) per first touch of an interval.
 func (c *hioCollector) Estimate() (mech.Estimator, error) {
-	byGroup, err := c.Snapshot()
+	byGroup, err := c.SnapshotCounts()
 	if err != nil {
 		return nil, err
 	}
@@ -197,20 +255,32 @@ func (c *hioCollector) Estimate() (mech.Estimator, error) {
 // Finalize implements mech.Collector: Estimate over everything received,
 // then close ingestion permanently.
 func (c *hioCollector) Finalize() (mech.Estimator, error) {
-	byGroup, err := c.Drain()
+	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
 	return c.estimate(byGroup)
 }
 
-// estimate builds the lazy estimator: HIO aggregation keeps the raw
-// per-group reports and estimates interval frequencies on demand.
-func (c *hioCollector) estimate(byGroup [][]mech.Report) (mech.Estimator, error) {
+// estimate builds the lazy estimator over the snapshotted statistics:
+// streamed groups carry their folded support vectors, retained groups their
+// raw reports.
+func (c *hioCollector) estimate(byGroup []mech.GroupCounts) (mech.Estimator, error) {
 	pr := c.pr
-	reports := make([][]fo.Report, len(byGroup))
-	for g, rs := range byGroup {
-		reports[g] = mech.FOReports(rs)
+	counts := make([][]int64, len(byGroup))
+	ns := make([]int, len(byGroup))
+	var retained [][]fo.Report
+	for g := range byGroup {
+		gc := &byGroup[g]
+		ns[g] = int(gc.N)
+		if gc.Counts != nil {
+			counts[g] = gc.Counts
+			continue
+		}
+		if retained == nil {
+			retained = make([][]fo.Report, len(byGroup))
+		}
+		retained[g] = mech.FOReports(gc.Reports)
 	}
 	maxCombos := pr.opts.MaxCombos
 	if maxCombos <= 0 {
@@ -219,8 +289,8 @@ func (c *hioCollector) estimate(byGroup [][]mech.Report) (mech.Estimator, error)
 	return &hioEstimator{
 		c: pr.p.C, d: pr.p.D,
 		tree: pr.tree, levels: pr.levels,
-		oracles: pr.oracles, reports: reports,
-		memo:      make(map[hioKey]float64),
+		oracles: pr.oracles,
+		counts:  counts, ns: ns, retained: retained,
 		maxCombos: maxCombos,
 	}, nil
 }
@@ -281,15 +351,21 @@ func (e *hioEstimator) Answer(q query.Query) (float64, error) {
 			id += uint64(node.Index) * idStride
 			idStride *= uint64(e.tree.CountAt(node.Level))
 		}
-		key := hioKey{level: li, id: id}
-		e.mu.Lock()
-		f, ok := e.memo[key]
-		e.mu.Unlock()
-		if !ok {
-			f = e.oracles[li].EstimateOne(e.reports[li], id)
-			e.mu.Lock()
-			e.memo[key] = f
-			e.mu.Unlock()
+		var f float64
+		if cs := e.counts[li]; cs != nil {
+			// Streamed group: the folded vector already holds this
+			// interval's support, so the estimate is an O(1) lookup and
+			// needs no memo.
+			f = e.oracles[li].EstimateOneCount(cs[id], e.ns[li])
+		} else {
+			key := hioKey{level: li, id: id}
+			v, ok := e.memo.Load(key)
+			if !ok {
+				v, _ = e.memo.LoadOrStore(key, new(hioMemo))
+			}
+			m := v.(*hioMemo)
+			m.once.Do(func() { m.f = e.oracles[li].EstimateOne(e.retained[li], id) })
+			f = m.f
 		}
 		ans += f
 		// Advance the odometer.

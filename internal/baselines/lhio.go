@@ -160,7 +160,10 @@ func (pr *lhioProtocol) ClientReport(a mech.Assignment, record []int, rng *rand.
 	return mech.FromFO(a.Group, oracle.Perturb(i1*k2+i2, rng)), nil
 }
 
-// NewCollector implements mech.Protocol.
+// NewCollector implements mech.Protocol: a streaming collector that folds
+// each group's reports into its level table's count vector at ingest. Every
+// LHIO group streams — the largest per-group domain is c², far under any
+// cap — so refresh and finalize are flat in n.
 func (pr *lhioProtocol) NewCollector() (mech.Collector, error) {
 	check := func(r mech.Report) error {
 		_, ti := pr.split(r.Group)
@@ -173,22 +176,48 @@ func (pr *lhioProtocol) NewCollector() (mech.Collector, error) {
 		}
 		return oracle.CheckReport(r.FO())
 	}
-	return &lhioCollector{Ingest: mech.NewCollectorIngest(pr, check), pr: pr}, nil
+	// Like the oracles, folders depend only on the level pair; all pairs
+	// share them (folds are stateless, so sharing is concurrency-safe).
+	folders := make([]*fo.Folder, pr.levels*pr.levels)
+	for ti, oracle := range pr.oracles {
+		if oracle == nil {
+			continue
+		}
+		f, err := fo.NewFolder(oracle)
+		if err != nil {
+			return nil, err
+		}
+		folders[ti] = f
+	}
+	specs := make([]mech.GroupSpec, pr.NumGroups())
+	for g := range specs {
+		_, ti := pr.split(g)
+		if f := folders[ti]; f != nil {
+			specs[g] = mech.FolderSpec(f)
+		}
+		// (root, root) groups keep the zero spec: their reports are empty,
+		// only the tally matters.
+	}
+	ci, err := mech.NewCountIngest(pr, check, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &lhioCollector{CountIngest: ci, pr: pr, folders: folders}, nil
 }
 
 // lhioCollector is the aggregator side of an LHIO deployment.
 type lhioCollector struct {
-	*mech.Ingest
-	pr *lhioProtocol
+	*mech.CountIngest
+	pr      *lhioProtocol
+	folders []*fo.Folder // indexed like pr.oracles; nil for (root, root)
 }
 
 // Estimate implements mech.Collector: estimate over a point-in-time
-// snapshot of the report store, leaving ingestion open. Unlike the
-// streaming mechanisms, the estimation cost is O(n) per call — every level
-// table rescans its group's reports — which is the refresh-cost asymmetry
-// PROTOCOL.md documents.
+// snapshot of the folded statistics, leaving ingestion open. The cost is
+// O(groups × domain) — flat in n — where the old report-store path rescanned
+// every group's reports per refresh.
 func (c *lhioCollector) Estimate() (mech.Estimator, error) {
-	byGroup, err := c.Snapshot()
+	byGroup, err := c.SnapshotCounts()
 	if err != nil {
 		return nil, err
 	}
@@ -198,16 +227,16 @@ func (c *lhioCollector) Estimate() (mech.Estimator, error) {
 // Finalize implements mech.Collector: Estimate over everything received,
 // then close ingestion permanently.
 func (c *lhioCollector) Finalize() (mech.Estimator, error) {
-	byGroup, err := c.Drain()
+	byGroup, err := c.DrainCounts()
 	if err != nil {
 		return nil, err
 	}
 	return c.estimate(byGroup)
 }
 
-// estimate estimates every level table from one snapshot of the report
-// store, then runs the two consistency stages.
-func (c *lhioCollector) estimate(byGroup [][]mech.Report) (mech.Estimator, error) {
+// estimate estimates every level table from one snapshot of the folded
+// statistics, then runs the two consistency stages.
+func (c *lhioCollector) estimate(byGroup []mech.GroupCounts) (mech.Estimator, error) {
 	pr := c.pr
 	d, n := pr.p.D, pr.p.N
 	tree, levels, pairs := pr.tree, pr.levels, pr.pairs
@@ -226,9 +255,9 @@ func (c *lhioCollector) estimate(byGroup [][]mech.Report) (mech.Estimator, error
 				variance[pi][ti] = 1e-12
 				continue
 			}
-			rs := byGroup[pi*levels*levels+ti]
-			freq[pi][ti] = oracle.EstimateAll(mech.FOReports(rs))
-			variance[pi][ti] = oracle.Var(len(rs))
+			gc := &byGroup[pi*levels*levels+ti]
+			freq[pi][ti] = c.folders[ti].Estimate(gc.Counts, int(gc.N))
+			variance[pi][ti] = oracle.Var(int(gc.N))
 		}
 	}
 

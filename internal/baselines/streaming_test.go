@@ -1,11 +1,15 @@
 package baselines
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"privmdr/internal/consistency"
 	"privmdr/internal/dataset"
+	"privmdr/internal/fo"
 	"privmdr/internal/grid"
+	"privmdr/internal/hierarchy"
 	"privmdr/internal/ldprand"
 	"privmdr/internal/mathx"
 	"privmdr/internal/mech"
@@ -202,6 +206,236 @@ func TestCALMStreamingMatchesReportPath(t *testing.T) {
 		reference := seedFinalizeCALM(t, pr, byGroup)
 		assertSameAnswers(t, streamed, reference, streamingWorkload(t, ds.D(), ds.C))
 	}
+}
+
+// seedHIOEstimator is the seed's hioEstimator preserved verbatim: the raw
+// per-group reports, answered lazily through EstimateOne with a global memo
+// mutex.
+type seedHIOEstimator struct {
+	c, d      int
+	tree      *hierarchy.Tree
+	levels    int
+	oracles   []*fo.OLH
+	reports   [][]fo.Report
+	maxCombos int
+
+	mu   sync.Mutex
+	memo map[hioKey]float64
+}
+
+func (e *seedHIOEstimator) Answer(q query.Query) (float64, error) {
+	if err := q.Validate(e.d, e.c); err != nil {
+		return 0, err
+	}
+	ranges := make([][2]int, e.d)
+	for t := range ranges {
+		ranges[t] = [2]int{0, e.c - 1}
+	}
+	for _, p := range q {
+		ranges[p.Attr] = [2]int{p.Lo, p.Hi}
+	}
+	pieces := make([][]hierarchy.Node, e.d)
+	combos := 1
+	for t, r := range ranges {
+		nodes, err := e.tree.Decompose(r[0], r[1])
+		if err != nil {
+			return 0, err
+		}
+		pieces[t] = nodes
+		combos *= len(nodes)
+		if combos > e.maxCombos {
+			return 0, fmt.Errorf("baselines: HIO query expands to more than %d d-dim intervals", e.maxCombos)
+		}
+	}
+	choice := make([]int, e.d)
+	ans := 0.0
+	for {
+		li := 0
+		stride := 1
+		id := uint64(0)
+		idStride := uint64(1)
+		for t := 0; t < e.d; t++ {
+			node := pieces[t][choice[t]]
+			li += node.Level * stride
+			stride *= e.levels
+			id += uint64(node.Index) * idStride
+			idStride *= uint64(e.tree.CountAt(node.Level))
+		}
+		key := hioKey{level: li, id: id}
+		e.mu.Lock()
+		f, ok := e.memo[key]
+		e.mu.Unlock()
+		if !ok {
+			f = e.oracles[li].EstimateOne(e.reports[li], id)
+			e.mu.Lock()
+			e.memo[key] = f
+			e.mu.Unlock()
+		}
+		ans += f
+		t := 0
+		for ; t < e.d; t++ {
+			choice[t]++
+			if choice[t] < len(pieces[t]) {
+				break
+			}
+			choice[t] = 0
+		}
+		if t == e.d {
+			break
+		}
+	}
+	return ans, nil
+}
+
+// seedFinalizeHIO is the seed's hioCollector.estimate over explicit report
+// multisets, preserved verbatim as the golden reference.
+func seedFinalizeHIO(t *testing.T, pr *hioProtocol, byGroup [][]mech.Report) mech.Estimator {
+	t.Helper()
+	reports := make([][]fo.Report, len(byGroup))
+	for g, rs := range byGroup {
+		reports[g] = mech.FOReports(rs)
+	}
+	maxCombos := pr.opts.MaxCombos
+	if maxCombos <= 0 {
+		maxCombos = 1 << 21
+	}
+	return &seedHIOEstimator{
+		c: pr.p.C, d: pr.p.D,
+		tree: pr.tree, levels: pr.levels,
+		oracles: pr.oracles, reports: reports,
+		memo:      make(map[hioKey]float64),
+		maxCombos: maxCombos,
+	}
+}
+
+// seedFinalizeLHIO is the seed's lhioCollector.estimate over explicit
+// report multisets — eager EstimateAll per level table, then the unchanged
+// consistency stages — preserved verbatim as the golden reference.
+func seedFinalizeLHIO(t *testing.T, pr *lhioProtocol, byGroup [][]mech.Report) mech.Estimator {
+	t.Helper()
+	d, n := pr.p.D, pr.p.N
+	tree, levels, pairs := pr.tree, pr.levels, pr.pairs
+	freq := make([][][]float64, len(pairs))
+	variance := make([][]float64, len(pairs))
+	for pi := range pairs {
+		freq[pi] = make([][]float64, levels*levels)
+		variance[pi] = make([]float64, levels*levels)
+		for ti := 0; ti < levels*levels; ti++ {
+			oracle := pr.oracles[ti]
+			if oracle == nil {
+				freq[pi][ti] = []float64{1}
+				variance[pi][ti] = 1e-12
+				continue
+			}
+			rs := byGroup[pi*levels*levels+ti]
+			freq[pi][ti] = oracle.EstimateAll(mech.FOReports(rs))
+			variance[pi][ti] = oracle.Var(len(rs))
+		}
+	}
+	for pi := range pairs {
+		if err := ciAlongFirst(tree, levels, freq[pi], variance[pi]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ciAlongSecond(tree, levels, freq[pi], variance[pi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rounds := pr.opts.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	for r := 0; r < rounds; r++ {
+		for a := 0; a < d; a++ {
+			crossPairConsistency(tree, levels, pairs, freq, a)
+		}
+		for pi := range pairs {
+			for _, table := range freq[pi] {
+				consistency.NormSub(table, 1)
+			}
+		}
+	}
+	wu := pr.opts.WU
+	if wu.Tol <= 0 {
+		wu.Tol = 1 / float64(n)
+	}
+	return &lhioEstimator{c: pr.p.C, d: d, tree: tree, levels: levels, freq: freq, wu: wu}
+}
+
+func TestHIOStreamingMatchesReportPath(t *testing.T) {
+	ds := correlatedDS(t, 9000, 3, 16)
+	p := mech.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 74}
+	prI, err := NewHIO().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := prI.(*hioProtocol)
+	reports, byGroup := clientReports(t, pr, ds)
+	streamed := submitAll(t, pr, reports)
+	reference := seedFinalizeHIO(t, pr, byGroup)
+	assertSameAnswers(t, streamed, reference, streamingWorkload(t, ds.D(), ds.C))
+}
+
+// TestHIOCappedStreamingMatchesReportPath drops the streaming cap so the
+// deep levels fall back to report retention: the hybrid collector must
+// answer bit-identically to the all-retained seed path, and its exported
+// state must be the v3 hybrid shape.
+func TestHIOCappedStreamingMatchesReportPath(t *testing.T) {
+	ds := correlatedDS(t, 9000, 3, 16)
+	p := mech.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 75}
+	prI, err := (&HIO{MaxStreamDomain: 64}).Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := prI.(*hioProtocol)
+	reports, byGroup := clientReports(t, pr, ds)
+
+	coll, err := pr.NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.(*hioCollector).SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	st, err := coll.(*hioCollector).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != mech.StateVersionHybrid {
+		t.Fatalf("capped HIO exports state version %d, want %d", st.Version, mech.StateVersionHybrid)
+	}
+	retained, streamedGroups := 0, 0
+	for _, gc := range st.Counts {
+		if len(gc.Reports) > 0 {
+			retained++
+		}
+		if len(gc.Counts) > 0 {
+			streamedGroups++
+		}
+	}
+	if retained == 0 || streamedGroups == 0 {
+		t.Fatalf("capped HIO state should mix retained (%d) and streamed (%d) groups", retained, streamedGroups)
+	}
+
+	hybrid, err := coll.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := seedFinalizeHIO(t, pr, byGroup)
+	assertSameAnswers(t, hybrid, reference, streamingWorkload(t, ds.D(), ds.C))
+}
+
+func TestLHIOStreamingMatchesReportPath(t *testing.T) {
+	ds := correlatedDS(t, 9000, 3, 16)
+	p := mech.Params{N: ds.N(), D: ds.D(), C: ds.C, Eps: 1.0, Seed: 76}
+	prI, err := NewLHIO().Protocol(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := prI.(*lhioProtocol)
+	reports, byGroup := clientReports(t, pr, ds)
+	streamed := submitAll(t, pr, reports)
+	reference := seedFinalizeLHIO(t, pr, byGroup)
+	assertSameAnswers(t, streamed, reference, streamingWorkload(t, ds.D(), ds.C))
 }
 
 func TestUniStreamingMatchesReportPath(t *testing.T) {

@@ -3,7 +3,7 @@
 // ingest throughput, epoch-refresh (Estimate) latency, finalize latency
 // versus n, resident collector heap, snapshot size — and, for contrast,
 // the same deployment aggregated into the seed's O(n) report store,
-// emitting one JSON report (BENCH_PR5.json in CI) so the perf trajectory
+// emitting one JSON report (BENCH_PR10.json in CI) so the perf trajectory
 // is tracked across PRs.
 package bench
 
@@ -41,14 +41,18 @@ type PerfPoint struct {
 	HeapRatioStoreVsCount float64 `json:"heap_ratio_store_vs_count"`
 }
 
-// PerfReport is the perf-harness JSON payload (BENCH_PR8.json in CI).
+// PerfReport is the perf-harness JSON payload (BENCH_PR10.json in CI).
 // Version 2 added estimate_ms, the epoch-refresh latency; version 3 added
 // the sustained-load saturation points (see saturation.go), measured over
 // the full HTTP ingest path with a live refresher sealing epochs under
 // load; version 4 added the writer-scaling sweep — the same saturation
 // window repeated at 1x/2x/4x GOMAXPROCS submitters, the curve that proves
 // the per-P sharded counters scale with writers instead of flattening on a
-// stripe lock.
+// stripe lock; version 5 added HIO and LHIO to the default trajectory (all
+// seven mechanisms stream now, so the formerly report-retaining pair has a
+// flat-in-n refresh to track) and moved the smoke grid to n = 20k/80k so
+// the flatness bar — refresh at 80k within ~1.3x of 20k — reads straight
+// off adjacent points.
 type PerfReport struct {
 	Version       int               `json:"version"`
 	Scale         string            `json:"scale"`
@@ -63,7 +67,7 @@ type PerfReport struct {
 func perfNs(scale Scale) []int {
 	switch scale {
 	case Smoke:
-		return []int{20_000, 60_000}
+		return []int{20_000, 80_000}
 	case Paper:
 		return []int{100_000, 300_000, 1_000_000}
 	default:
@@ -94,13 +98,13 @@ func heapDelta(build func() any) (any, uint64) {
 }
 
 // RunPerf measures the collector paths for the given mechanisms (paper
-// names; nil → HDG and TDG) and writes the JSON report to w.
+// names; nil → HDG, TDG, HIO, LHIO) and writes the JSON report to w.
 func RunPerf(w io.Writer, cfg RunConfig) (*PerfReport, error) {
 	mechs := cfg.Mechs
 	if len(mechs) == 0 {
-		mechs = []string{"HDG", "TDG"}
+		mechs = []string{"HDG", "TDG", "HIO", "LHIO"}
 	}
-	report := &PerfReport{Version: 4, Scale: string(cfg.scale())}
+	report := &PerfReport{Version: 5, Scale: string(cfg.scale())}
 	for _, name := range mechs {
 		for _, n := range perfNs(cfg.scale()) {
 			pt, err := perfPoint(name, n, cfg.Seed)
@@ -151,7 +155,15 @@ func perfPoint(name string, n int, seed uint64) (*PerfPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	const d, c = 3, 64
+	d, c := 3, 64
+	if name == "HIO" {
+		// At d = 3 the default streaming cap retains HIO's deepest levels
+		// (their report-store cost is the seed's, by construction), so the
+		// trajectory would mix regimes; d = 2 keeps every level under the
+		// cap and tracks the fully streamed refresh the flatness bar is
+		// about. The capped regime is pinned by the identity tests instead.
+		d = 2
+	}
 	ds, err := dataset.Normal(dataset.GenOptions{N: n, D: d, C: c, Seed: seed + uint64(n), Rho: 0.7})
 	if err != nil {
 		return nil, err
@@ -210,19 +222,29 @@ func perfPoint(name string, n int, seed uint64) (*PerfPoint, error) {
 	// Epoch refresh: a non-destructive Estimate plus the warm-up a live
 	// server runs before swapping the epoch pointer (the swap itself is one
 	// atomic store). Ingestion stays open, so this is repeatable — exactly
-	// the per-epoch cost of `privmdr serve -refresh`.
-	start := time.Now()
-	est, err := coll.Estimate()
-	if err != nil {
-		return nil, err
-	}
-	if warm, ok := est.(interface{ PrecomputeMatrices() error }); ok {
-		if err := warm.PrecomputeMatrices(); err != nil {
+	// the per-epoch cost of `privmdr serve -refresh`. The reported number
+	// is the best of a few runs: the sub-millisecond mechanisms (a
+	// streamed HIO refresh is a few dozen µs) would otherwise be dominated
+	// by scheduler noise in a one-shot measurement.
+	const refreshReps = 5
+	var best time.Duration
+	for rep := 0; rep < refreshReps; rep++ {
+		start := time.Now()
+		est, err := coll.Estimate()
+		if err != nil {
 			return nil, err
 		}
+		if warm, ok := est.(interface{ PrecomputeMatrices() error }); ok {
+			if err := warm.PrecomputeMatrices(); err != nil {
+				return nil, err
+			}
+		}
+		if elapsed := time.Since(start); rep == 0 || elapsed < best {
+			best = elapsed
+		}
 	}
-	pt.EstimateMillis = float64(time.Since(start).Microseconds()) / 1e3
-	start = time.Now()
+	pt.EstimateMillis = float64(best.Microseconds()) / 1e3
+	start := time.Now()
 	if _, err := coll.Finalize(); err != nil {
 		return nil, err
 	}

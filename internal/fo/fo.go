@@ -162,9 +162,9 @@ type OLH struct {
 	// hv is the per-domain-value inner hash table — SplitMix64(v + φ) for
 	// every v in [0, c) — shared by Support and the streaming folder so the
 	// two aggregation paths evaluate the exact same hash family and cannot
-	// drift. Built lazily: report-retaining callers (HIO) construct OLH
+	// drift. Built lazily: HIO groups past their streaming cap construct OLH
 	// oracles over interval domains far too large to materialize O(c) state,
-	// and they only ever use Hash/EstimateOne.
+	// and they only ever use Hash/EstimateOne/EstimateOneCount.
 	hvOnce sync.Once
 	hv     []uint64
 }
@@ -339,6 +339,21 @@ func (o *OLH) EstimateOne(reports []Report, v uint64) float64 {
 	n := float64(len(reports))
 	qs := 1 / float64(o.g)
 	return (float64(support)/n - qs) / (o.p - qs)
+}
+
+// EstimateOneCount is EstimateOne over a pre-folded support tally: given
+// support_v (the count a folder accumulated for value v) and the group's
+// report count, it evaluates the same debias expression in the same
+// operation order, so it is bit-identical to EstimateOne over any report
+// multiset folding to (support, n). Used by streaming HIO, which looks one
+// interval's support out of its folded vector instead of rescanning
+// reports.
+func (o *OLH) EstimateOneCount(support int64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	qs := 1 / float64(o.g)
+	return (float64(support)/float64(n) - qs) / (o.p - qs)
 }
 
 // Var implements Oracle (Equation 3 generalized to the rounded g).

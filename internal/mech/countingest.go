@@ -34,17 +34,30 @@ import (
 // integer adds, so any assignment of reports to stripes sums to the same
 // totals.
 //
-// Counting mechanisms (HDG, TDG, Uni, MSW, CALM) embed CountIngest;
-// report-retaining ones (HIO, LHIO) keep Ingest because their interval
-// domains are too large to enumerate a count vector for. Both expose the
-// same StatefulCollector surface — CountIngest exports a v2 (count) state
-// and additionally accepts v1 (report) states by replaying each report
-// through its group's fold, so pre-streaming snapshots still warm-restart.
+// Every mechanism embeds CountIngest (HIO and LHIO since the hierarchy
+// streamification; their per-level interval domains are enumerable after
+// all). A group may instead be marked Retain — HIO's escape hatch for level
+// vectors whose product domain exceeds its streaming cap — in which case
+// its raw reports are kept in a single append-only store beside the
+// stripes. CountIngest exports a v2 (count) state, or a v3 (hybrid) state
+// when any group retains, and additionally accepts v1 (report) states by
+// replaying each report through its group's fold (or appending it to a
+// retained group), so pre-streaming snapshots still warm-restart.
 type CountIngest struct {
 	check    func(Report) error
 	mechName string
 	params   Params
 	specs    []GroupSpec
+
+	// retained[g] is non-nil iff specs[g].Retain: the group's append-only
+	// raw report store. Appends run under the shared lifecycle lock plus the
+	// group's own mutex; the exclusive fence (Snapshot/Drain/State/Merge)
+	// waits appends out, and snapshots share the backing array by full slice
+	// expression exactly like Ingest.Snapshot — filed reports are immutable.
+	// Keeping one store per group (not per stripe) preserves the append-only
+	// prefix property DiffStates' report-suffix deltas rely on.
+	retained    []*retainedGroup
+	hasRetained bool
 
 	// received counts accepted reports. Updated inside the locked sections
 	// (so Drain sees an exact total) but read atomically, keeping metrics
@@ -89,10 +102,20 @@ type countStripe struct {
 	_      [96]byte
 }
 
-// stripeGroup is one group's statistic within one stripe.
+// stripeGroup is one group's statistic within one stripe. counts is lazily
+// sized on the stripe's first fold into the group (stripe 0, the merge
+// target, is pre-sized at construction): a collector with large per-group
+// domains only pays the O(groups × domain) footprint per stripe its writers
+// actually touch.
 type stripeGroup struct {
 	n      int64
 	counts []int64
+}
+
+// retainedGroup is the raw report store of one Retain-marked group.
+type retainedGroup struct {
+	mu      sync.Mutex
+	reports []Report
 }
 
 // maxStripes caps the stripe pool: past a few dozen writers the read-side
@@ -117,6 +140,14 @@ func defaultStripes() int {
 // carry no information beyond their arrival (Uni, LHIO's root level) — only
 // the group's report tally is tracked.
 //
+// Retain marks a group that cannot stream: its reports are kept verbatim in
+// an append-only per-group store instead of folding (Len must be 0 and both
+// folds nil). This is the fallback for groups whose enumeration domain is
+// too large for a count vector — HIO's deepest d-dim levels past its
+// MaxStreamDomain cap — and costs O(reports) memory for that group alone;
+// every other group of the same collector still streams. A collector with
+// any retained group exports v3 (hybrid) states instead of v2.
+//
 // FoldBatch, when non-nil, folds a whole same-group run in one call and
 // must be bit-identical to folding each report with Fold in run order
 // (every statistic is a vector of commuting integer adds, so any
@@ -133,6 +164,7 @@ type GroupSpec struct {
 	Len       int
 	Fold      func(r Report, counts []int64)
 	FoldBatch func(rs []Report, counts []int64)
+	Retain    bool
 }
 
 // NewCountIngest prepares a streaming store for pr's groups. check, when
@@ -167,22 +199,42 @@ func newCountIngestStripes(pr Protocol, check func(Report) error, specs []GroupS
 		if spec.FoldBatch != nil && spec.Fold == nil {
 			return nil, fmt.Errorf("mech: group %d spec has a batch fold but no per-report fold", g)
 		}
-	}
-	// Every stripe is pre-sized at construction, so the write path never
-	// allocates — the zero-alloc warm guarantee covers the sharded layout.
-	for s := range ci.stripes {
-		groups := make([]stripeGroup, len(specs))
-		for g, spec := range specs {
-			if spec.Len > 0 {
-				groups[g].counts = make([]int64, spec.Len)
-			}
+		if spec.Retain && (spec.Len != 0 || spec.Fold != nil || spec.FoldBatch != nil) {
+			return nil, fmt.Errorf("mech: group %d spec both retains reports and folds counts", g)
 		}
-		ci.stripes[s].groups = groups
+	}
+	// Stripe 0 — the merge and drain target — is pre-sized at construction;
+	// the other stripes size each group's vector on the stripe's first fold
+	// into it, so a collector with large domains only pays for the stripes
+	// its writers touch. The zero-alloc warm guarantee still holds: a warm
+	// writer's (stripe, group) vectors already exist.
+	for s := range ci.stripes {
+		ci.stripes[s].groups = make([]stripeGroup, len(specs))
+	}
+	for g, spec := range specs {
+		if spec.Len > 0 {
+			ci.stripes[0].groups[g].counts = make([]int64, spec.Len)
+		}
+		if spec.Retain {
+			if ci.retained == nil {
+				ci.retained = make([]*retainedGroup, len(specs))
+			}
+			ci.retained[g] = &retainedGroup{}
+			ci.hasRetained = true
+		}
 	}
 	ci.scratch.New = func() any {
 		return &batchScratch{stripe: int(ci.nextStripe.Add(1)-1) % len(ci.stripes)}
 	}
 	return ci, nil
+}
+
+// retainedOf returns group g's raw report store, or nil when g streams.
+func (ci *CountIngest) retainedOf(g int) *retainedGroup {
+	if !ci.hasRetained {
+		return nil
+	}
+	return ci.retained[g]
 }
 
 // vet validates a report without taking any lock.
@@ -209,12 +261,22 @@ func (ci *CountIngest) Submit(r Report) error {
 	if ci.done {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
+	if rg := ci.retainedOf(r.Group); rg != nil {
+		rg.mu.Lock()
+		rg.reports = append(rg.reports, r)
+		rg.mu.Unlock()
+		ci.received.Add(1)
+		return nil
+	}
 	sc := ci.scratch.Get().(*batchScratch)
 	st := &ci.stripes[sc.stripe]
 	st.mu.Lock()
 	grp := &st.groups[r.Group]
 	grp.n++
 	if f := ci.specs[r.Group].Fold; f != nil {
+		if grp.counts == nil && ci.specs[r.Group].Len > 0 {
+			grp.counts = make([]int64, ci.specs[r.Group].Len)
+		}
 		f(r, grp.counts)
 	}
 	st.mu.Unlock()
@@ -251,13 +313,22 @@ func (ci *CountIngest) SubmitBatch(rs []Report) error {
 	st := &ci.stripes[sc.stripe]
 	if len(rs) == 1 {
 		r := rs[0]
-		st.mu.Lock()
-		grp := &st.groups[r.Group]
-		grp.n++
-		if f := ci.specs[r.Group].Fold; f != nil {
-			f(r, grp.counts)
+		if rg := ci.retainedOf(r.Group); rg != nil {
+			rg.mu.Lock()
+			rg.reports = append(rg.reports, r)
+			rg.mu.Unlock()
+		} else {
+			st.mu.Lock()
+			grp := &st.groups[r.Group]
+			grp.n++
+			if f := ci.specs[r.Group].Fold; f != nil {
+				if grp.counts == nil && ci.specs[r.Group].Len > 0 {
+					grp.counts = make([]int64, ci.specs[r.Group].Len)
+				}
+				f(r, grp.counts)
+			}
+			st.mu.Unlock()
 		}
-		st.mu.Unlock()
 	} else {
 		ci.foldRuns(rs, sc, st)
 		if cap(sc.perm) > maxPooledRunScratch {
@@ -317,10 +388,24 @@ func (ci *CountIngest) foldRuns(rs []Report, sc *batchScratch, st *countStripe) 
 		copy(starts[1:], next)
 		starts[0] = 0
 	}
+	// Retained groups take their runs first, outside the stripe lock: their
+	// store is group-global, not striped. The append copies the run out of
+	// the (possibly pooled) partition buffer.
+	if ci.hasRetained {
+		for g := 0; g < numG; g++ {
+			rg := ci.retained[g]
+			if rg == nil || starts[g] == starts[g+1] {
+				continue
+			}
+			rg.mu.Lock()
+			rg.reports = append(rg.reports, runs[starts[g]:starts[g+1]]...)
+			rg.mu.Unlock()
+		}
+	}
 	st.mu.Lock()
 	for g := 0; g < numG; g++ {
 		lo, hi := starts[g], starts[g+1]
-		if lo == hi {
+		if lo == hi || ci.retainedOf(g) != nil {
 			continue
 		}
 		run := runs[lo:hi]
@@ -329,8 +414,14 @@ func (ci *CountIngest) foldRuns(rs []Report, sc *batchScratch, st *countStripe) 
 		grp.n += int64(len(run))
 		switch {
 		case spec.FoldBatch != nil:
+			if grp.counts == nil && spec.Len > 0 {
+				grp.counts = make([]int64, spec.Len)
+			}
 			spec.FoldBatch(run, grp.counts)
 		case spec.Fold != nil:
+			if grp.counts == nil && spec.Len > 0 {
+				grp.counts = make([]int64, spec.Len)
+			}
 			for i := range run {
 				spec.Fold(run[i], grp.counts)
 			}
@@ -361,6 +452,13 @@ func (ci *CountIngest) DrainCounts() ([]GroupCounts, error) {
 	base := ci.stripes[0].groups
 	out := make([]GroupCounts, len(ci.specs))
 	for g := range ci.specs {
+		if rg := ci.retainedOf(g); rg != nil {
+			// Retained groups hand over their raw store; ingestion is closed,
+			// so ownership transfers without a copy.
+			out[g] = GroupCounts{N: int64(len(rg.reports)), Reports: rg.reports}
+			rg.reports = nil
+			continue
+		}
 		grp := &base[g]
 		for s := 1; s < len(ci.stripes); s++ {
 			o := &ci.stripes[s].groups[g]
@@ -395,6 +493,15 @@ func (ci *CountIngest) SnapshotCounts() ([]GroupCounts, error) {
 	}
 	counts := make([]GroupCounts, len(ci.specs))
 	for g := range ci.specs {
+		if rg := ci.retainedOf(g); rg != nil {
+			// A filed report is written exactly once (inside the locked
+			// append) and never mutated, so sharing the backing array by full
+			// slice expression yields an immutable snapshot at O(1) — the same
+			// aliasing contract as Ingest.Snapshot.
+			rs := rg.reports[:len(rg.reports):len(rg.reports)]
+			counts[g] = GroupCounts{N: int64(len(rs)), Reports: rs}
+			continue
+		}
 		gc := GroupCounts{}
 		if ci.specs[g].Len > 0 {
 			gc.Counts = make([]int64, ci.specs[g].Len)
@@ -412,25 +519,35 @@ func (ci *CountIngest) SnapshotCounts() ([]GroupCounts, error) {
 }
 
 // State implements StatefulCollector: a deep snapshot of the per-group
-// statistics, stamped with the deployment identity as a v2 (count) state.
-// Ingestion may continue afterwards — the snapshot is unaffected.
+// statistics, stamped with the deployment identity as a v2 (count) state —
+// or a v3 (hybrid) state when any group retains raw reports. Ingestion may
+// continue afterwards — the snapshot is unaffected.
 func (ci *CountIngest) State() (CollectorState, error) {
 	counts, err := ci.SnapshotCounts()
 	if err != nil {
 		return CollectorState{}, err
 	}
-	return CollectorState{Version: StateVersionCounts, Mech: ci.mechName, Params: ci.params, Counts: counts}, nil
+	version := StateVersionCounts
+	if ci.hasRetained {
+		version = StateVersionHybrid
+	}
+	return CollectorState{Version: version, Mech: ci.mechName, Params: ci.params, Counts: counts}, nil
 }
 
 // Merge implements StatefulCollector: fold an exported state into this
 // store. A v2 state of the same deployment merges as an element-wise vector
-// add; a v1 report state is accepted too — every report passes the same
-// check Submit applies and replays through its group's fold, which is the
-// warm-restart path for snapshots written by a report-retaining collector
-// of the same mechanism. Either way the state is vetted in full before
-// anything lands, so a merge is atomic like SubmitBatch. Merges land on
-// stripe 0 under the exclusive fence — which stripe is irrelevant, the
-// adds commute into the same read-time sum.
+// add; a v3 state merges the same way, with each retained group's report
+// multiset appended to the local group's store (retention configuration
+// must agree: a state that retains a group this collector streams — or vice
+// versa — is an ErrStateMismatch, since shards of one deployment share the
+// streaming cap). A v1 report state is accepted too — every report passes
+// the same check Submit applies and replays through its group's fold (or
+// appends to its retained store), which is the warm-restart path for
+// snapshots written before the collector switched to streaming. Either way
+// the state is vetted in full before anything lands, so a merge is atomic
+// like SubmitBatch. Count merges land on stripe 0 under the exclusive fence
+// — which stripe is irrelevant, the adds commute into the same read-time
+// sum.
 func (ci *CountIngest) Merge(st CollectorState) error {
 	// States may arrive from codec-free transports (JSON), so structural
 	// validation cannot be assumed.
@@ -450,9 +567,35 @@ func (ci *CountIngest) Merge(st CollectorState) error {
 	}
 	total := int64(0)
 	for g, gc := range st.Counts {
-		if len(gc.Counts) != ci.specs[g].Len {
-			return fmt.Errorf("mech: state group %d carries %d counts, collector folds %d: %w",
-				g, len(gc.Counts), ci.specs[g].Len, ErrStateMismatch)
+		if ci.retainedOf(g) != nil {
+			// A retained group merges by report multiset: the incoming tally
+			// must be fully accounted for by carried reports (a v2 state
+			// cannot carry any, so it may only claim an empty retained
+			// group), and the reports pass the same check Submit applies.
+			if len(gc.Counts) != 0 {
+				return fmt.Errorf("mech: state group %d carries %d counts, collector retains that group's reports: %w",
+					g, len(gc.Counts), ErrStateMismatch)
+			}
+			if gc.N != int64(len(gc.Reports)) {
+				return fmt.Errorf("mech: state group %d tallies %d reports but carries %d for the retained group: %w",
+					g, gc.N, len(gc.Reports), ErrStateMismatch)
+			}
+			if ci.check != nil {
+				for i, r := range gc.Reports {
+					if err := ci.check(r); err != nil {
+						return fmt.Errorf("mech: state group %d report %d: %w", g, i, err)
+					}
+				}
+			}
+		} else {
+			if len(gc.Reports) != 0 {
+				return fmt.Errorf("mech: state group %d retains %d reports, collector streams that group: %w",
+					g, len(gc.Reports), ErrStateMismatch)
+			}
+			if len(gc.Counts) != ci.specs[g].Len {
+				return fmt.Errorf("mech: state group %d carries %d counts, collector folds %d: %w",
+					g, len(gc.Counts), ci.specs[g].Len, ErrStateMismatch)
+			}
 		}
 		total += gc.N
 	}
@@ -462,6 +605,12 @@ func (ci *CountIngest) Merge(st CollectorState) error {
 		return fmt.Errorf("mech: %w", ErrFinalized)
 	}
 	for g, gc := range st.Counts {
+		if rg := ci.retainedOf(g); rg != nil {
+			// The append copies out of the state's slice, so the local store
+			// never aliases a snapshot a peer may still hold.
+			rg.reports = append(rg.reports, gc.Reports...)
+			continue
+		}
 		grp := &ci.stripes[0].groups[g]
 		grp.n += gc.N
 		for i, c := range gc.Counts {
@@ -498,9 +647,13 @@ func (ci *CountIngest) mergeReports(st CollectorState) error {
 	}
 	// A v1 state already arrives partitioned by group, so each group's
 	// replay is one run: a batch fold into stripe 0 under the exclusive
-	// fence.
+	// fence — or, for a retained group, one append into its raw store.
 	for g, rs := range st.Groups {
 		if len(rs) == 0 {
+			continue
+		}
+		if rg := ci.retainedOf(g); rg != nil {
+			rg.reports = append(rg.reports, rs...)
 			continue
 		}
 		grp := &ci.stripes[0].groups[g]

@@ -660,6 +660,116 @@ func BenchmarkSubmitBatchContended(b *testing.B) {
 	})
 }
 
+// retainSpecs is the capped-HIO shape at store level: group 0 streams,
+// group 1 retains raw reports, group 2 is tally-only.
+func retainSpecs() []GroupSpec {
+	specs := countSpecs(3)
+	specs[1] = GroupSpec{Retain: true}
+	specs[2] = GroupSpec{}
+	return specs
+}
+
+// TestCountIngestRetention covers the hybrid (v3) store: a retained group
+// keeps its report multiset next to streamed siblings, snapshots share it
+// immutably, states export v3, and Merge enforces shape per group — a
+// retained group's state entry must carry reports, a streamed group's must
+// carry counts.
+func TestCountIngestRetention(t *testing.T) {
+	if _, err := NewCountIngest(testProtocol(), nil, []GroupSpec{
+		{Len: 8, Fold: func(Report, []int64) {}}, {Retain: true, Len: 8}, {},
+	}); err == nil {
+		t.Error("Retain spec with a fold length accepted")
+	}
+
+	mk := func() *CountIngest {
+		ci, err := NewCountIngest(testProtocol(), nil, retainSpecs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ci
+	}
+	ci := mk()
+	reports := []Report{
+		{Group: 0, Value: 2}, {Group: 1, Seed: 7, Value: 3},
+		{Group: 1, Seed: 8, Value: 4}, {Group: 2, Value: 0},
+	}
+	if err := ci.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ci.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != StateVersionHybrid {
+		t.Fatalf("retaining collector exports version %d, want %d", st.Version, StateVersionHybrid)
+	}
+	if len(st.Counts[1].Reports) != 2 || st.Counts[1].Counts != nil {
+		t.Fatalf("retained group state %+v, want 2 reports and no counts", st.Counts[1])
+	}
+	if st.Counts[0].Counts == nil || st.Counts[0].Reports != nil {
+		t.Fatalf("streamed group state %+v, want counts and no reports", st.Counts[0])
+	}
+
+	// Snapshots are isolated from later ingestion.
+	snap, err := ci.SnapshotCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Submit(Report{Group: 1, Seed: 9, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap[1].Reports) != 2 {
+		t.Fatalf("snapshot sees %d retained reports after a later submit, want 2", len(snap[1].Reports))
+	}
+
+	// Merge shape checks, against a fresh sibling.
+	badCounts := st
+	badCounts.Counts = append([]GroupCounts{}, st.Counts...)
+	badCounts.Counts[1] = GroupCounts{N: 2, Counts: []int64{1, 1}}
+	if err := mk().Merge(badCounts); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("counts into a retained group: got %v, want ErrStateMismatch", err)
+	}
+	badTally := st
+	badTally.Counts = append([]GroupCounts{}, st.Counts...)
+	badTally.Counts[1] = GroupCounts{N: 2} // tally with no reports to account for it
+	if err := mk().Merge(badTally); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("retained tally without reports: got %v, want ErrStateMismatch", err)
+	}
+	badReports := st
+	badReports.Counts = append([]GroupCounts{}, st.Counts...)
+	badReports.Counts[0] = GroupCounts{N: 1, Reports: []Report{{Group: 0, Value: 1}}}
+	if err := mk().Merge(badReports); !errors.Is(err, ErrStateMismatch) {
+		t.Errorf("reports into a streamed group: got %v, want ErrStateMismatch", err)
+	}
+
+	// A well-formed v3 merge and a v1 replay both land: drain equals direct
+	// submission of the union multiset.
+	other := mk()
+	if err := other.Merge(st); err != nil {
+		t.Fatal(err)
+	}
+	v1 := CollectorState{
+		Version: StateVersion, Mech: st.Mech, Params: st.Params,
+		Groups: [][]Report{{}, {{Group: 1, Seed: 10, Value: 6}}, {{Group: 2, Value: 0}}},
+	}
+	if err := other.Merge(v1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := other.DrainCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].N != 1 || got[0].Counts[2] != 1 {
+		t.Fatalf("streamed group drained %+v", got[0])
+	}
+	if got[1].N != 3 || len(got[1].Reports) != 3 {
+		t.Fatalf("retained group drained %+v, want 3 reports", got[1])
+	}
+	if got[2].N != 2 || got[2].Counts != nil {
+		t.Fatalf("tally-only group drained %+v, want n=2 and no counts", got[2])
+	}
+}
+
 // TestCountIngestMergeOrderIrrelevant pins the vector-add merge: shards
 // merged in any order drain to the same statistic.
 func TestCountIngestMergeOrderIrrelevant(t *testing.T) {

@@ -82,6 +82,21 @@ func FuzzCollectorStateV2(f *testing.F) {
 			Counts: []GroupCounts{{N: 4, Counts: []int64{1, 0, 3, 0}}, {N: 0, Counts: []int64{0, 0}}, {N: 2, Counts: []int64{-2, 5}}}},
 		{Version: StateVersionCounts, Mech: "CALM", Params: Params{N: 100, D: 2, C: 4, Eps: 2, Seed: 7},
 			Counts: []GroupCounts{{N: 100, Counts: []int64{-64, 1 << 40, 0, -1}}}},
+		// Streaming HIO/LHIO export v2 like every other mechanism; LHIO's
+		// (root, root) groups are tally-only.
+		{Version: StateVersionCounts, Mech: "HIO", Params: Params{N: 64, D: 2, C: 4, Eps: 1, Seed: 9},
+			Counts: []GroupCounts{{N: 16, Counts: []int64{2, 2}}, {N: 16, Counts: []int64{1, 0, 2, 0}}, {N: 16, Counts: []int64{0, 4}}, {N: 16, Counts: []int64{1, 1, 1, 1}}}},
+		{Version: StateVersionCounts, Mech: "LHIO", Params: Params{N: 40, D: 2, C: 4, Eps: 1, Seed: 11},
+			Counts: []GroupCounts{{N: 10}, {N: 10, Counts: []int64{3, 1}}, {N: 10, Counts: []int64{0, 2}}, {N: 10, Counts: []int64{1, 1, 0, 1}}}},
+		// A capped HIO deployment exports v3: deep groups carry their raw
+		// reports, the rest fold as in v2.
+		{Version: StateVersionHybrid, Mech: "HIO", Params: Params{N: 32, D: 2, C: 4, Eps: 1, Seed: 13},
+			Counts: []GroupCounts{
+				{N: 8, Counts: []int64{3, 5}},
+				{N: 2, Reports: []Report{{Group: 1, Seed: 99, Value: 1}, {Group: 1, Seed: 100, Value: 0}}},
+				{N: 0},
+				{N: 4, Counts: []int64{-1, 2, 0, 3}},
+			}},
 	}
 	for _, st := range seeds {
 		seed, err := st.MarshalBinary()
@@ -93,6 +108,8 @@ func FuzzCollectorStateV2(f *testing.F) {
 	f.Add([]byte("PMCS\x02"))
 	f.Add([]byte("PMCS\x02\x03Uni"))
 	f.Add([]byte("PMCS\x02\x03Uni\x01\x01\x02\x00\x00\x00\x00\x00\x00\xf0?\x00\x00\x00\x00\x00\x00\x00\x00\x01\x01\x02\x80\x00")) // overlong zigzag varint
+	f.Add([]byte("PMCS\x03"))
+	f.Add([]byte("PMCS\x03\x03HIO"))
 	f.Fuzz(fuzzCollectorState)
 }
 

@@ -6,15 +6,19 @@ import (
 	"sync/atomic"
 )
 
-// Ingest is the concurrency-safe report store report-retaining collectors
-// (HIO, LHIO) embed. It validates and files reports by group under a mutex;
-// because estimation downstream only ever counts reports, the order in
-// which concurrent submitters interleave never changes the finalized
-// estimator. Built with NewCollectorIngest it also carries the deployment
-// identity, which makes it a shared StatefulCollector implementation: State
-// and Merge below are what a report-retaining mechanism's collector
-// exports. Counting mechanisms embed CountIngest instead, which folds each
-// report into its group's sufficient statistic and drops it.
+// Ingest is the seed's concurrency-safe O(n) report store. It validates and
+// files reports by group under a mutex; because estimation downstream only
+// ever counts reports, the order in which concurrent submitters interleave
+// never changes the finalized estimator. Built with NewCollectorIngest it
+// also carries the deployment identity, making it a StatefulCollector that
+// exports v1 (report-multiset) states.
+//
+// No production collector embeds it anymore — all 7 mechanisms stream
+// through CountIngest, which folds each report into its group's sufficient
+// statistic and drops it (HIO retains raw reports only for the rare group
+// whose domain exceeds its streaming cap, inside CountIngest). Ingest
+// remains as the report-store baseline the perf harness and the golden
+// bit-identity tests compare the streaming collectors against.
 type Ingest struct {
 	check    func(Report) error
 	mechName string
@@ -161,12 +165,12 @@ func (in *Ingest) State() (CollectorState, error) {
 // Submit applies, so a corrupted snapshot cannot smuggle in payloads a
 // live client could not send.
 func (in *Ingest) Merge(st CollectorState) error {
-	if st.Version == StateVersionCounts {
+	if st.Version == StateVersionCounts || st.Version == StateVersionHybrid {
 		// A count vector cannot be unfolded back into the report multiset a
 		// report-retaining collector needs, so the shapes are incompatible
 		// by construction, not merely malformed.
-		return fmt.Errorf("mech: count state (v2) cannot merge into the report-retaining %s collector: %w",
-			in.mechName, ErrStateMismatch)
+		return fmt.Errorf("mech: count state (v%d) cannot merge into the report-retaining %s collector: %w",
+			st.Version, in.mechName, ErrStateMismatch)
 	}
 	if st.Version != StateVersion {
 		return fmt.Errorf("mech: unsupported collector state version %d", st.Version)

@@ -3,6 +3,8 @@ package mech
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
 
 	"privmdr/internal/dataset"
 	"privmdr/internal/ldprand"
@@ -201,22 +203,65 @@ func Run(p Protocol, ds *dataset.Dataset) (Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Reports are submitted in frames from a small worker pool rather than
+	// one at a time from the simulation loop: the estimator is bit-identical
+	// under any schedule (every collector statistic is a vector of commuting
+	// integer adds, and every collector is safe for concurrent submission),
+	// framed submission reaches the collectors' batch-native folds, and the
+	// workers spread the fold cost — which matters most for oracle-heavy
+	// protocols like HIO, whose per-report fold walks the group's whole
+	// domain — across the machine. The client side stays a single
+	// deterministic loop; only aggregation is concurrent.
+	const runFrame = 1024
+	workers := min(runtime.GOMAXPROCS(0), 8)
+	frames := make(chan []Report, workers)
+	var wg sync.WaitGroup
+	var submitErr error
+	var submitOnce sync.Once
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for frame := range frames {
+				if err := coll.SubmitBatch(frame); err != nil {
+					submitOnce.Do(func() { submitErr = err })
+				}
+			}
+		}()
+	}
 	record := make([]int, pp.D)
-	for user := 0; user < pp.N; user++ {
-		a, err := p.Assignment(user)
-		if err != nil {
-			return nil, err
+	frame := make([]Report, 0, runFrame)
+	clientErr := func() error {
+		for user := 0; user < pp.N; user++ {
+			a, err := p.Assignment(user)
+			if err != nil {
+				return err
+			}
+			for t := 0; t < pp.D; t++ {
+				record[t] = ds.Value(t, user)
+			}
+			rep, err := p.ClientReport(a, record, ClientRand(pp, user))
+			if err != nil {
+				return err
+			}
+			frame = append(frame, rep)
+			if len(frame) == runFrame {
+				frames <- frame
+				frame = make([]Report, 0, runFrame)
+			}
 		}
-		for t := 0; t < pp.D; t++ {
-			record[t] = ds.Value(t, user)
+		if len(frame) > 0 {
+			frames <- frame
 		}
-		rep, err := p.ClientReport(a, record, ClientRand(pp, user))
-		if err != nil {
-			return nil, err
-		}
-		if err := coll.Submit(rep); err != nil {
-			return nil, err
-		}
+		return nil
+	}()
+	close(frames)
+	wg.Wait()
+	if clientErr != nil {
+		return nil, clientErr
+	}
+	if submitErr != nil {
+		return nil, submitErr
 	}
 	return coll.Finalize()
 }

@@ -10,16 +10,21 @@ import (
 // This file defines the mergeable collector state every mechanism exports:
 // the sufficient statistic of an aggregation in progress. Because estimation
 // depends only on the multiset of accepted reports (aggregation is pure
-// counting until deterministic post-processing), that statistic comes in two
-// shapes, distinguished by the state version:
+// counting until deterministic post-processing), that statistic comes in
+// three shapes, distinguished by the state version:
 //
-//   - v1 (ReportState): the per-group report multisets themselves. This is
-//     the shape report-retaining collectors (HIO, LHIO) export, because they
-//     estimate lazily over interval domains far too large to materialize a
-//     count vector for.
+//   - v1 (ReportState): the per-group report multisets themselves — the
+//     shape every pre-streaming snapshot carries. No collector exports it
+//     anymore, but every collector still accepts it on Merge.
 //   - v2 (CountState): per-group folded count vectors plus report tallies —
-//     the O(domain) form streaming collectors (HDG, TDG, Uni, MSW, CALM)
-//     export. Merging two count states is element-wise integer addition.
+//     the O(domain) form every fully streaming collector (all 7 mechanisms
+//     in their default configurations) exports. Merging two count states is
+//     element-wise integer addition.
+//   - v3 (HybridState): v2 plus, for the rare group whose enumeration
+//     domain exceeds its collector's streaming cap (HIO far above paper
+//     scale), the group's raw report multiset instead of a count vector.
+//     Only collectors configured with at least one retained group export
+//     it; each group carries counts or reports, never both.
 //
 // Either way, exporting states from N sharded collectors and merging in any
 // order finalizes to a bit-identical estimator as one collector ingesting
@@ -46,22 +51,35 @@ const StateVersion = 1
 // sufficient statistic, shrinking snapshots from O(n) to O(groups × domain).
 const StateVersionCounts = 2
 
+// StateVersionHybrid is the mixed (v3) CollectorState wire-format version: a
+// count state in which individual groups may carry their raw report multiset
+// instead of a count vector. It exists for collectors with a per-group
+// streaming cap (HIO's MaxStreamDomain): groups whose enumeration domain
+// fits the cap fold as in v2, the rare over-cap group retains reports. A
+// group carries counts or reports, never both, and a retained group's N
+// always equals len(Reports).
+const StateVersionHybrid = 3
+
 // GroupCounts is one group's folded sufficient statistic: how many reports
 // the group accepted and their count vector (GRR bucket counts, OLH support
 // tallies, Hadamard signed row counts, SW bucket counts, …). Counts may be
 // empty for groups whose reports carry no information (Uni). Entries can be
 // negative (Hadamard folds ±1), so the binary codec packs them as zigzag
-// varints.
+// varints. In a v3 (hybrid) state a retained group carries Reports — its
+// raw report multiset — instead of Counts; v2 states never set Reports.
 type GroupCounts struct {
-	N      int64   `json:"n"`
-	Counts []int64 `json:"counts,omitempty"`
+	N       int64    `json:"n"`
+	Counts  []int64  `json:"counts,omitempty"`
+	Reports []Report `json:"reports,omitempty"`
 }
 
 // CollectorState is a versioned, self-describing snapshot of a collector's
 // aggregation state: the public deployment identity (mechanism name +
 // Params) and the sufficient statistic received so far — per-group report
-// multisets (Version 1, Groups set) or per-group count vectors (Version 2,
-// Counts set). It is the unit of sharded aggregation — export with
+// multisets (Version 1, Groups set), per-group count vectors (Version 2,
+// Counts set), or count vectors with individual retained-report groups
+// (Version 3, Counts set with per-group Reports). It is the unit of sharded
+// aggregation — export with
 // StatefulCollector.State, ship or persist it, and combine with
 // StatefulCollector.Merge. Reports in Groups[g] all carry Group == g; both
 // codecs enforce this.
@@ -96,7 +114,7 @@ type StatefulCollector interface {
 
 // Received is the total number of reports carried by the state.
 func (st CollectorState) Received() int {
-	if st.Version == StateVersionCounts {
+	if st.Version == StateVersionCounts || st.Version == StateVersionHybrid {
 		n := int64(0)
 		for _, g := range st.Counts {
 			n += g.N
@@ -132,9 +150,10 @@ const maxStateCounts = 1 << 24
 
 // Validate checks the state's structural invariants — supported version,
 // bounded mechanism name, and the shape matching the version: report
-// multisets with every report tagged with its group index (v1), or count
-// groups with non-negative report tallies (v2). It vets structure only;
-// deployment identity is Merge's job.
+// multisets with every report tagged with its group index (v1), count
+// groups with non-negative report tallies (v2), or count groups where a
+// retained group carries its reports instead of a vector (v3). It vets
+// structure only; deployment identity is Merge's job.
 func (st CollectorState) Validate() error {
 	switch st.Version {
 	case StateVersion:
@@ -154,9 +173,9 @@ func (st CollectorState) Validate() error {
 				}
 			}
 		}
-	case StateVersionCounts:
+	case StateVersionCounts, StateVersionHybrid:
 		if len(st.Groups) != 0 {
-			return fmt.Errorf("mech: count state (v2) carries %d report groups", len(st.Groups))
+			return fmt.Errorf("mech: count state (v%d) carries %d report groups", st.Version, len(st.Groups))
 		}
 		if len(st.Counts) > maxStateGroups {
 			return fmt.Errorf("mech: collector state carries %d groups, limit %d", len(st.Counts), maxStateGroups)
@@ -167,6 +186,30 @@ func (st CollectorState) Validate() error {
 			}
 			if len(gc.Counts) > maxStateCounts {
 				return fmt.Errorf("mech: state group %d carries %d counts, limit %d", g, len(gc.Counts), maxStateCounts)
+			}
+			if st.Version == StateVersionCounts {
+				if len(gc.Reports) != 0 {
+					return fmt.Errorf("mech: count state (v2) group %d carries %d retained reports", g, len(gc.Reports))
+				}
+				continue
+			}
+			// v3: a retained group carries reports instead of a vector, and its
+			// tally is exactly its multiset size.
+			if len(gc.Reports) > 0 {
+				if len(gc.Counts) != 0 {
+					return fmt.Errorf("mech: hybrid state group %d carries both %d counts and %d reports", g, len(gc.Counts), len(gc.Reports))
+				}
+				if gc.N != int64(len(gc.Reports)) {
+					return fmt.Errorf("mech: hybrid state group %d tallies %d reports but retains %d", g, gc.N, len(gc.Reports))
+				}
+			}
+			for i, r := range gc.Reports {
+				if r.Group != g {
+					return fmt.Errorf("mech: state group %d report %d tagged with group %d", g, i, r.Group)
+				}
+				if r.Value < 0 {
+					return fmt.Errorf("mech: state group %d report %d has negative value %d", g, i, r.Value)
+				}
 			}
 		}
 	default:
@@ -185,7 +228,7 @@ var stateMagic = [4]byte{'P', 'M', 'C', 'S'}
 // AppendBinary appends the state's binary encoding to dst:
 //
 //	4 bytes  magic "PMCS"
-//	1 byte   version (1 reports, 2 counts)
+//	1 byte   version (1 reports, 2 counts, 3 hybrid)
 //	uvarint  mechanism-name length, then the name bytes
 //	uvarint  N, D, C
 //	8 bytes  little-endian IEEE-754 bits of Eps
@@ -194,6 +237,8 @@ var stateMagic = [4]byte{'P', 'M', 'C', 'S'}
 //	v1, per group: uvarint report count, then each report's binary encoding
 //	v2, per group: uvarint report count, uvarint count-vector length, then
 //	               each count as a zigzag varint
+//	v3, per group: the v2 group encoding, then uvarint retained-report
+//	               count and each retained report's binary encoding
 //
 // All varints are minimal, so every state has exactly one wire form.
 func (st CollectorState) AppendBinary(dst []byte) ([]byte, error) {
@@ -212,13 +257,23 @@ func (st CollectorState) AppendBinary(dst []byte) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(st.Params.C))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.Params.Eps))
 	dst = binary.LittleEndian.AppendUint64(dst, st.Params.Seed)
-	if st.Version == StateVersionCounts {
+	if st.Version == StateVersionCounts || st.Version == StateVersionHybrid {
 		dst = binary.AppendUvarint(dst, uint64(len(st.Counts)))
 		for _, gc := range st.Counts {
 			dst = binary.AppendUvarint(dst, uint64(gc.N))
 			dst = binary.AppendUvarint(dst, uint64(len(gc.Counts)))
 			for _, c := range gc.Counts {
 				dst = binary.AppendVarint(dst, c)
+			}
+			if st.Version == StateVersionHybrid {
+				dst = binary.AppendUvarint(dst, uint64(len(gc.Reports)))
+				var err error
+				for _, r := range gc.Reports {
+					dst, err = r.AppendBinary(dst)
+					if err != nil {
+						return dst, err
+					}
+				}
 			}
 		}
 		return dst, nil
@@ -240,10 +295,10 @@ func (st CollectorState) AppendBinary(dst []byte) ([]byte, error) {
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (st CollectorState) MarshalBinary() ([]byte, error) {
 	size := 64 + st.Received()*8
-	if st.Version == StateVersionCounts {
+	if st.Version == StateVersionCounts || st.Version == StateVersionHybrid {
 		size = 64
 		for _, gc := range st.Counts {
-			size += 10 + 2*len(gc.Counts)
+			size += 11 + 2*len(gc.Counts) + 8*len(gc.Reports)
 		}
 	}
 	return st.AppendBinary(make([]byte, 0, size))
@@ -260,7 +315,7 @@ func (st *CollectorState) UnmarshalBinary(data []byte) error {
 	if [4]byte(data[:4]) != stateMagic {
 		return fmt.Errorf("mech: collector state magic %q unknown", data[:4])
 	}
-	if data[4] != StateVersion && data[4] != StateVersionCounts {
+	if data[4] != StateVersion && data[4] != StateVersionCounts && data[4] != StateVersionHybrid {
 		return fmt.Errorf("mech: unsupported collector state version %d", data[4])
 	}
 	out := CollectorState{Version: int(data[4])}
@@ -316,7 +371,7 @@ func (st *CollectorState) UnmarshalBinary(data []byte) error {
 	if groups > maxStateGroups {
 		return fmt.Errorf("mech: state claims %d groups, limit %d", groups, maxStateGroups)
 	}
-	if out.Version == StateVersionCounts {
+	if out.Version == StateVersionCounts || out.Version == StateVersionHybrid {
 		out.Counts = make([]GroupCounts, groups)
 		for g := range out.Counts {
 			nRep, n, err := uvarintStrict(data, "state group report count")
@@ -351,6 +406,42 @@ func (st *CollectorState) UnmarshalBinary(data []byte) error {
 					}
 					data = data[n:]
 					gc.Counts[i] = c
+				}
+			}
+			if out.Version == StateVersionHybrid {
+				count, n, err := uvarintStrict(data, "state retained-report count")
+				if err != nil {
+					return fmt.Errorf("mech: state group %d: %w", g, err)
+				}
+				data = data[n:]
+				// Each report is at least 4 bytes on the wire.
+				if count > uint64(len(data))/4 {
+					return fmt.Errorf("mech: state group %d claims %d retained reports but only %d bytes follow", g, count, len(data))
+				}
+				// Enforce the hybrid shape invariants Validate checks, so any
+				// state this decoder accepts validates and re-encodes
+				// canonically: counts or reports, never both, and a retained
+				// group's tally is its multiset size.
+				if count > 0 {
+					if clen != 0 {
+						return fmt.Errorf("mech: state group %d carries both %d counts and %d retained reports", g, clen, count)
+					}
+					if nRep != count {
+						return fmt.Errorf("mech: state group %d tallies %d reports but retains %d", g, nRep, count)
+					}
+					rs := make([]Report, 0, count)
+					for i := uint64(0); i < count; i++ {
+						rep, used, err := decodeReport(data)
+						if err != nil {
+							return fmt.Errorf("mech: state group %d report %d: %w", g, i, err)
+						}
+						if rep.Group != g {
+							return fmt.Errorf("mech: state group %d report %d tagged with group %d", g, i, rep.Group)
+						}
+						data = data[used:]
+						rs = append(rs, rep)
+					}
+					gc.Reports = rs
 				}
 			}
 			out.Counts[g] = gc

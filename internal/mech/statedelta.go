@@ -15,6 +15,9 @@ import "fmt"
 //     and the delta vector is the element-wise difference of the folded
 //     counts. Entries may be negative (Hadamard folds ±1), which the v2
 //     codec's zigzag varints encode natively.
+//   - v3 (hybrid states): streamed groups diff like v2; a retained group's
+//     delta is its report suffix beyond prev's length, exactly the v1 rule
+//     (retained stores are append-only, so prev is always a prefix).
 //   - v1 (report states): per group, the delta is the suffix of reports
 //     beyond prev's length. Collector report stores are append-only (Submit
 //     and Merge both append), so an earlier snapshot is always a per-group
@@ -39,7 +42,7 @@ func DiffStates(cur, prev CollectorState) (CollectorState, error) {
 			cur.Mech, cur.Version, prev.Mech, prev.Version, ErrStateMismatch)
 	}
 	out := CollectorState{Version: cur.Version, Mech: cur.Mech, Params: cur.Params}
-	if cur.Version == StateVersionCounts {
+	if cur.Version == StateVersionCounts || cur.Version == StateVersionHybrid {
 		if len(cur.Counts) != len(prev.Counts) {
 			return CollectorState{}, fmt.Errorf("mech: cannot diff %d-group state against %d-group state: %w",
 				len(cur.Counts), len(prev.Counts), ErrStateMismatch)
@@ -55,12 +58,25 @@ func DiffStates(cur, prev CollectorState) (CollectorState, error) {
 				return CollectorState{}, fmt.Errorf("mech: group %d count-vector length changed from %d to %d: %w",
 					g, len(pg.Counts), len(cg.Counts), ErrStateMismatch)
 			}
+			// A v3 retained group diffs by report suffix: its store is
+			// append-only like a v1 group's, so an earlier snapshot is always
+			// a prefix of a later one. (A retained group never carries counts
+			// and a streamed group never carries reports, so the shape checks
+			// above and the N regression check cover mixed inputs.)
+			if len(cg.Reports) < len(pg.Reports) {
+				return CollectorState{}, fmt.Errorf("mech: group %d regressed from %d to %d retained reports; prev is not an earlier snapshot of cur",
+					g, len(pg.Reports), len(cg.Reports))
+			}
 			gc := GroupCounts{N: cg.N - pg.N}
 			if len(cg.Counts) > 0 {
 				gc.Counts = make([]int64, len(cg.Counts))
 				for i := range cg.Counts {
 					gc.Counts[i] = cg.Counts[i] - pg.Counts[i]
 				}
+			}
+			if len(cg.Reports) > 0 {
+				suffix := cg.Reports[len(pg.Reports):]
+				gc.Reports = suffix[:len(suffix):len(suffix)]
 			}
 			out.Counts[g] = gc
 		}

@@ -7,11 +7,11 @@ import (
 )
 
 // TestV1StateMigratesIntoStreamingCollector is the warm-restart
-// compatibility property: for every streaming mechanism, a v1 (report
-// multiset) state — the shape pre-streaming snapshots carry — merged into a
-// fresh collector finalizes bit-identical to the same reports submitted
-// directly, and the collector's own exported state is the compact v2 shape.
-// Report-retaining mechanisms (HIO, LHIO) still export v1 and refuse v2.
+// compatibility property: for every mechanism — all 7 stream now — a v1
+// (report multiset) state — the shape pre-streaming snapshots carry —
+// merged into a fresh collector finalizes bit-identical to the same reports
+// submitted directly, and the collector's own exported state is the compact
+// v2 shape.
 func TestV1StateMigratesIntoStreamingCollector(t *testing.T) {
 	ds := protocolDataset(t)
 	qs, err := privmdr.RandomWorkload(15, 2, ds.D(), ds.C, 0.5, 33)
@@ -20,7 +20,7 @@ func TestV1StateMigratesIntoStreamingCollector(t *testing.T) {
 	}
 	streaming := map[string]bool{
 		"Uni": true, "MSW": true, "CALM": true, "TDG": true, "HDG": true,
-		"HIO": false, "LHIO": false,
+		"HIO": true, "LHIO": true,
 	}
 	for _, m := range privmdr.Mechanisms() {
 		m := m
